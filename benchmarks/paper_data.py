@@ -1,0 +1,88 @@
+"""The published numbers from the paper's Tables 1-6, for side-by-side
+reporting and shape assertions.
+
+Speedups are exactly as printed in the paper; times are seconds/step.
+"""
+
+#: Table 2 — ApoA-I (92,224 atoms) on ASCI-Red.
+TABLE2_APOA1_ASCI = {
+    1: {"time": 57.1, "speedup": 1.0, "gflops": 0.0480},
+    4: {"time": 14.7, "speedup": 3.9, "gflops": 0.186},
+    8: {"time": 7.31, "speedup": 7.8, "gflops": 0.375},
+    32: {"time": 1.9, "speedup": 30.1, "gflops": 1.44},
+    64: {"time": 0.964, "speedup": 59.2, "gflops": 2.84},
+    128: {"time": 0.493, "speedup": 116.0, "gflops": 5.56},
+    256: {"time": 0.259, "speedup": 221.0, "gflops": 10.6},
+    512: {"time": 0.152, "speedup": 376.0, "gflops": 18.0},
+    768: {"time": 0.102, "speedup": 560.0, "gflops": 26.9},
+    1024: {"time": 0.0822, "speedup": 695.0, "gflops": 33.3},
+    1536: {"time": 0.0645, "speedup": 885.0, "gflops": 42.5},
+    2048: {"time": 0.0573, "speedup": 997.0, "gflops": 47.8},
+}
+
+#: Table 3 — BC1 (206,617 atoms) on ASCI-Red; baseline 2 procs = 2.0.
+TABLE3_BC1_ASCI = {
+    2: {"time": 74.2, "speedup": 2.0, "gflops": 0.0933},
+    4: {"time": 37.8, "speedup": 3.9, "gflops": 0.183},
+    8: {"time": 19.3, "speedup": 7.7, "gflops": 0.359},
+    32: {"time": 4.91, "speedup": 30.3, "gflops": 1.41},
+    64: {"time": 2.49, "speedup": 59.6, "gflops": 2.78},
+    128: {"time": 1.26, "speedup": 118.0, "gflops": 5.49},
+    256: {"time": 0.653, "speedup": 227.0, "gflops": 10.6},
+    512: {"time": 0.352, "speedup": 422.0, "gflops": 19.7},
+    768: {"time": 0.246, "speedup": 603.0, "gflops": 28.1},
+    1024: {"time": 0.192, "speedup": 773.0, "gflops": 36.1},
+    1536: {"time": 0.141, "speedup": 1052.0, "gflops": 49.1},
+    2048: {"time": 0.119, "speedup": 1252.0, "gflops": 58.4},
+}
+
+#: Table 4 — bR (3,762 atoms) on ASCI-Red.
+TABLE4_BR_ASCI = {
+    1: {"time": 1.47, "speedup": 1.0},
+    2: {"time": 0.759, "speedup": 1.94},
+    4: {"time": 0.384, "speedup": 3.83},
+    8: {"time": 0.196, "speedup": 7.50},
+    32: {"time": 0.071, "speedup": 20.7},
+    64: {"time": 0.0358, "speedup": 41.1},
+    128: {"time": 0.0299, "speedup": 49.2},
+    256: {"time": 0.0300, "speedup": 49.0},
+}
+
+#: Table 5 — ApoA-I on the PSC Cray T3E-900; baseline 4 procs = 4.0.
+TABLE5_APOA1_T3E = {
+    4: {"time": 10.7, "speedup": 4.0, "gflops": 0.256},
+    8: {"time": 5.28, "speedup": 8.1, "gflops": 0.519},
+    16: {"time": 2.64, "speedup": 16.2, "gflops": 1.04},
+    32: {"time": 1.35, "speedup": 31.7, "gflops": 2.03},
+    64: {"time": 0.688, "speedup": 62.2, "gflops": 3.98},
+    128: {"time": 0.356, "speedup": 120.0, "gflops": 7.69},
+    256: {"time": 0.185, "speedup": 231.0, "gflops": 14.8},
+}
+
+#: Table 6 — ApoA-I on the NCSA Origin 2000 (250 MHz).
+TABLE6_APOA1_ORIGIN = {
+    1: {"time": 24.4, "speedup": 1.0, "gflops": 0.112},
+    2: {"time": 12.5, "speedup": 1.95, "gflops": 0.219},
+    4: {"time": 6.30, "speedup": 3.89, "gflops": 0.435},
+    8: {"time": 3.18, "speedup": 7.68, "gflops": 0.862},
+    16: {"time": 1.60, "speedup": 15.2, "gflops": 1.71},
+    32: {"time": 0.860, "speedup": 28.4, "gflops": 3.19},
+    64: {"time": 0.411, "speedup": 59.4, "gflops": 6.67},
+    80: {"time": 0.349, "speedup": 70.0, "gflops": 7.86},
+}
+
+#: Table 1 — performance audit, ApoA-I on 1024 ASCI-Red processors
+#: (milliseconds; "Ideal" assumes perfect scaling of the 1-proc run).
+TABLE1_AUDIT = {
+    "ideal": {
+        "total": 57.04, "nonbonded": 52.44, "bonds": 3.16, "integration": 1.44,
+        "overhead": 0.0, "imbalance": 0.0, "idle": 0.0, "receives": 0.0,
+    },
+    "actual": {
+        "total": 86.0, "nonbonded": 49.77, "bonds": 3.9, "integration": 3.05,
+        "overhead": 7.97, "imbalance": 10.45, "idle": 9.25, "receives": 1.61,
+    },
+}
+
+#: Figure 1 facts: ~880 tasks of ~9 ms grainsize; largest ~42 ms; bimodal.
+FIG1_MAX_GRAINSIZE_MS = 42.0

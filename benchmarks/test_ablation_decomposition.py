@@ -1,0 +1,109 @@
+"""A1 — §3's scalability claims: atom replication / atom decomposition /
+force decomposition / pure spatial, against the full hybrid simulation.
+
+The paper asserts (citing [9]) that replication and atom decomposition are
+theoretically non-scalable (communication/computation ratio grows with P),
+force decomposition is non-scalable but practically fine to ~128
+processors, and spatial decomposition is scalable.  We regenerate the
+comparison at ApoA-I scale on the ASCI-Red model.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.analysis.speedup import scaling_sweep
+from repro.baselines.schemes import (
+    AtomDecompositionModel,
+    AtomReplicationModel,
+    ForceDecompositionModel,
+    SpatialDecompositionModel,
+)
+from repro.core.simulation import SimulationConfig
+from repro.runtime.machine import ASCI_RED
+
+PROCS = [1, 8, 32, 128, 512, 1024, 2048]
+
+
+@pytest.fixture(scope="module")
+def baselines(apoa1_problem):
+    w = apoa1_problem.cost_model.sequential_step_cost(apoa1_problem.counts)
+    n = apoa1_problem.system.n_atoms
+    common = dict(n_atoms=n, sequential_work_s=w, machine=ASCI_RED)
+    import numpy as np
+
+    return {
+        "replication": AtomReplicationModel(**common),
+        "atom": AtomDecompositionModel(**common),
+        "force": ForceDecompositionModel(**common),
+        "spatial": SpatialDecompositionModel(
+            **common, box_volume_A3=float(np.prod(apoa1_problem.system.box))
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def hybrid_rows(apoa1_problem):
+    return scaling_sweep(
+        apoa1_problem, SimulationConfig(n_procs=1, machine=ASCI_RED), PROCS
+    )
+
+
+def test_ablation_regenerate(benchmark, baselines, hybrid_rows, results_dir):
+    def render():
+        lines = [
+            "A1: decomposition-scheme comparison, ApoA-I scale (speedups)",
+            f"{'P':>6}" + "".join(f"{k:>14}" for k in baselines)
+            + f"{'hybrid (sim)':>14}",
+        ]
+        hybrid = {r.procs: r.speedup for r in hybrid_rows}
+        for p in PROCS:
+            line = f"{p:>6}" + "".join(
+                f"{m.speedup(p):>14.1f}" for m in baselines.values()
+            )
+            line += f"{hybrid[p]:>14.1f}"
+            lines.append(line)
+        lines.append("")
+        lines.append("communication/computation ratios (growth = non-scalable)")
+        lines.append(f"{'P':>6}" + "".join(f"{k:>14}" for k in baselines))
+        for p in PROCS:
+            lines.append(
+                f"{p:>6}"
+                + "".join(f"{m.comm_ratio(p):>14.3f}" for m in baselines.values())
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    save_result(results_dir, "ablation_decomposition", text)
+
+
+def test_replication_saturates_early(baselines):
+    m = baselines["replication"]
+    assert m.speedup(2048) < 300
+
+
+def test_atom_decomposition_saturates(baselines):
+    m = baselines["atom"]
+    assert m.speedup(2048) < 1.2 * m.speedup(512)
+
+
+def test_force_decomposition_fine_to_128(baselines):
+    assert baselines["force"].speedup(128) > 90
+
+
+def test_comm_ratio_ordering_at_scale(baselines):
+    """Non-scalable schemes' ratios grow; spatial's stays bounded (a small
+    absolute constant even at 2048 processors, while replication's exceeds
+    its compute time many times over)."""
+    for name in ("replication", "atom", "force"):
+        assert (
+            baselines[name].comm_ratio(2048) > 2.0 * baselines[name].comm_ratio(32)
+        ), name
+    assert baselines["spatial"].comm_ratio(2048) < 0.25
+    assert baselines["replication"].comm_ratio(2048) > 2.0
+
+
+def test_hybrid_tracks_or_beats_spatial_model(baselines, hybrid_rows):
+    """The full simulation (with LB and overlap) stays in the same class as
+    the analytic spatial bound at 1024 processors."""
+    hybrid = {r.procs: r.speedup for r in hybrid_rows}
+    assert hybrid[1024] > 0.5 * baselines["spatial"].speedup(1024)

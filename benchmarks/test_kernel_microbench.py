@@ -1,0 +1,64 @@
+"""Microbenchmarks of the real computational kernels.
+
+Unlike the table/figure harness (which regenerates the paper's results on
+the simulated machine), these measure the *actual* wall-clock throughput of
+the Python kernels on this host — the numbers a downstream user needs to
+size real workloads, and the data behind the guide rule "profile before
+optimizing".
+"""
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box
+from repro.md.bonded import compute_bonded
+from repro.md.cells import CellGrid, candidate_pairs
+from repro.md.ewald import EwaldOptions, compute_ewald
+from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
+
+
+@pytest.fixture(scope="module")
+def water512():
+    return small_water_box(512, seed=13, relax=False)
+
+
+def test_bench_cell_grid_build(benchmark, water512):
+    result = benchmark(CellGrid.build, water512.positions, water512.box, 8.0)
+    assert result.n_cells >= 1
+
+
+def test_bench_candidate_pairs(benchmark, water512):
+    i, j = benchmark(candidate_pairs, water512.positions, water512.box, 8.0)
+    assert len(i) > 0
+
+
+def test_bench_nonbonded_kernel(benchmark, water512):
+    opts = NonbondedOptions(cutoff=8.0)
+    result = benchmark(compute_nonbonded, water512, opts)
+    assert result.n_pairs > 0
+    # throughput note: pairs per second = result.n_pairs / mean_time
+
+
+def test_bench_bonded_kernels(benchmark, water512):
+    def run():
+        return compute_bonded(water512)
+
+    energies, _ = benchmark(run)
+    assert energies.bond > 0
+
+
+def test_bench_ewald(benchmark, water512):
+    opts = EwaldOptions(cutoff=7.0, kmax=6)
+    result = benchmark.pedantic(
+        compute_ewald, args=(water512, opts), rounds=3, iterations=1
+    )
+    assert np.isfinite(result.energy)
+
+
+def test_bench_exclusion_build(benchmark, water512):
+    def build():
+        water512.invalidate_exclusions()
+        return water512.topology.build_exclusions(water512.n_atoms)
+
+    excl = benchmark(build)
+    assert excl.n_excluded == 512 * 3  # 2x O-H + 1x H-H per water

@@ -1,0 +1,84 @@
+"""E1 — Table 1: the performance audit, ApoA-I on 1024 ASCI-Red processors.
+
+The paper's audit was taken "at an intermediate stage, when the time per
+step ... was around 86 ms" — i.e. with the naive multicast still in place.
+We reproduce both that intermediate configuration and the fully optimized
+one, checking the audit's structure: load imbalance and idle time dominate
+the gap, communication overhead is "significant, but relatively small".
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from benchmarks.paper_data import TABLE1_AUDIT
+from repro.analysis.audit import performance_audit
+from repro.core.simulation import ParallelSimulation, SimulationConfig
+from repro.runtime.machine import ASCI_RED
+
+
+@pytest.fixture(scope="module")
+def audit_run(apoa1_problem):
+    cfg = SimulationConfig(
+        n_procs=1024,
+        machine=ASCI_RED,
+        optimized_multicast=False,  # the paper's intermediate stage
+    )
+    sim = ParallelSimulation(apoa1_problem.system, cfg, problem=apoa1_problem)
+    return sim.run()
+
+
+def test_table1_regenerate(benchmark, audit_run, results_dir):
+    def render():
+        audit = performance_audit(audit_run)
+        paper = TABLE1_AUDIT
+        lines = [audit.format(), "", "Paper's Table 1 for comparison (ms):"]
+        for row in ("ideal", "actual"):
+            vals = paper[row]
+            lines.append(
+                f"{row.capitalize():8}" + "".join(
+                    f"{vals[k]:12.2f}"
+                    for k in ("total", "nonbonded", "bonds", "integration",
+                              "overhead", "imbalance", "idle", "receives")
+                )
+            )
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    save_result(results_dir, "table1_audit", text)
+
+
+def test_ideal_row_matches_paper(audit_run):
+    """Our ideal row is the calibrated single-processor decomposition / P;
+    the paper prints the same single-processor numbers."""
+    audit = performance_audit(audit_run)
+    # paper's ideal values are the 1-processor seconds (not divided by P) —
+    # compare the proportions instead
+    ideal = audit.ideal
+    assert ideal.nonbonded / ideal.total == pytest.approx(52.44 / 57.04, rel=0.02)
+    assert ideal.bonds / ideal.total == pytest.approx(3.16 / 57.04, rel=0.02)
+    assert ideal.integration / ideal.total == pytest.approx(1.44 / 57.04, rel=0.02)
+
+
+def test_actual_total_in_paper_band(audit_run):
+    """Paper: ~86 ms/step at this stage (we accept 55-110 ms)."""
+    t = audit_run.time_per_step
+    assert 0.055 < t < 0.110, t
+
+
+def test_imbalance_and_idle_dominate_gap(audit_run):
+    """Paper: 'clearly load imbalance was a major factor'; imbalance (10.45)
+    + idle (9.25) together exceed overhead (7.97) + receives (1.61)."""
+    a = performance_audit(audit_run).actual
+    assert a.imbalance + a.idle > a.overhead + a.receives
+
+
+def test_overhead_significant_but_small(audit_run):
+    a = performance_audit(audit_run).actual
+    assert 0.0 < a.overhead + a.receives < 0.5 * a.total
+
+
+def test_accounting_identity(audit_run):
+    a = performance_audit(audit_run).actual
+    total = (a.nonbonded + a.bonds + a.integration + a.overhead + a.receives
+             + a.imbalance + a.idle)
+    assert total == pytest.approx(a.total, rel=1e-9)

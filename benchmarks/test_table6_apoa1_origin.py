@@ -1,0 +1,57 @@
+"""E6 — Table 6: ApoA-I on the SGI Origin 2000 (250 MHz), 1..80 procs.
+
+The fastest per-processor machine in the study (24.4 s/step on one CPU,
+"110 MFLOPS on a single Origin 2000 processor ... good performance for a
+complete application").
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from benchmarks.paper_data import TABLE6_APOA1_ORIGIN
+from repro.analysis.speedup import format_scaling_table, scaling_sweep
+from repro.core.simulation import SimulationConfig
+from repro.runtime.machine import ORIGIN_2000
+
+PROCS = sorted(TABLE6_APOA1_ORIGIN)
+
+
+@pytest.fixture(scope="module")
+def rows(apoa1_problem):
+    cfg = SimulationConfig(n_procs=1, machine=ORIGIN_2000)
+    return scaling_sweep(apoa1_problem, cfg, PROCS, baseline_procs=1)
+
+
+def test_table6_regenerate(benchmark, rows, results_dir):
+    def render():
+        return format_scaling_table(
+            rows,
+            title="Table 6 (reproduced): ApoA-I on Origin 2000",
+            paper_speedups={p: v["speedup"] for p, v in TABLE6_APOA1_ORIGIN.items()},
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    save_result(results_dir, "table6_apoa1_origin", text)
+
+
+def test_single_processor_time_matches_paper(rows):
+    """Paper: 24.4 s/step — the Origin cpu_factor anchor."""
+    assert rows[0].time_per_step == pytest.approx(
+        TABLE6_APOA1_ORIGIN[1]["time"], rel=0.1
+    )
+
+
+def test_single_processor_near_110_mflops(rows):
+    """Paper: ~0.112 GFLOPS on one processor."""
+    assert rows[0].gflops == pytest.approx(0.112, rel=0.3)
+
+
+def test_scaling_through_80(rows):
+    by_procs = {r.procs: r for r in rows}
+    assert by_procs[80].speedup > 0.75 * 80  # paper: 70.0/80 = 88%
+
+
+def test_rows_within_factor_of_paper(rows):
+    for r in rows:
+        ref = TABLE6_APOA1_ORIGIN[r.procs]["speedup"]
+        assert 0.6 * ref <= r.speedup <= 1.6 * ref, (r.procs, r.speedup, ref)

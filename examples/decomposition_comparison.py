@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Why hybrid force/spatial decomposition (paper §3).
+
+Compares the classic parallelization schemes' modeled step times and
+communication-to-computation ratios against the full NAMD-style simulation,
+on ApoA-I-sized parameters.  Reproduces the paper's qualitative claim:
+replication and atom decomposition saturate early, force decomposition is
+competitive to medium scale, spatial-family schemes keep scaling.
+
+Run:  python examples/decomposition_comparison.py
+"""
+
+from repro.baselines.schemes import (
+    AtomDecompositionModel,
+    AtomReplicationModel,
+    ForceDecompositionModel,
+    SpatialDecompositionModel,
+)
+from repro.runtime.machine import ASCI_RED
+
+N_ATOMS = 92_224
+SEQUENTIAL_S = 57.04
+BOX_VOLUME = 108.86 * 108.86 * 77.76
+
+
+def main() -> None:
+    common = dict(
+        n_atoms=N_ATOMS, sequential_work_s=SEQUENTIAL_S, machine=ASCI_RED
+    )
+    models = [
+        AtomReplicationModel(**common),
+        AtomDecompositionModel(**common),
+        ForceDecompositionModel(**common),
+        SpatialDecompositionModel(**common, box_volume_A3=BOX_VOLUME),
+    ]
+    procs = [1, 8, 32, 128, 512, 1024, 2048]
+
+    print("Speedup by scheme (ApoA-I-sized workload, ASCI-Red machine model)")
+    header = f"{'P':>6}" + "".join(f"{m.name:>22}" for m in models)
+    print(header)
+    for p in procs:
+        row = f"{p:>6}" + "".join(f"{m.speedup(p):>22.1f}" for m in models)
+        print(row)
+
+    print("\nCommunication / computation ratio (the §3 scalability criterion)")
+    print(header)
+    for p in procs:
+        row = f"{p:>6}" + "".join(f"{m.comm_ratio(p):>22.3f}" for m in models)
+        print(row)
+
+    print(
+        "\nReading: the ratio *grows* with P for replication, atom and force"
+        "\ndecomposition (theoretically non-scalable) but stays bounded for"
+        "\nspatial decomposition — the hybrid scheme inherits this bound and"
+        "\nadds migratable per-pair objects so the balancer can use more"
+        "\nprocessors than there are patches."
+    )
+
+
+if __name__ == "__main__":
+    main()

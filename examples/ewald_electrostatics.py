@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Full periodic electrostatics via Ewald summation (extension).
+
+The paper's scaling study covers the cutoff atom-based force components and
+notes that full electrostatics adds a small grid/k-space component (§1).
+This example exercises that component:
+
+1. validates the implementation against the NaCl Madelung constant, and
+2. compares the cutoff (switched/shifted) electrostatic energy of a water
+   box against the exact Ewald value, showing what a cutoff approximates.
+
+Run:  python examples/ewald_electrostatics.py
+"""
+
+import numpy as np
+
+from repro.builder import small_water_box
+from repro.builder.ions import ensure_ion_types
+from repro.md.constants import COULOMB_CONSTANT
+from repro.md.ewald import EwaldOptions, compute_ewald
+from repro.md.forcefield import default_forcefield
+from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
+from repro.md.system import MolecularSystem
+from repro.md.topology import Topology
+
+
+def madelung_demo() -> None:
+    print("=== 1. NaCl lattice: recover the Madelung constant ===")
+    a = 5.64  # lattice constant, Å
+    ff = default_forcefield()
+    ensure_ion_types(ff)
+    ncell = 2
+    pos, q, ti = [], [], []
+    for i in range(2 * ncell):
+        for j in range(2 * ncell):
+            for k in range(2 * ncell):
+                charge = 1.0 if (i + j + k) % 2 == 0 else -1.0
+                pos.append([i, j, k])
+                q.append(charge)
+                ti.append(ff.atom_type_index("SOD" if charge > 0 else "CLA"))
+    half = a / 2
+    system = MolecularSystem(
+        positions=np.array(pos, float) * half,
+        velocities=np.zeros((len(pos), 3)),
+        charges=np.array(q),
+        type_indices=np.array(ti),
+        topology=Topology(),
+        forcefield=ff,
+        box=np.array([2 * ncell * half] * 3),
+    )
+    res = compute_ewald(system, EwaldOptions(cutoff=5.6, kmax=10))
+    n = system.n_atoms
+    madelung = -res.energy * half / (COULOMB_CONSTANT * (n / 2))
+    print(f"ions: {n}; Ewald energy {res.energy:.3f} kcal/mol")
+    print(f"Madelung constant: {madelung:.6f}  (literature: 1.747565)\n")
+
+
+def cutoff_vs_ewald() -> None:
+    print("=== 2. Water box: cutoff electrostatics vs exact Ewald ===")
+    system = small_water_box(125, seed=9)
+    exact = compute_ewald(system, EwaldOptions(cutoff=7.0, kmax=8))
+    print(f"{'scheme':>28} {'elec energy (kcal/mol)':>24}")
+    print(f"{'Ewald (exact)':>28} {exact.energy:>24.2f}")
+    for cutoff in (6.0, 7.0, 7.2):
+        cut = compute_nonbonded(system, NonbondedOptions(cutoff=cutoff))
+        print(f"{f'shifted cutoff {cutoff:.1f} Å':>28} {cut.energy_elec:>24.2f}")
+    print(
+        "\nThe shifted cutoff deviates from the exact periodic sum, and the"
+        "\nerror moves with the cutoff choice — that gap is what PME-style"
+        "\ngrid components recover; the paper's parallelization applies"
+        "\nunchanged to the atom-based part."
+    )
+
+
+if __name__ == "__main__":
+    madelung_demo()
+    cutoff_vs_ewald()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Multiple timestepping (extension; paper §1 mentions MTS as standard
+practice with full electrostatics).
+
+Runs the same water box with plain velocity Verlet and with the impulse
+r-RESPA integrator at several inner-step counts, reporting energy drift and
+the non-bonded work saved — the practical trade MTS offers.
+
+Run:  python examples/mts_demo.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.builder import small_water_box
+from repro.md.mts import MTSEngine
+from repro.md.nonbonded import NonbondedOptions
+
+TOTAL_FS = 24.0
+DT = 0.5
+
+
+def run_mts(n_inner: int):
+    system = small_water_box(125, seed=9).copy()
+    system.assign_velocities(300.0, seed=4)
+    engine = MTSEngine(
+        system,
+        dt=DT,
+        n_inner=n_inner,
+        options=NonbondedOptions(cutoff=7.0, switch_dist=6.0),
+    )
+    n_outer = int(TOTAL_FS / (DT * n_inner))
+    t0 = time.perf_counter()
+    reports = engine.run(n_outer)
+    wall = time.perf_counter() - t0
+    totals = np.array([r.total for r in reports])
+    drift = abs(totals[-1] - totals[0]) / abs(totals[0])
+    return drift, wall, engine.nonbonded_evaluations_saved
+
+
+def main() -> None:
+    print(f"{TOTAL_FS:.0f} fs of water dynamics at dt={DT} fs (125 waters)\n")
+    print(f"{'inner steps':>12} {'energy drift':>13} {'NB evals saved':>15} "
+          f"{'wall (s)':>9}")
+    for n_inner in (1, 2, 4):
+        drift, wall, saved = run_mts(n_inner)
+        print(f"{n_inner:>12} {drift:>13.2e} {saved:>14.0%} {wall:>9.2f}")
+    print(
+        "\nLarger inner-step counts skip non-bonded evaluations (the 80%+"
+        "\ncost component) at modest energy-drift cost, until resonance"
+        "\nlimits bite — the standard MTS trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Physical sanity of the MD engine: liquid-water structure and dynamics.
+
+Runs NVE water with the sequential engine, then computes the standard
+observables: the O-O radial distribution function (first peak near 2.8 Å
+for liquid water), mean squared displacement, and the velocity
+autocorrelation function.
+
+Run:  python examples/water_structure.py
+"""
+
+import numpy as np
+
+from repro.builder import small_water_box
+from repro.md.engine import SequentialEngine
+from repro.md.integrator import VelocityVerlet
+from repro.md.nonbonded import NonbondedOptions
+from repro.md.observables import (
+    mean_squared_displacement,
+    radial_distribution,
+    velocity_autocorrelation,
+)
+
+
+def main() -> None:
+    system = small_water_box(216, seed=7)
+    system.assign_velocities(300.0, seed=1)
+    engine = SequentialEngine(
+        system, NonbondedOptions(cutoff=8.0, switch_dist=7.0), VelocityVerlet(dt=1.0)
+    )
+
+    positions, velocities = [], []
+    for step in range(30):
+        engine.step()
+        if step % 3 == 0:
+            positions.append(system.positions.copy())
+            velocities.append(system.velocities.copy())
+
+    oxygens = np.flatnonzero(
+        system.type_indices == system.forcefield.atom_type_index("OT")
+    )
+    r, g = radial_distribution(
+        system.positions, system.box, r_max=system.box.min() / 2 * 0.99,
+        n_bins=40, subset=oxygens,
+    )
+    print("O-O radial distribution function:")
+    peak = 0.0
+    for ri, gi in zip(r, g):
+        bar = "#" * int(round(18 * gi))
+        print(f"  r={ri:5.2f} Å  g={gi:5.2f} |{bar}")
+        if gi > peak:
+            peak, peak_r = gi, ri
+    print(f"first peak: g={peak:.2f} at r={peak_r:.2f} Å "
+          "(liquid water: ~2.8 Å)\n")
+
+    msd = mean_squared_displacement(positions)
+    vacf = velocity_autocorrelation(velocities)
+    print("frame   MSD (Å²)   VACF")
+    for f, (m, c) in enumerate(zip(msd, vacf)):
+        print(f"{f:>5} {m:>10.4f} {c:>6.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs fail; this shim lets ``pip install -e .`` fall back
+to the classic ``setup.py develop`` path (``--no-use-pep517`` is applied
+automatically by older pips, or pass it explicitly).  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""Analysis of simulated runs: the paper's tables and figures.
+
+* :mod:`repro.analysis.audit` — the Table 1 performance audit
+  (ideal vs. actual per-step time decomposition),
+* :mod:`repro.analysis.grainsize` — Figures 1–2 grainsize histograms,
+* :mod:`repro.analysis.timeline` — Figures 3–4 Projections-style timeline
+  views rendered as text,
+* :mod:`repro.analysis.speedup` — Tables 2–6 scaling sweeps and formatting.
+"""
+
+from repro.analysis.audit import PerformanceAudit, performance_audit
+from repro.analysis.grainsize import (
+    grainsize_histogram,
+    histogram_from_descriptors,
+    format_histogram,
+)
+from repro.analysis.timeline import render_timeline
+from repro.analysis.speedup import ScalingRow, scaling_sweep, format_scaling_table
+from repro.analysis.utilization import (
+    UtilizationProfile,
+    utilization_profile,
+    format_utilization,
+)
+
+__all__ = [
+    "PerformanceAudit",
+    "performance_audit",
+    "grainsize_histogram",
+    "histogram_from_descriptors",
+    "format_histogram",
+    "render_timeline",
+    "ScalingRow",
+    "scaling_sweep",
+    "format_scaling_table",
+    "UtilizationProfile",
+    "utilization_profile",
+    "format_utilization",
+]

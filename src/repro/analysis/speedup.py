@@ -1,0 +1,102 @@
+"""Scaling sweeps and table formatting (Tables 2–6).
+
+Each paper table lists processors / time-per-step / speedup / GFLOPS for one
+(molecule, machine) pair.  :func:`scaling_sweep` runs the full simulation at
+every processor count against a shared :class:`DecomposedProblem`;
+:func:`format_scaling_table` prints the same columns as the paper.
+
+Speedup baselines follow the paper's conventions: relative to one processor
+normally, but "scaled relative to the speedup on two processors = 2.0" for
+BC1 (too big for one node) and to four processors for ApoA-I on the T3E —
+handled via ``baseline_procs``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.problem import DecomposedProblem
+from repro.core.simulation import (
+    ParallelSimulation,
+    SimulationConfig,
+    SimulationResult,
+)
+
+__all__ = ["ScalingRow", "scaling_sweep", "format_scaling_table"]
+
+
+@dataclass
+class ScalingRow:
+    """One row of a scaling table."""
+
+    procs: int
+    time_per_step: float
+    speedup: float
+    gflops: float
+    imbalance_ratio: float
+    result: SimulationResult
+
+
+def scaling_sweep(
+    problem: DecomposedProblem,
+    base_config: SimulationConfig,
+    proc_counts: list[int],
+    baseline_procs: int = 1,
+) -> list[ScalingRow]:
+    """Run the simulation at each processor count; returns table rows.
+
+    The speedup column is normalized so the ``baseline_procs`` row reads
+    exactly ``baseline_procs`` (the paper's convention for systems too large
+    to run on one processor).
+    """
+    rows: list[ScalingRow] = []
+    results: dict[int, SimulationResult] = {}
+    for procs in proc_counts:
+        cfg = replace(base_config, n_procs=procs)
+        sim = ParallelSimulation(problem.system, cfg, problem=problem)
+        results[procs] = sim.run()
+
+    if baseline_procs in results:
+        base_time = results[baseline_procs].time_per_step * baseline_procs
+    else:
+        base_time = results[proc_counts[0]].sequential_reference_s
+
+    for procs in proc_counts:
+        res = results[procs]
+        rows.append(
+            ScalingRow(
+                procs=procs,
+                time_per_step=res.time_per_step,
+                speedup=base_time / res.time_per_step,
+                gflops=res.gflops,
+                imbalance_ratio=res.final.stats["imbalance_ratio"],
+                result=res,
+            )
+        )
+    return rows
+
+
+def format_scaling_table(
+    rows: list[ScalingRow],
+    title: str = "",
+    paper_speedups: dict[int, float] | None = None,
+) -> str:
+    """Text table in the layout of Tables 2–6 (optionally with the paper's
+    published speedups side by side)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'Procs':>6} {'Time (s/step)':>14} {'Speedup':>9} {'GFLOPS':>8}"
+    if paper_speedups:
+        header += f" {'Paper speedup':>14}"
+    lines.append(header)
+    for row in rows:
+        line = (
+            f"{row.procs:>6} {row.time_per_step:>14.4g} "
+            f"{row.speedup:>9.1f} {row.gflops:>8.3g}"
+        )
+        if paper_speedups:
+            ref = paper_speedups.get(row.procs)
+            line += f" {ref:>14.1f}" if ref is not None else f" {'-':>14}"
+        lines.append(line)
+    return "\n".join(lines)

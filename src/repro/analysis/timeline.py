@@ -1,0 +1,71 @@
+"""Projections-style timeline views (Figures 3 and 4).
+
+"Figure 3, obtained via Projections, shows this effect clearly, with
+time-lines for a few processors, in an 'Upshot'-style diagram.  Each
+rectangle on a processor's line represents an asynchronous method execution
+(or task)."
+
+Rendered as text: one row per processor, one character per time slot,
+with the category coded as ``N`` (non-bonded), ``B`` (bonded), ``I``
+(integration), ``p`` (proxy handling) and ``.`` (idle).  The before/after
+multicast comparison (Figure 3 vs 4) shows the integration blocks
+shortening and the idle gaps on compute-only processors closing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.runtime.trace import TraceLog
+
+__all__ = ["render_timeline", "CATEGORY_CODES"]
+
+CATEGORY_CODES = {
+    "integration": "I",
+    "nonbonded": "N",
+    "bonded": "B",
+    "proxy": "p",
+}
+
+
+def render_timeline(
+    trace: TraceLog,
+    procs: list[int],
+    t0: float,
+    t1: float,
+    width: int = 100,
+) -> str:
+    """Render the ``[t0, t1)`` window of selected processors.
+
+    Each of the ``width`` character slots covers ``(t1-t0)/width`` seconds;
+    a slot shows the category occupying the majority of it.
+    """
+    if t1 <= t0:
+        raise ValueError("empty time window")
+    slot = (t1 - t0) / width
+    lines = [
+        f"timeline {t0 * 1e3:.2f}..{t1 * 1e3:.2f} ms "
+        f"({slot * 1e6:.0f} us/char)  I=integration N=nonbonded B=bonded p=proxy"
+    ]
+    for proc in procs:
+        occupancy = np.zeros((width, len(CATEGORY_CODES)))
+        codes = list(CATEGORY_CODES)
+        for rec in trace.proc_timeline(proc):
+            if rec.end <= t0 or rec.start >= t1 or rec.category not in CATEGORY_CODES:
+                continue
+            ci = codes.index(rec.category)
+            lo = max(int((rec.start - t0) / slot), 0)
+            hi = min(int(np.ceil((rec.end - t0) / slot)), width)
+            for s in range(lo, hi):
+                s0, s1 = t0 + s * slot, t0 + (s + 1) * slot
+                overlap = min(rec.end, s1) - max(rec.start, s0)
+                if overlap > 0:
+                    occupancy[s, ci] += overlap
+        row = []
+        for s in range(width):
+            if occupancy[s].sum() < 0.5 * slot:
+                row.append(".")
+            else:
+                row.append(CATEGORY_CODES[codes[int(np.argmax(occupancy[s]))]])
+        lines.append(f"P{proc:<5}|{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""The paper's greedy initial load-balancing strategy (§3.2, verbatim):
+
+    * Select the biggest (longest-executing) compute object.
+    * Select a destination processor for the compute object such that:
+        - Adding this compute object will not overload the processor much
+          (an overload threshold permits some overload).
+        - The compute object will utilize as many home patches as possible.
+        - The assignment will create as few new proxy patches as possible.
+        - Among multiple processors selected by the above criteria, select
+          the least loaded processor as the destination processor.
+    * Assign the compute object to the selected processor
+        - Add the compute object load to the processor's total load
+        - Record the creation of new proxies, so that future compute
+          objects may also use the proxy.
+    * Repeat until all compute objects are assigned.
+
+The candidate set examined per object is the processors already holding at
+least one of the object's patches (home or proxy) plus the globally
+least-loaded processor — any other processor scores zero on the patch/proxy
+criteria and cannot beat the least-loaded one, so the restriction is exact,
+not a heuristic, and keeps the strategy fast at 2048 processors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.balancer.problem import LBProblem
+
+__all__ = ["greedy_strategy"]
+
+#: "an overload threshold permits some overload"
+DEFAULT_OVERLOAD = 0.10
+
+
+def greedy_strategy(
+    problem: LBProblem, overload_threshold: float = DEFAULT_OVERLOAD
+) -> dict[int, int]:
+    """Compute a fresh placement for every migratable compute object."""
+    n_procs = problem.n_procs
+    loads = problem.background.astype(np.float64).copy()
+    avg = problem.average_load()
+    limit = avg * (1.0 + overload_threshold)
+
+    # patch availability: home patches + pre-existing proxies, extended as
+    # assignments create proxies
+    procs_with_patch: dict[int, set[int]] = defaultdict(set)
+    for patch, proc in problem.patch_home.items():
+        procs_with_patch[patch].add(proc)
+    for patch, proc in problem.existing_proxies:
+        procs_with_patch[patch].add(proc)
+
+    placement: dict[int, int] = {}
+    for item in sorted(problem.computes, key=lambda c: -c.load):
+        candidates = set()
+        for patch in item.patches:
+            candidates.update(procs_with_patch[patch])
+        least = int(np.argmin(loads))
+        candidates.add(least)
+
+        # an assignment is never "overloading" when even the least-loaded
+        # processor would end up at that load — without this, any object
+        # bigger than the average (common at large P) would defeat the
+        # patch/proxy criteria entirely
+        effective_limit = max(limit, float(loads[least]) + item.load)
+
+        best_proc = -1
+        best_key: tuple | None = None
+        for proc in candidates:
+            if loads[proc] + item.load > effective_limit:
+                continue
+            home_hits = sum(
+                1 for patch in item.patches if problem.patch_home.get(patch) == proc
+            )
+            new_proxies = sum(
+                1
+                for patch in item.patches
+                if proc not in procs_with_patch[patch]
+            )
+            # maximize home hits, minimize new proxies, minimize load
+            key = (-home_hits, new_proxies, loads[proc])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_proc = proc
+        if best_proc < 0:
+            # every candidate would overload: fall back to least loaded
+            best_proc = int(np.argmin(loads))
+
+        placement[item.index] = best_proc
+        loads[best_proc] += item.load
+        for patch in item.patches:
+            procs_with_patch[patch].add(best_proc)
+    return placement

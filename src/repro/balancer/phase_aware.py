@@ -1,0 +1,110 @@
+"""Phase-aware load balancing (the paper's §5 future-work item).
+
+"Further progress on improving scalability will require strategies that
+consider the dependency chains, and load-balance within distinct phases of
+a single time step."
+
+A timestep is not one flat pool of work: self computes and bonded intra
+objects can fire as soon as their *single* home patch distributes positions
+(the early phase), while pair computes must wait for a second patch's data
+to cross the network (the late phase).  A placement that is balanced in
+total but piles one processor's share into the same phase still stalls the
+critical path.
+
+This strategy partitions compute objects by phase — objects needing one
+patch vs. objects needing several — and runs the paper's greedy criteria
+*within each phase*, carrying the accumulated per-processor load across
+phases so the total stays balanced too.  Late-phase (multi-patch) objects
+are placed first because they sit deeper in the dependency chain and their
+placement determines the proxy pattern; early-phase objects then fill the
+remaining capacity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.balancer.greedy import DEFAULT_OVERLOAD
+from repro.balancer.problem import LBProblem
+
+__all__ = ["phase_aware_strategy"]
+
+
+def _phase_of(patches: tuple[int, ...]) -> int:
+    """0 = late phase (multi-patch, waits on communication), 1 = early."""
+    return 0 if len(patches) > 1 else 1
+
+
+def phase_aware_strategy(
+    problem: LBProblem, overload_threshold: float = DEFAULT_OVERLOAD
+) -> dict[int, int]:
+    """Greedy placement balanced per dependency phase.
+
+    Within each phase the per-processor *phase load* may not exceed the
+    phase average by more than the overload threshold (subject to the same
+    feasibility relaxation as the global greedy), while candidate scoring
+    keeps the paper's patch/proxy criteria.
+    """
+    n_procs = problem.n_procs
+    total_loads = problem.background.astype(np.float64).copy()
+
+    procs_with_patch: dict[int, set[int]] = defaultdict(set)
+    for patch, proc in problem.patch_home.items():
+        procs_with_patch[patch].add(proc)
+    for patch, proc in problem.existing_proxies:
+        procs_with_patch[patch].add(proc)
+
+    by_phase: dict[int, list] = defaultdict(list)
+    for item in problem.computes:
+        by_phase[_phase_of(item.patches)].append(item)
+
+    placement: dict[int, int] = {}
+    for phase in sorted(by_phase):  # late phase (0) first
+        items = by_phase[phase]
+        phase_loads = np.zeros(n_procs)
+        phase_avg = sum(c.load for c in items) / n_procs
+        phase_limit = phase_avg * (1.0 + overload_threshold)
+
+        for item in sorted(items, key=lambda c: -c.load):
+            candidates = set()
+            for patch in item.patches:
+                candidates.update(procs_with_patch[patch])
+            least_total = int(np.argmin(total_loads))
+            least_phase = int(np.argmin(phase_loads))
+            candidates.add(least_total)
+            candidates.add(least_phase)
+
+            effective_phase_limit = max(
+                phase_limit, float(phase_loads[least_phase]) + item.load
+            )
+
+            best_proc = -1
+            best_key: tuple | None = None
+            for proc in candidates:
+                if phase_loads[proc] + item.load > effective_phase_limit:
+                    continue
+                home_hits = sum(
+                    1
+                    for patch in item.patches
+                    if problem.patch_home.get(patch) == proc
+                )
+                new_proxies = sum(
+                    1
+                    for patch in item.patches
+                    if proc not in procs_with_patch[patch]
+                )
+                key = (-home_hits, new_proxies, total_loads[proc])
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_proc = proc
+            if best_proc < 0:
+                best_proc = least_phase
+
+            placement[item.index] = best_proc
+            phase_loads[best_proc] += item.load
+            total_loads[best_proc] += item.load
+            for patch in item.patches:
+                procs_with_patch[patch].add(best_proc)
+    return placement

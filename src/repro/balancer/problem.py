@@ -1,0 +1,84 @@
+"""The strategy-facing problem description.
+
+A strategy sees exactly what the paper's centralized strategies see after
+the framework gathers the database on one processor: per-object loads (from
+measurement or, before the first measurement, from the cost model),
+per-processor background load from non-migratable work, the home processor
+of every patch, and which proxies already exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ComputeItem", "LBProblem", "placement_stats"]
+
+
+@dataclass
+class ComputeItem:
+    """One migratable compute object as the balancer sees it."""
+
+    index: int  # stable descriptor index
+    load: float  # per-step execution time
+    patches: tuple[int, ...]  # patches whose data it needs
+    proc: int  # current processor
+
+
+@dataclass
+class LBProblem:
+    """Everything a strategy may consult."""
+
+    n_procs: int
+    computes: list[ComputeItem]
+    #: per-processor non-migratable load (integration, inter-patch bonded
+    #: work, proxy handling) — the paper's "background load"
+    background: np.ndarray
+    #: home processor of each patch
+    patch_home: dict[int, int]
+    #: (patch, proc) pairs where a proxy already exists (e.g. required by
+    #: non-migratable computes); strategies may use these for free
+    existing_proxies: set[tuple[int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.background = np.asarray(self.background, dtype=np.float64)
+        if self.background.shape != (self.n_procs,):
+            raise ValueError("background load must have one entry per processor")
+
+    def patch_available(self, patch: int, proc: int) -> bool:
+        """True when ``patch`` data is already on ``proc`` (home or proxy)."""
+        return self.patch_home.get(patch) == proc or (patch, proc) in self.existing_proxies
+
+    def average_load(self) -> float:
+        """Mean per-processor load if migratables were spread perfectly."""
+        total = float(self.background.sum()) + sum(c.load for c in self.computes)
+        return total / self.n_procs
+
+
+def placement_stats(
+    problem: LBProblem, placement: dict[int, int]
+) -> dict[str, float]:
+    """Quality metrics of a placement: max/avg load, imbalance, proxy count.
+
+    ``placement`` maps compute index → processor.  Proxies are counted the
+    way the runtime will create them: one per (patch, proc) with a compute
+    needing the patch away from its home processor (plus pre-existing ones).
+    """
+    loads = problem.background.copy()
+    proxies: set[tuple[int, int]] = set(problem.existing_proxies)
+    for c in problem.computes:
+        proc = placement.get(c.index, c.proc)
+        loads[proc] += c.load
+        for patch in c.patches:
+            if problem.patch_home.get(patch) != proc:
+                proxies.add((patch, proc))
+    max_load = float(loads.max())
+    avg_load = float(loads.mean())
+    return {
+        "max_load": max_load,
+        "avg_load": avg_load,
+        "imbalance": max_load - avg_load,
+        "imbalance_ratio": max_load / avg_load if avg_load > 0 else 1.0,
+        "n_proxies": float(len(proxies)),
+    }

@@ -1,0 +1,88 @@
+"""Recursive coordinate bisection for initial patch placement (paper §3.2).
+
+"When a simulation begins, patches are distributed according to a recursive
+coordinate bisection scheme, so that each processor receives a number of
+neighboring patches.  When there are more processors than patches, this
+method reduces to a simple round-robin distribution."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recursive_coordinate_bisection"]
+
+
+def recursive_coordinate_bisection(
+    coords: np.ndarray, weights: np.ndarray, n_procs: int
+) -> np.ndarray:
+    """Assign weighted points to processors by recursive bisection.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 3)`` point coordinates (patch grid coordinates or centers).
+    weights:
+        ``(n,)`` non-negative work weights (atom counts).
+    n_procs:
+        Processor count; need not be a power of two — the split ratio
+        follows the processor split.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` processor index per point, in ``0..n_procs-1``.
+
+    With more processors than points the scheme degenerates to spreading
+    points evenly over the processor range (the paper's round-robin case),
+    leaving the remaining processors patchless.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    n = len(coords)
+    if coords.shape != (n, 3):
+        raise ValueError("coords must be (n, 3)")
+    if weights.shape != (n,):
+        raise ValueError("weights must be (n,)")
+    if n_procs < 1:
+        raise ValueError("need at least one processor")
+    result = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return result
+    if n_procs >= n:
+        # evenly spread points across the processor range
+        result[:] = (np.arange(n) * n_procs) // n
+        return result
+    _rcb(coords, weights, np.arange(n), 0, n_procs, result)
+    return result
+
+
+def _rcb(
+    coords: np.ndarray,
+    weights: np.ndarray,
+    items: np.ndarray,
+    proc0: int,
+    n_procs: int,
+    result: np.ndarray,
+) -> None:
+    if n_procs == 1 or len(items) <= 1:
+        result[items] = proc0
+        # more processors than items in this branch: spread what we have
+        if n_procs > 1 and len(items) > 1:
+            result[items] = proc0 + (np.arange(len(items)) * n_procs) // len(items)
+        return
+    pts = coords[items]
+    spans = pts.max(axis=0) - pts.min(axis=0)
+    axis = int(np.argmax(spans))
+    order = items[np.argsort(pts[:, axis], kind="stable")]
+
+    left_procs = n_procs // 2
+    right_procs = n_procs - left_procs
+    target = weights[order].sum() * (left_procs / n_procs)
+    cum = np.cumsum(weights[order])
+    # split at the weight boundary closest to the target, keeping both
+    # halves non-empty
+    split = int(np.searchsorted(cum, target))
+    split = max(1, min(split, len(order) - 1))
+    _rcb(coords, weights, order[:split], proc0, left_procs, result)
+    _rcb(coords, weights, order[split:], proc0 + left_procs, right_procs, result)

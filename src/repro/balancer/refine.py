@@ -1,0 +1,93 @@
+"""The paper's refinement strategy (§3.2):
+
+"Immediately after assigning the compute objects with this strategy, a
+refinement algorithm further reduces the load imbalance, by tolerating the
+creation of additional proxy patches.  The refinement algorithm is almost
+identical to the initial procedure, except that the overload threshold is
+smaller, only compute objects from overloaded processors are considered for
+migration, and only underloaded processors are considered as destinations."
+
+Refinement also runs alone on later LB cycles ("This time, only the
+refinement procedure is used, resulting in only a few additional object
+migrations").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.balancer.problem import LBProblem
+
+__all__ = ["refine_strategy"]
+
+#: tighter threshold than the greedy pass
+DEFAULT_OVERLOAD = 0.03
+
+
+def refine_strategy(
+    problem: LBProblem, overload_threshold: float = DEFAULT_OVERLOAD
+) -> dict[int, int]:
+    """Move objects off overloaded processors; returns the *full* placement
+    map (unmoved objects keep their current processor)."""
+    n_procs = problem.n_procs
+    loads = problem.background.astype(np.float64).copy()
+    on_proc: dict[int, list] = defaultdict(list)
+    for item in problem.computes:
+        loads[item.proc] += item.load
+        on_proc[item.proc].append(item)
+
+    avg = problem.average_load()
+    limit = avg * (1.0 + overload_threshold)
+
+    procs_with_patch: dict[int, set[int]] = defaultdict(set)
+    for patch, proc in problem.patch_home.items():
+        procs_with_patch[patch].add(proc)
+    for patch, proc in problem.existing_proxies:
+        procs_with_patch[patch].add(proc)
+    for item in problem.computes:
+        for patch in item.patches:
+            procs_with_patch[patch].add(item.proc)
+
+    placement = {item.index: item.proc for item in problem.computes}
+
+    overloaded = sorted(
+        (p for p in range(n_procs) if loads[p] > limit),
+        key=lambda p: -loads[p],
+    )
+    for proc in overloaded:
+        # biggest objects first, as in the greedy pass
+        movable = sorted(on_proc[proc], key=lambda c: -c.load)
+        for item in movable:
+            if loads[proc] <= limit:
+                break
+            best_proc = -1
+            best_key: tuple | None = None
+            for dest in _underloaded(loads, avg):
+                if loads[dest] + item.load > limit:
+                    continue
+                home_hits = sum(
+                    1 for patch in item.patches if problem.patch_home.get(patch) == dest
+                )
+                new_proxies = sum(
+                    1 for patch in item.patches if dest not in procs_with_patch[patch]
+                )
+                key = (-home_hits, new_proxies, loads[dest])
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_proc = dest
+            if best_proc < 0:
+                continue
+            placement[item.index] = best_proc
+            loads[proc] -= item.load
+            loads[best_proc] += item.load
+            for patch in item.patches:
+                procs_with_patch[patch].add(best_proc)
+    return placement
+
+
+def _underloaded(loads: np.ndarray, avg: float) -> list[int]:
+    """Processors below the average load, least-loaded first."""
+    below = np.flatnonzero(loads < avg)
+    return below[np.argsort(loads[below])].tolist()

@@ -1,0 +1,84 @@
+"""Baseline strategies and the strategy registry.
+
+"The strategies themselves are independent of the framework and can be
+plugged in and out easily" (§2.2).  Besides the paper's greedy/refine pair
+we provide baselines used by the ablation benchmarks:
+
+* ``keep`` — no load balancing (objects stay where static placement put
+  them): the paper's observation that patchless processors then do nothing,
+* ``random`` — communication- and load-oblivious scatter,
+* ``round_robin`` — load-oblivious but even object counts,
+* ``greedy_load_only`` — balances load while ignoring communication
+  (maximizing proxies), isolating the value of the paper's proxy-aware
+  criteria.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.balancer.diffusion import diffusion_strategy
+from repro.balancer.greedy import greedy_strategy
+from repro.balancer.phase_aware import phase_aware_strategy
+from repro.balancer.problem import LBProblem
+from repro.balancer.refine import refine_strategy
+from repro.util.rng import make_rng
+
+__all__ = [
+    "STRATEGIES",
+    "keep_strategy",
+    "random_strategy",
+    "round_robin_strategy",
+    "greedy_load_only_strategy",
+]
+
+Strategy = Callable[[LBProblem], dict[int, int]]
+
+
+def keep_strategy(problem: LBProblem) -> dict[int, int]:
+    """Leave every object where it is."""
+    return {item.index: item.proc for item in problem.computes}
+
+
+def random_strategy(problem: LBProblem, seed: int = 0) -> dict[int, int]:
+    """Uniformly random placement (ablation baseline)."""
+    rng = make_rng(seed)
+    return {
+        item.index: int(rng.integers(problem.n_procs)) for item in problem.computes
+    }
+
+
+def round_robin_strategy(problem: LBProblem) -> dict[int, int]:
+    """Cyclic placement by descending load (even counts, uneven loads)."""
+    ordered = sorted(problem.computes, key=lambda c: -c.load)
+    return {item.index: i % problem.n_procs for i, item in enumerate(ordered)}
+
+
+def greedy_load_only_strategy(problem: LBProblem) -> dict[int, int]:
+    """Largest-first onto least-loaded processor, ignoring communication.
+
+    The classic LPT bin-balancing heuristic: near-perfect load balance but
+    no locality, so every assignment tends to need fresh proxies — the
+    counterpoint motivating the paper's criteria 2 and 3.
+    """
+    loads = problem.background.astype(np.float64).copy()
+    placement: dict[int, int] = {}
+    for item in sorted(problem.computes, key=lambda c: -c.load):
+        proc = int(np.argmin(loads))
+        placement[item.index] = proc
+        loads[proc] += item.load
+    return placement
+
+
+STRATEGIES: dict[str, Strategy] = {
+    "keep": keep_strategy,
+    "random": random_strategy,
+    "round_robin": round_robin_strategy,
+    "greedy_load_only": greedy_load_only_strategy,
+    "greedy": greedy_strategy,
+    "refine": refine_strategy,
+    "diffusion": diffusion_strategy,
+    "phase_aware": phase_aware_strategy,
+}

@@ -1,0 +1,37 @@
+"""Baseline parallelization schemes (paper §3).
+
+"Many existing implementations of parallel molecular dynamics use atom
+replication or atom decomposition techniques.  Although these techniques
+allow relatively easy porting of existing sequential codes, they can be
+shown to be theoretically non-scalable: as the number of processors
+increases, the communication to computation ratio also increases, even if
+the problem size is arbitrarily increased.  More sophisticated strategies,
+which are variants of force decomposition are also non-scalable in this
+sense, although in practice they may lead to reasonable speedups on
+medium-size computers (up to 128 processors).  Spatial decomposition
+schemes ... are shown to be theoretically scalable."
+
+Each scheme here is modeled at the same message/overhead fidelity as the
+full NAMD simulation (same machine models, same cost model), exposing the
+predicted per-step time and the communication/computation ratio whose trend
+with P decides theoretical scalability.  The ablation benchmark A1 plots
+these side by side with the hybrid simulation.
+"""
+
+from repro.baselines.schemes import (
+    DecompositionModel,
+    AtomReplicationModel,
+    AtomDecompositionModel,
+    ForceDecompositionModel,
+    SpatialDecompositionModel,
+    BASELINE_MODELS,
+)
+
+__all__ = [
+    "DecompositionModel",
+    "AtomReplicationModel",
+    "AtomDecompositionModel",
+    "ForceDecompositionModel",
+    "SpatialDecompositionModel",
+    "BASELINE_MODELS",
+]

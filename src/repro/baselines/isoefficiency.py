@@ -1,0 +1,77 @@
+"""Isoefficiency analysis of the decomposition schemes (paper §3, ref [9]).
+
+The paper's scalability claim is formally an *isoefficiency* statement: a
+scheme is scalable iff, to hold parallel efficiency constant as processors
+are added, the problem size needs to grow only moderately (ideally linearly
+in P).  A non-scalable scheme needs super-linear growth — or cannot reach
+the target efficiency at any size (atom replication: per-processor
+communication is Θ(N), so efficiency is capped regardless of N).
+
+:func:`isoefficiency_atoms` inverts the closed-form models of
+:mod:`repro.baselines.schemes` numerically: the smallest atom count N such
+that ``efficiency(N, P) >= target``.  The benchmark/ablation uses the
+resulting growth curves to verify the ordering the paper asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.schemes import DecompositionModel
+from repro.runtime.machine import MachineModel
+
+__all__ = ["isoefficiency_atoms", "efficiency"]
+
+#: Per-atom sequential work (reference seconds), from the ApoA-I anchor:
+#: 57.04 s / 92,224 atoms.
+WORK_PER_ATOM_S = 57.04 / 92_224
+
+#: ApoA-I's atom number density, atoms/Å^3 (uniform solvated system).
+DENSITY_ATOMS_PER_A3 = 92_224 / (108.86 * 108.86 * 77.76)
+
+
+def _model_for(scheme: type, n_atoms: int, machine: MachineModel) -> DecompositionModel:
+    from repro.baselines.schemes import SpatialDecompositionModel
+
+    work = WORK_PER_ATOM_S * n_atoms
+    if scheme is SpatialDecompositionModel:
+        return SpatialDecompositionModel(
+            n_atoms=n_atoms,
+            sequential_work_s=work,
+            machine=machine,
+            box_volume_A3=n_atoms / DENSITY_ATOMS_PER_A3,
+        )
+    return scheme(n_atoms=n_atoms, sequential_work_s=work, machine=machine)
+
+
+def efficiency(scheme: type, n_atoms: int, n_procs: int, machine: MachineModel) -> float:
+    """Parallel efficiency of ``scheme`` at ``(N, P)``: speedup / P."""
+    model = _model_for(scheme, n_atoms, machine)
+    return model.speedup(n_procs) / n_procs
+
+
+def isoefficiency_atoms(
+    scheme: type,
+    n_procs: int,
+    machine: MachineModel,
+    target_efficiency: float = 0.5,
+    n_max: int = 10**9,
+) -> int | None:
+    """Smallest atom count reaching ``target_efficiency`` on ``n_procs``.
+
+    Returns ``None`` when even ``n_max`` atoms cannot reach the target —
+    the signature of a theoretically non-scalable scheme whose
+    communication grows as fast as its computation.
+    """
+    lo, hi = 100, n_max
+    if efficiency(scheme, hi, n_procs, machine) < target_efficiency:
+        return None
+    if efficiency(scheme, lo, n_procs, machine) >= target_efficiency:
+        return lo
+    while hi - lo > max(1, lo // 100):
+        mid = (lo + hi) // 2
+        if efficiency(scheme, mid, n_procs, machine) >= target_efficiency:
+            hi = mid
+        else:
+            lo = mid
+    return hi

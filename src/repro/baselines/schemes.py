@@ -1,0 +1,183 @@
+"""Analytic performance models of the classic MD parallelization schemes.
+
+All models share the notation:
+
+* ``N`` — atom count, ``P`` — processors,
+* ``W`` — sequential per-step compute time (from the calibrated cost
+  model), assumed perfectly divisible,
+* machine parameters from :class:`repro.runtime.machine.MachineModel`,
+* ``bytes_per_atom`` — wire size of one atom's coordinates or forces.
+
+Each model provides ``step_time(P)`` (modeled seconds/step) and
+``comm_ratio(P)`` (communication / computation time); a scheme is
+*theoretically scalable* iff ``comm_ratio`` does not grow with ``P`` at
+fixed work per processor — the paper's §3 criterion (analyzed in detail in
+the NAMD2 paper [9]).
+
+====================  ========================  =====================
+Scheme                comm volume per proc      ratio trend (fixed N/P)
+====================  ========================  =====================
+atom replication      O(N)  (allgather all)     grows with P
+atom decomposition    O(N)  (positions of all)  grows with P
+force decomposition   O(N/sqrt(P))              grows like sqrt(P)
+spatial (cutoff)      O((N/P)^(2/3) + cutoff    bounded
+                      surface terms)
+====================  ========================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.machine import MachineModel
+
+__all__ = [
+    "DecompositionModel",
+    "AtomReplicationModel",
+    "AtomDecompositionModel",
+    "ForceDecompositionModel",
+    "SpatialDecompositionModel",
+    "BASELINE_MODELS",
+]
+
+_BYTES_PER_ATOM = 32.0
+
+
+@dataclass
+class DecompositionModel:
+    """Base: perfectly balanced computation + scheme-specific communication."""
+
+    n_atoms: int
+    sequential_work_s: float  # reference seconds; scaled by machine factor
+    machine: MachineModel
+
+    name = "abstract"
+
+    def compute_time(self, n_procs: int) -> float:
+        """Perfectly divided computation time at ``n_procs``."""
+        return self.sequential_work_s * self.machine.cpu_factor / n_procs
+
+    def comm_time(self, n_procs: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step_time(self, n_procs: int) -> float:
+        """Modeled seconds/step: compute + communication (no overlap —
+        these schemes, unlike the data-driven hybrid, synchronize globally)."""
+        if n_procs == 1:
+            return self.sequential_work_s * self.machine.cpu_factor
+        return self.compute_time(n_procs) + self.comm_time(n_procs)
+
+    def comm_ratio(self, n_procs: int) -> float:
+        """Communication / computation ratio (§3's scalability criterion)."""
+        if n_procs == 1:
+            return 0.0
+        return self.comm_time(n_procs) / self.compute_time(n_procs)
+
+    def speedup(self, n_procs: int) -> float:
+        """Modeled speedup over the single-processor time."""
+        return (self.sequential_work_s * self.machine.cpu_factor) / self.step_time(
+            n_procs
+        )
+
+    def _xfer(self, n_bytes: float, n_messages: float) -> float:
+        """Time to move ``n_bytes`` in ``n_messages`` (send CPU + wire)."""
+        m = self.machine
+        return (
+            n_messages * (m.send_overhead_s + m.recv_overhead_s + m.latency_s)
+            + n_bytes * (m.pack_per_byte_s + 1.0 / m.bandwidth_Bps)
+        )
+
+
+class AtomReplicationModel(DecompositionModel):
+    """Replicated data: every processor holds all atoms; forces are
+    all-reduced every step.  Per-processor communication is O(N log P) with
+    a tree allreduce — growing with P at any fixed N."""
+
+    name = "atom-replication"
+
+    def comm_time(self, n_procs: int) -> float:
+        rounds = np.ceil(np.log2(n_procs))
+        return self._xfer(
+            self.n_atoms * _BYTES_PER_ATOM * rounds, rounds
+        )
+
+
+class AtomDecompositionModel(DecompositionModel):
+    """Atom decomposition: each processor owns N/P atoms but needs all
+    positions (no spatial locality), i.e. an allgather of N coordinates."""
+
+    name = "atom-decomposition"
+
+    def comm_time(self, n_procs: int) -> float:
+        # allgather: receives (P-1) blocks of N/P atoms = ~N atoms total
+        blocks = n_procs - 1
+        return self._xfer(self.n_atoms * _BYTES_PER_ATOM, blocks)
+
+
+class ForceDecompositionModel(DecompositionModel):
+    """Plimpton-style force-matrix blocks: processor (i, j) needs the atom
+    rows i and columns j — two ring allgathers of N/sqrt(P) atoms along the
+    processor row and column, plus a fold (reduce-scatter) of forces.  Each
+    collective takes sqrt(P)-1 stages, which is the sqrt(P)-growing term
+    that makes the scheme theoretically non-scalable (§3)."""
+
+    name = "force-decomposition"
+
+    def comm_time(self, n_procs: int) -> float:
+        root = max(np.sqrt(n_procs), 1.0)
+        stages = 3.0 * max(root - 1.0, 1.0)  # 2 allgathers + 1 fold
+        atoms_moved = 3.0 * self.n_atoms / root
+        return self._xfer(atoms_moved * _BYTES_PER_ATOM, stages)
+
+
+class SpatialDecompositionModel(DecompositionModel):
+    """Pure spatial decomposition with cutoff: each processor owns a compact
+    region of ``N/P`` atoms and exchanges a shell of thickness ``cutoff``
+    with neighbors.  Communication per processor is bounded by the shell
+    volume — independent of P once the region is larger than the cutoff,
+    and bounded by the *whole* 26-neighborhood otherwise."""
+
+    name = "spatial-decomposition"
+
+    def __init__(
+        self,
+        n_atoms: int,
+        sequential_work_s: float,
+        machine: MachineModel,
+        box_volume_A3: float,
+        cutoff_A: float = 12.0,
+        density_atoms_per_A3: float | None = None,
+    ) -> None:
+        super().__init__(n_atoms, sequential_work_s, machine)
+        self.box_volume = float(box_volume_A3)
+        self.cutoff = float(cutoff_A)
+        self.density = (
+            density_atoms_per_A3
+            if density_atoms_per_A3 is not None
+            else n_atoms / box_volume_A3
+        )
+
+    def comm_time(self, n_procs: int) -> float:
+        region_volume = self.box_volume / n_procs
+        side = region_volume ** (1.0 / 3.0)
+        # shell of import: (side + 2 rc)^3 - side^3, clipped to whole box
+        shell_volume = min(
+            (side + 2.0 * self.cutoff) ** 3 - side**3, self.box_volume - region_volume
+        )
+        shell_volume = max(shell_volume, 0.0)
+        atoms_imported = self.density * shell_volume
+        messages = 26.0  # neighbor regions
+        return self._xfer(atoms_imported * _BYTES_PER_ATOM, messages)
+
+
+BASELINE_MODELS = {
+    m.name: m
+    for m in (
+        AtomReplicationModel,
+        AtomDecompositionModel,
+        ForceDecompositionModel,
+        SpatialDecompositionModel,
+    )
+}

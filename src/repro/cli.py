@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the benchmark specs and machine models.
+``md``
+    Run real sequential MD on a water box and print the energy ledger.
+``scaling``
+    Run the parallel simulation across processor counts and print a
+    Table-2-style scaling table.
+``audit``
+    Print a Table-1-style performance audit for one configuration.
+``grainsize``
+    Print Figure-1/2-style grainsize histograms (before/after splitting).
+
+The heavyweight paper systems (``apoa1``, ``bc1``) build in seconds to
+minutes; ``br`` and ``mini`` are fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+_SYSTEMS = ("mini", "br", "apoa1", "bc1")
+
+
+def _load_system(name: str):
+    from repro.builder.benchmarks import apoa1_like, bc1_like, br_like, mini_assembly
+
+    return {
+        "mini": mini_assembly,
+        "br": br_like,
+        "apoa1": apoa1_like,
+        "bc1": bc1_like,
+    }[name]()
+
+
+def _machine(name: str):
+    from repro.runtime.machine import MACHINES
+
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown machine {name!r}; choose from {sorted(MACHINES)}"
+        )
+
+
+def _build_problem(system):
+    from repro.core.problem import DecomposedProblem
+    from repro.core.simulation import DEFAULT_COST_MODEL
+
+    return DecomposedProblem.build(system, DEFAULT_COST_MODEL)
+
+
+def cmd_info(_args) -> int:
+    """Print the benchmark-system and machine-model inventory."""
+    from repro.builder.benchmarks import BENCHMARK_SPECS
+    from repro.runtime.machine import MACHINES
+
+    print("Benchmark systems (paper §4.2-4.3):")
+    for spec in BENCHMARK_SPECS.values():
+        g = spec.patch_grid
+        print(
+            f"  {spec.name:>6}: {spec.n_atoms:>8} atoms, "
+            f"{g[0]}x{g[1]}x{g[2]} patches at {spec.cutoff} A cutoff — "
+            f"{spec.description}"
+        )
+    print("\nMachine models:")
+    for m in MACHINES.values():
+        print(
+            f"  {m.name:>15}: cpu x{m.cpu_factor:<5} latency "
+            f"{m.latency_s * 1e6:.0f} us, bw {m.bandwidth_Bps / 1e6:.0f} MB/s, "
+            f"<= {m.max_procs} procs"
+        )
+    return 0
+
+
+def cmd_md(args) -> int:
+    """Run sequential MD on a water box and print the energy ledger."""
+    from repro.builder import small_water_box
+    from repro.md.engine import SequentialEngine
+    from repro.md.integrator import VelocityVerlet
+    from repro.md.nonbonded import NonbondedOptions
+
+    system = small_water_box(args.waters, seed=args.seed)
+    system.assign_velocities(args.temperature, seed=args.seed)
+    engine = SequentialEngine(
+        system,
+        NonbondedOptions(cutoff=args.cutoff),
+        VelocityVerlet(dt=args.dt),
+    )
+    print(f"{'step':>5} {'kinetic':>10} {'potential':>12} {'total':>12} {'T':>7}")
+    for rep in engine.run(args.steps):
+        print(
+            f"{rep.step:>5} {rep.kinetic:>10.2f} {rep.potential:>12.2f} "
+            f"{rep.total:>12.4f} {system.temperature():>7.1f}"
+        )
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    """Run a processor-count sweep and print the scaling table."""
+    from repro.analysis.speedup import format_scaling_table, scaling_sweep
+    from repro.core.simulation import SimulationConfig
+
+    system = _load_system(args.system)
+    problem = _build_problem(system)
+    procs = [int(p) for p in args.procs.split(",")]
+    cfg = SimulationConfig(n_procs=procs[0], machine=_machine(args.machine))
+    rows = scaling_sweep(problem, cfg, procs, baseline_procs=args.baseline)
+    print(
+        format_scaling_table(
+            rows, title=f"{args.system} on {args.machine} (simulated)"
+        )
+    )
+    return 0
+
+
+def cmd_audit(args) -> int:
+    """Run one configuration and print the Table-1-style audit."""
+    from repro.analysis.audit import performance_audit
+    from repro.core.simulation import ParallelSimulation, SimulationConfig
+
+    system = _load_system(args.system)
+    problem = _build_problem(system)
+    cfg = SimulationConfig(n_procs=args.procs, machine=_machine(args.machine))
+    result = ParallelSimulation(system, cfg, problem=problem).run()
+    print(performance_audit(result).format())
+    return 0
+
+
+def cmd_grainsize(args) -> int:
+    """Print grainsize histograms before/after pair splitting."""
+    from repro.analysis.grainsize import format_histogram, histogram_from_descriptors
+    from repro.core.computes import GrainsizeConfig, build_nonbonded_computes
+    from repro.core.decomposition import SpatialDecomposition
+    from repro.core.simulation import DEFAULT_COST_MODEL
+
+    system = _load_system(args.system)
+    decomposition = SpatialDecomposition(system, cutoff=12.0)
+    for split_pairs, title in ((False, "before pair splitting"),
+                               (True, "after pair splitting")):
+        descs = build_nonbonded_computes(
+            decomposition,
+            DEFAULT_COST_MODEL,
+            GrainsizeConfig(split_self=True, split_pairs=split_pairs),
+        )
+        print(format_histogram(histogram_from_descriptors(descs), title=title))
+        print()
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Concatenate every regenerated table/figure under benchmarks/results."""
+    from pathlib import Path
+
+    results = Path(args.results_dir)
+    files = sorted(results.glob("*.txt"))
+    if not files:
+        print(
+            f"no results in {results}; run `pytest benchmarks/` first",
+            file=sys.stderr,
+        )
+        return 1
+    for f in files:
+        print("=" * 72)
+        print(f"== {f.stem}")
+        print("=" * 72)
+        print(f.read_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC 2000 NAMD parallelization reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="benchmark and machine inventory")
+
+    p_rep = sub.add_parser(
+        "report", help="print all regenerated tables/figures from the bench run"
+    )
+    p_rep.add_argument(
+        "--results-dir", default="benchmarks/results",
+        help="directory of regenerated artifacts",
+    )
+
+    p_md = sub.add_parser("md", help="run sequential MD on a water box")
+    p_md.add_argument("--waters", type=int, default=216)
+    p_md.add_argument("--steps", type=int, default=20)
+    p_md.add_argument("--dt", type=float, default=1.0)
+    p_md.add_argument("--cutoff", type=float, default=8.0)
+    p_md.add_argument("--temperature", type=float, default=300.0)
+    p_md.add_argument("--seed", type=int, default=7)
+
+    p_sc = sub.add_parser("scaling", help="scaling table for one system")
+    p_sc.add_argument("--system", choices=_SYSTEMS, default="br")
+    p_sc.add_argument("--machine", default="ASCI-Red")
+    p_sc.add_argument("--procs", default="1,2,4,8,32,64,128,256")
+    p_sc.add_argument("--baseline", type=int, default=1)
+
+    p_au = sub.add_parser("audit", help="Table-1-style performance audit")
+    p_au.add_argument("--system", choices=_SYSTEMS, default="br")
+    p_au.add_argument("--machine", default="ASCI-Red")
+    p_au.add_argument("--procs", type=int, default=32)
+
+    p_gs = sub.add_parser("grainsize", help="Figure-1/2-style histograms")
+    p_gs.add_argument("--system", choices=_SYSTEMS, default="br")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": cmd_info,
+        "md": cmd_md,
+        "scaling": cmd_scaling,
+        "audit": cmd_audit,
+        "grainsize": cmd_grainsize,
+        "report": cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

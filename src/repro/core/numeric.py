@@ -1,0 +1,195 @@
+"""Numeric backend: real force evaluation inside the parallel protocol.
+
+For the paper's headline tables the chares carry modeled loads only (the
+systems are too large to integrate in Python in reasonable time, and only
+the *timing* is at stake).  For validation, however, the same chares can run
+in *numeric mode*: every compute object evaluates real forces on its slice of
+the system with the kernels from :mod:`repro.md`, and every home patch
+integrates its atoms with velocity Verlet.  Tests assert that one parallel
+force round reproduces :class:`repro.md.engine.SequentialEngine` exactly
+(to floating-point reordering) and that parallel NVE trajectories conserve
+energy — demonstrating the decomposition computes the right physics, not
+just the right message pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.bonded import (
+    compute_angles,
+    compute_bonds,
+    compute_dihedrals,
+    compute_impropers,
+)
+from repro.md.constants import ACC_CONVERSION
+from repro.md.nonbonded import NonbondedOptions, pair_interactions, _combined_params
+from repro.md.system import MolecularSystem
+from repro.util.pbc import minimum_image
+
+__all__ = ["NumericBackend"]
+
+_BONDED_KERNELS = {
+    "bond": compute_bonds,
+    "angle": compute_angles,
+    "dihedral": compute_dihedrals,
+    "improper": compute_impropers,
+}
+
+
+class NumericBackend:
+    """Shared arrays + kernels for numeric-mode chares.
+
+    The backend owns a private copy of the system (so the caller's system is
+    untouched), a global force accumulation buffer, and per-step energy
+    tallies.  Chares hold atom-index slices into these arrays; because a home
+    patch integrates its atoms only after every compute that reads them has
+    run, the shared buffers are race-free even though neighbouring patches
+    may be one step apart (the protocol's pipelining).
+    """
+
+    def __init__(
+        self,
+        system: MolecularSystem,
+        options: NonbondedOptions,
+        dt: float = 1.0,
+    ) -> None:
+        self.system = system.copy()
+        self.system.wrap()
+        self.options = options
+        self.dt = float(dt)
+        self.positions = self.system.positions
+        self.velocities = self.system.velocities
+        self.forces = np.zeros_like(self.positions)
+        self.masses = self.system.masses
+        self.exclusions = self.system.exclusions
+        self._keys14 = np.sort(
+            self.exclusions.pair_key(
+                self.exclusions.pairs14[:, 0], self.exclusions.pairs14[:, 1]
+            )
+        ) if len(self.exclusions.pairs14) else np.zeros(0, dtype=np.int64)
+        # per-step scalar energy tallies, keyed by step
+        self.energy_by_step: dict[int, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    def _tally(self, step: int, key: str, value: float) -> None:
+        bucket = self.energy_by_step.setdefault(
+            step, {"lj": 0.0, "elec": 0.0, "bonded": 0.0, "kinetic": 0.0}
+        )
+        bucket[key] += value
+
+    def energies(self, step: int) -> dict[str, float]:
+        """Energy tallies accumulated for ``step``."""
+        return dict(self.energy_by_step.get(step, {}))
+
+    # ------------------------------------------------------------------ #
+    def nonbonded(
+        self,
+        step: int,
+        atoms_a: np.ndarray,
+        atoms_b: np.ndarray | None,
+        part: int,
+        n_parts: int,
+    ) -> None:
+        """Evaluate a (possibly split) non-bonded compute and accumulate.
+
+        Rows of ``atoms_a`` are striped ``part::n_parts`` — the same
+        partitioning the descriptors used for load counting, so numeric and
+        timing modes agree on which object owns which pairs.
+        """
+        rows = atoms_a[part::n_parts]
+        if len(rows) == 0:
+            return
+        pos = self.positions
+        box = self.system.box
+        if atoms_b is None:
+            # self interactions: pairs (i, j) with j after i in the patch
+            # ordering, row-striped by i
+            cols = atoms_a
+            order = {int(a): k for k, a in enumerate(atoms_a)}
+            ii_list, jj_list = [], []
+            for a in rows:
+                k = order[int(a)]
+                if k + 1 < len(cols):
+                    js = cols[k + 1 :]
+                    ii_list.append(np.full(len(js), a, dtype=np.int64))
+                    jj_list.append(js)
+            if not ii_list:
+                return
+            ii = np.concatenate(ii_list)
+            jj = np.concatenate(jj_list)
+        else:
+            ii = np.repeat(rows, len(atoms_b))
+            jj = np.tile(atoms_b, len(rows))
+        delta = minimum_image(pos[jj] - pos[ii], box)
+        r2 = np.einsum("ij,ij->i", delta, delta)
+        within = r2 < self.options.cutoff**2
+        ii, jj, delta, r2 = ii[within], jj[within], delta[within], r2[within]
+        if len(ii) == 0:
+            return
+        excl = self.exclusions
+        keys = excl.pair_key(ii, jj)
+        is_excluded = excl.is_excluded(ii, jj)
+        if len(self._keys14):
+            pos14 = np.minimum(
+                np.searchsorted(self._keys14, keys), len(self._keys14) - 1
+            )
+            is14 = self._keys14[pos14] == keys
+        else:
+            is14 = np.zeros(len(ii), dtype=bool)
+        normal = ~(is_excluded | is14)
+
+        ff = self.system.forcefield
+        for mask, lj_scale, el_scale in (
+            (normal, 1.0, 1.0),
+            (is14, ff.scale14_lj, ff.scale14_elec),
+        ):
+            if not np.any(mask):
+                continue
+            i_m, j_m = ii[mask], jj[mask]
+            eps, rmin, qq = _combined_params(self.system, i_m, j_m)
+            e_lj, e_el, fvec = pair_interactions(
+                delta[mask], r2[mask], eps * lj_scale, rmin, qq * el_scale, self.options
+            )
+            self._tally(step, "lj", float(e_lj.sum()))
+            self._tally(step, "elec", float(e_el.sum()))
+            np.add.at(self.forces, i_m, fvec)
+            np.add.at(self.forces, j_m, -fvec)
+
+    def bonded(self, step: int, term_indices: dict[str, np.ndarray]) -> None:
+        """Evaluate one bonded compute's term subsets and accumulate."""
+        total = 0.0
+        for kind, idx in term_indices.items():
+            if len(idx) == 0:
+                continue
+            total += _BONDED_KERNELS[kind](self.system, self.forces, idx)
+        self._tally(step, "bonded", total)
+
+    # ------------------------------------------------------------------ #
+    def integrate(self, step: int, atoms: np.ndarray, first_round: bool) -> None:
+        """Velocity-Verlet update of one patch's atoms.
+
+        ``first_round`` means the incoming forces are F(x0): no completion
+        half-kick exists yet.  The opening half-kick + drift for the next
+        step always runs, so positions advance for the next position
+        multicast.  (See module docstring of :mod:`repro.core.chares` for
+        the exact correspondence with the sequential engine.)
+        """
+        f = self.forces[atoms]
+        m = self.masses[atoms][:, None]
+        half = 0.5 * self.dt * ACC_CONVERSION * f / m
+        if not first_round:
+            self.velocities[atoms] += half  # completes the previous step
+        v2 = np.einsum("ij,ij->i", self.velocities[atoms], self.velocities[atoms])
+        self._tally(
+            step,
+            "kinetic",
+            float(0.5 / ACC_CONVERSION * np.dot(self.masses[atoms], v2)),
+        )
+        self.velocities[atoms] += half  # opens the next step
+        self.positions[atoms] += self.dt * self.velocities[atoms]
+        self.forces[atoms] = 0.0  # ready for the next accumulation round
+
+    def clear_forces(self, atoms: np.ndarray) -> None:
+        """Zero the force rows of the given atoms."""
+        self.forces[atoms] = 0.0

@@ -1,0 +1,50 @@
+"""Sequential molecular-dynamics engine (the paper's "good sequential algorithm").
+
+This package is a real, vectorized cutoff MD engine: CHARMM-style force field
+parameters, bonded terms that follow molecular topology (bonds, angles,
+dihedrals, impropers), non-bonded Lennard-Jones + Coulomb interactions with a
+switching function, 1-2/1-3 exclusions and modified 1-4 pairs, periodic cell
+lists, and a velocity-Verlet integrator.
+
+The SC 2000 paper parallelizes exactly this computation; the parallel layers
+(:mod:`repro.core`, :mod:`repro.runtime`) reuse this package's pair-counting
+and kernels to derive per-object loads, and the examples run it end-to-end.
+"""
+
+from repro.md.constants import (
+    ACC_CONVERSION,
+    COULOMB_CONSTANT,
+    KCAL_PER_AMU_A2_FS2,
+    BOLTZMANN_KCAL,
+)
+from repro.md.forcefield import (
+    AtomType,
+    BondType,
+    AngleType,
+    DihedralType,
+    ImproperType,
+    ForceField,
+    default_forcefield,
+)
+from repro.md.topology import Topology, Exclusions
+from repro.md.system import MolecularSystem
+from repro.md.engine import SequentialEngine, StepReport
+
+__all__ = [
+    "ACC_CONVERSION",
+    "COULOMB_CONSTANT",
+    "KCAL_PER_AMU_A2_FS2",
+    "BOLTZMANN_KCAL",
+    "AtomType",
+    "BondType",
+    "AngleType",
+    "DihedralType",
+    "ImproperType",
+    "ForceField",
+    "default_forcefield",
+    "Topology",
+    "Exclusions",
+    "MolecularSystem",
+    "SequentialEngine",
+    "StepReport",
+]

@@ -1,0 +1,173 @@
+"""Periodic cell lists for cutoff pair enumeration.
+
+The engine's non-bonded kernel needs every atom pair within the cutoff,
+each counted once (Newton's third law halves the work, exactly as the paper
+emphasizes in §1).  Space is divided into a grid of cells at least one cutoff
+wide; an atom then interacts only with atoms in its own cell and the 26
+neighbours, and enumerating *half* of those neighbour offsets yields each
+pair once.
+
+This is the same geometric construction the parallel layer uses for patches
+(:mod:`repro.core.decomposition`) — there the cells are Charm++ objects; here
+they are just index buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CellGrid", "HALF_SHELL_OFFSETS", "candidate_pairs"]
+
+
+def _half_shell_offsets() -> np.ndarray:
+    """The 13 neighbour offsets of a half shell, plus implicit self.
+
+    An offset ``(dx, dy, dz)`` is in the half shell when it is
+    lexicographically positive; pairing each cell with its half-shell
+    neighbours (and itself) enumerates every neighbouring cell pair exactly
+    once.  These are the paper's "upstream" neighbours restricted to 13 of
+    the 26 (§3: 26/2 + 1 self = 14 objects per cube).
+    """
+    offsets = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if (dx, dy, dz) > (0, 0, 0):
+                    offsets.append((dx, dy, dz))
+    return np.array(offsets, dtype=np.int64)
+
+
+#: The 13 lexicographically-positive neighbour offsets.
+HALF_SHELL_OFFSETS: np.ndarray = _half_shell_offsets()
+
+
+@dataclass
+class CellGrid:
+    """A periodic grid of cells covering an orthorhombic box.
+
+    Attributes
+    ----------
+    dims:
+        Number of cells along each axis (each >= 1).
+    box:
+        Box lengths.
+    cell_of_atom:
+        Flat cell index per atom.
+    order:
+        Atom indices sorted by cell, so ``order[start[c]:start[c+1]]`` are
+        the atoms of cell ``c``.
+    start:
+        CSR-style offsets of length ``n_cells + 1``.
+    """
+
+    dims: np.ndarray
+    box: np.ndarray
+    cell_of_atom: np.ndarray
+    order: np.ndarray
+    start: np.ndarray
+
+    @classmethod
+    def build(
+        cls, positions: np.ndarray, box: np.ndarray, cutoff: float
+    ) -> "CellGrid":
+        """Bucket wrapped ``positions`` into cells at least ``cutoff`` wide.
+
+        When an axis is shorter than ``2 * cutoff`` the grid degenerates to a
+        single cell along that axis, which stays correct (all pairs checked)
+        but loses the pruning benefit.
+        """
+        box = np.asarray(box, dtype=np.float64)
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        dims = np.maximum(np.floor(box / cutoff).astype(np.int64), 1)
+        cell_len = box / dims
+        # wrapped positions assumed; guard against == box edge
+        frac = positions / cell_len
+        idx3 = np.minimum(frac.astype(np.int64), dims - 1)
+        idx3 = np.maximum(idx3, 0)
+        flat = (idx3[:, 0] * dims[1] + idx3[:, 1]) * dims[2] + idx3[:, 2]
+        order = np.argsort(flat, kind="stable")
+        n_cells = int(np.prod(dims))
+        counts = np.bincount(flat, minlength=n_cells)
+        start = np.zeros(n_cells + 1, dtype=np.int64)
+        np.cumsum(counts, out=start[1:])
+        return cls(dims=dims, box=box, cell_of_atom=flat, order=order, start=start)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of grid cells."""
+        return int(np.prod(self.dims))
+
+    def atoms_in_cell(self, flat_index: int) -> np.ndarray:
+        """Atom indices in cell ``flat_index``."""
+        return self.order[self.start[flat_index] : self.start[flat_index + 1]]
+
+    def cell_coords(self, flat_index: int) -> tuple[int, int, int]:
+        """Convert a flat cell index to ``(ix, iy, iz)``."""
+        dy, dz = int(self.dims[1]), int(self.dims[2])
+        ix, rem = divmod(int(flat_index), dy * dz)
+        iy, iz = divmod(rem, dz)
+        return ix, iy, iz
+
+    def flat_index(self, ix: int, iy: int, iz: int) -> int:
+        """Convert (periodic) cell coordinates to a flat index."""
+        dims = self.dims
+        return int(
+            ((ix % dims[0]) * dims[1] + (iy % dims[1])) * dims[2] + (iz % dims[2])
+        )
+
+    def neighbor_cell_pairs(self) -> list[tuple[int, int]]:
+        """Every (cell, neighbour-cell) pair to examine, each once.
+
+        Includes the self pair ``(c, c)``.  With periodic wrapping and small
+        grids the same neighbour can be reached through several offsets (for
+        example ``dims == 1`` along an axis); duplicates are removed so pairs
+        are never double counted.
+        """
+        pairs: set[tuple[int, int]] = set()
+        dims = self.dims
+        for flat in range(self.n_cells):
+            ix, iy, iz = self.cell_coords(flat)
+            pairs.add((flat, flat))
+            for dx, dy, dz in HALF_SHELL_OFFSETS:
+                other = self.flat_index(ix + int(dx), iy + int(dy), iz + int(dz))
+                if other == flat:
+                    continue
+                pairs.add((min(flat, other), max(flat, other)))
+        return sorted(pairs)
+
+
+def candidate_pairs(
+    positions: np.ndarray, box: np.ndarray, cutoff: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Candidate atom pairs ``(i, j)`` whose cells are within one cutoff.
+
+    Pairs are returned once each (``i`` and ``j`` arrays of equal length,
+    unordered within a pair).  Distances are *not* checked here; callers
+    filter by actual ``r < cutoff``.
+    """
+    grid = CellGrid.build(positions, box, cutoff)
+    is_, js_ = [], []
+    for ca, cb in grid.neighbor_cell_pairs():
+        atoms_a = grid.atoms_in_cell(ca)
+        if len(atoms_a) == 0:
+            continue
+        if ca == cb:
+            if len(atoms_a) < 2:
+                continue
+            iu, ju = np.triu_indices(len(atoms_a), k=1)
+            is_.append(atoms_a[iu])
+            js_.append(atoms_a[ju])
+        else:
+            atoms_b = grid.atoms_in_cell(cb)
+            if len(atoms_b) == 0:
+                continue
+            ii, jj = np.meshgrid(atoms_a, atoms_b, indexing="ij")
+            is_.append(ii.ravel())
+            js_.append(jj.ravel())
+    if not is_:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(is_), np.concatenate(js_)

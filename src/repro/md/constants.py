@@ -1,0 +1,28 @@
+"""Physical constants in the engine's unit system.
+
+Units follow the AKMA-like convention common to biomolecular MD codes:
+
+* length — Angstrom (Å)
+* energy — kcal/mol
+* mass — atomic mass unit (amu, g/mol)
+* charge — elementary charge (e)
+* time — femtosecond (fs)
+
+With these choices velocities are Å/fs and forces kcal/(mol·Å).
+"""
+
+from __future__ import annotations
+
+#: Coulomb's constant, kcal·Å/(mol·e²):  E = COULOMB_CONSTANT * q1*q2 / r.
+COULOMB_CONSTANT: float = 332.0636
+
+#: Boltzmann constant in kcal/(mol·K).
+BOLTZMANN_KCAL: float = 0.0019872041
+
+#: Conversion from force/mass to acceleration:
+#: a [Å/fs²] = ACC_CONVERSION * F [kcal/(mol·Å)] / m [amu].
+ACC_CONVERSION: float = 4.184e-4
+
+#: Conversion from amu·(Å/fs)² to kcal/mol (inverse of ACC_CONVERSION):
+#: KE [kcal/mol] = 0.5 * m * |v|² * KCAL_PER_AMU_A2_FS2.
+KCAL_PER_AMU_A2_FS2: float = 1.0 / ACC_CONVERSION

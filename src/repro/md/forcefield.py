@@ -1,0 +1,195 @@
+"""CHARMM-style force-field parameter model.
+
+The paper's benchmarks (ApoA-I, BC1, bR) use the CHARMM force field, whose
+functional forms we reproduce exactly:
+
+* bond:       ``E = k (r - r0)^2``
+* angle:      ``E = k (theta - theta0)^2``
+* dihedral:   ``E = k (1 + cos(n*phi - delta))``
+* improper:   ``E = k (psi - psi0)^2``
+* van der Waals (Lennard-Jones, CHARMM Rmin convention):
+  ``E = eps [ (Rmin/r)^12 - 2 (Rmin/r)^6 ]`` with
+  ``Rmin_ij = rmin_half_i + rmin_half_j`` and ``eps_ij = sqrt(eps_i eps_j)``
+* electrostatics: ``E = C q_i q_j / r`` with a switching function near the
+  cutoff (see :mod:`repro.md.nonbonded`).
+
+Parameter values here are *representative* rather than copied from the CHARMM
+distribution (which we do not have offline); they are in physically sensible
+ranges so that synthetic systems are mechanically stable, which is all the
+parallelization study requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "AtomType",
+    "BondType",
+    "AngleType",
+    "DihedralType",
+    "ImproperType",
+    "ForceField",
+    "default_forcefield",
+]
+
+
+@dataclass(frozen=True)
+class AtomType:
+    """A non-bonded atom type: mass plus Lennard-Jones well parameters."""
+
+    name: str
+    mass: float  # amu
+    epsilon: float  # kcal/mol, well depth (stored positive)
+    rmin_half: float  # Å, half of Rmin at the LJ minimum
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0:
+            raise ValueError(f"atom type {self.name!r}: mass must be positive")
+        if self.epsilon < 0:
+            raise ValueError(f"atom type {self.name!r}: epsilon must be >= 0")
+        if self.rmin_half < 0:
+            raise ValueError(f"atom type {self.name!r}: rmin_half must be >= 0")
+
+
+@dataclass(frozen=True)
+class BondType:
+    """Harmonic 2-body bond: ``E = k (r - r0)^2`` (CHARMM convention, no 1/2)."""
+
+    k: float  # kcal/(mol Å²)
+    r0: float  # Å
+
+
+@dataclass(frozen=True)
+class AngleType:
+    """Harmonic 3-body angle: ``E = k (theta - theta0)^2`` with theta in radians."""
+
+    k: float  # kcal/(mol rad²)
+    theta0: float  # radians
+
+
+@dataclass(frozen=True)
+class DihedralType:
+    """Cosine 4-body torsion: ``E = k (1 + cos(n phi - delta))``."""
+
+    k: float  # kcal/mol
+    n: int  # periodicity (>= 1)
+    delta: float  # radians
+
+
+@dataclass(frozen=True)
+class ImproperType:
+    """Harmonic improper torsion: ``E = k (psi - psi0)^2``."""
+
+    k: float  # kcal/(mol rad²)
+    psi0: float  # radians
+
+
+@dataclass
+class ForceField:
+    """A registry of atom and bonded-term types.
+
+    Atom types are registered by name and referenced from systems by integer
+    index (the order of registration), so kernels can gather per-type LJ
+    parameter arrays with plain fancy indexing.
+    """
+
+    atom_types: list[AtomType] = field(default_factory=list)
+    _atom_index: dict[str, int] = field(default_factory=dict)
+    scale14_lj: float = 1.0
+    scale14_elec: float = 1.0
+
+    def add_atom_type(self, atom_type: AtomType) -> int:
+        """Register ``atom_type``; returns its integer index.
+
+        Re-registering an identical type is idempotent; a conflicting
+        redefinition raises ``ValueError``.
+        """
+        existing = self._atom_index.get(atom_type.name)
+        if existing is not None:
+            if self.atom_types[existing] != atom_type:
+                raise ValueError(
+                    f"atom type {atom_type.name!r} already registered with "
+                    "different parameters"
+                )
+            return existing
+        index = len(self.atom_types)
+        self.atom_types.append(atom_type)
+        self._atom_index[atom_type.name] = index
+        return index
+
+    def atom_type_index(self, name: str) -> int:
+        """Index of a registered atom type, raising ``KeyError`` if unknown."""
+        return self._atom_index[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._atom_index
+
+    @property
+    def n_atom_types(self) -> int:
+        """Number of registered atom types."""
+        return len(self.atom_types)
+
+    def lj_tables(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-type arrays ``(mass, epsilon, rmin_half)`` indexed by type id."""
+        mass = np.array([t.mass for t in self.atom_types], dtype=np.float64)
+        eps = np.array([t.epsilon for t in self.atom_types], dtype=np.float64)
+        rmin = np.array([t.rmin_half for t in self.atom_types], dtype=np.float64)
+        return mass, eps, rmin
+
+
+def default_forcefield() -> ForceField:
+    """A CHARMM-like parameter set covering water, protein and lipid types.
+
+    The type names mirror CHARMM22/27 conventions loosely:
+
+    * ``OT``/``HT`` — TIP3P-like water oxygen/hydrogen
+    * ``C``/``CA``/``CT``/``N``/``NH``/``O``/``OH``/``H``/``HA``/``S`` —
+      protein backbone and side-chain types
+    * ``CTL``/``CL``/``PL``/``OSL``/``O2L``/``NTL`` — lipid tail/head types
+    """
+    ff = ForceField()
+    for at in (
+        # water (TIP3P-like)
+        AtomType("OT", 15.9994, 0.1521, 1.7682),
+        AtomType("HT", 1.008, 0.0460, 0.2245),
+        # protein
+        AtomType("C", 12.011, 0.1100, 2.0000),  # carbonyl carbon
+        AtomType("CA", 12.011, 0.0700, 1.9924),  # alpha carbon
+        AtomType("CT", 12.011, 0.0800, 2.0600),  # aliphatic carbon
+        AtomType("N", 14.007, 0.2000, 1.8500),  # amide nitrogen
+        AtomType("NH", 14.007, 0.2000, 1.8500),  # amine nitrogen
+        AtomType("O", 15.9994, 0.1200, 1.7000),  # carbonyl oxygen
+        AtomType("OH", 15.9994, 0.1521, 1.7700),  # hydroxyl oxygen
+        AtomType("H", 1.008, 0.0460, 0.2245),  # polar hydrogen
+        AtomType("HA", 1.008, 0.0220, 1.3200),  # nonpolar hydrogen
+        AtomType("S", 32.06, 0.4500, 2.0000),  # sulfur
+        # lipid
+        AtomType("CTL", 12.011, 0.0780, 2.0500),  # lipid tail carbon
+        AtomType("CL", 12.011, 0.0700, 2.0000),  # lipid glycerol carbon
+        AtomType("PL", 30.9738, 0.5850, 2.1500),  # phosphorus
+        AtomType("OSL", 15.9994, 0.1000, 1.6500),  # ester oxygen
+        AtomType("O2L", 15.9994, 0.1200, 1.7000),  # phosphate oxygen
+        AtomType("NTL", 14.007, 0.2000, 1.8500),  # choline nitrogen
+    ):
+        ff.add_atom_type(at)
+    return ff
+
+
+#: Representative bonded parameter types used by the synthetic builders.
+STANDARD_BOND = BondType(k=340.0, r0=1.53)
+BACKBONE_BOND = BondType(k=370.0, r0=1.45)
+CARBONYL_BOND = BondType(k=620.0, r0=1.23)
+WATER_OH_BOND = BondType(k=450.0, r0=0.9572)
+XH_BOND = BondType(k=340.0, r0=1.09)
+
+STANDARD_ANGLE = AngleType(k=50.0, theta0=np.deg2rad(111.0))
+WATER_ANGLE = AngleType(k=55.0, theta0=np.deg2rad(104.52))
+BACKBONE_ANGLE = AngleType(k=60.0, theta0=np.deg2rad(117.0))
+
+STANDARD_DIHEDRAL = DihedralType(k=0.20, n=3, delta=0.0)
+BACKBONE_DIHEDRAL = DihedralType(k=1.0, n=2, delta=np.pi)
+
+STANDARD_IMPROPER = ImproperType(k=20.0, psi0=0.0)

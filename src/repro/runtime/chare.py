@@ -1,0 +1,99 @@
+"""The chare base class: a migratable, message-driven object.
+
+Concrete chares (patches and computes in :mod:`repro.core`) subclass
+:class:`Chare` and implement entry methods — ordinary Python methods that the
+scheduler invokes when a message for them is dequeued.  An entry method
+returns the *modeled CPU cost* of its execution in reference-machine seconds
+(usually from :mod:`repro.costmodel`); the scheduler scales it by the machine
+model and advances the simulated clock.
+
+Within an entry method a chare communicates only through :meth:`send` /
+:meth:`multicast` (asynchronous, costed) or :meth:`local_call` (synchronous
+invocation of a co-located object, the analog of Charm++ ``[inline]``
+methods).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.runtime.message import Priority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.scheduler import Scheduler
+
+__all__ = ["Chare"]
+
+
+class Chare:
+    """Base class for data-driven objects.
+
+    Attributes assigned by :meth:`Scheduler.register`:
+
+    * ``object_id`` — runtime-wide id,
+    * ``runtime`` — the owning scheduler,
+    * ``migratable`` — whether the load balancer may move it (§3.1: bulk
+      non-bonded work is migratable; multi-patch bonded work is not).
+    """
+
+    #: human-readable category used in traces ("nonbonded", "integrate", ...)
+    category: str = "chare"
+    migratable: bool = False
+
+    def __init__(self) -> None:
+        self.object_id: int = -1
+        self.runtime: "Scheduler | None" = None
+
+    # ------------------------------------------------------------------ #
+    # communication helpers (valid only during entry-method execution)
+    # ------------------------------------------------------------------ #
+    @property
+    def proc(self) -> int:
+        """The processor this chare currently lives on."""
+        return self.runtime.location_of(self.object_id)
+
+    def send(
+        self,
+        dest_object: int,
+        method: str,
+        data: dict | None = None,
+        size_bytes: float = 64.0,
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        """Asynchronously invoke ``method`` on another chare."""
+        self.runtime.post_send(
+            self.object_id, dest_object, method, data or {}, size_bytes, priority
+        )
+
+    def multicast(
+        self,
+        dest_objects: Iterable[int],
+        method: str,
+        data: dict | None = None,
+        size_bytes: float = 64.0,
+        priority: int = Priority.NORMAL,
+    ) -> None:
+        """Send identical data to many chares.
+
+        With the runtime's ``optimized_multicast`` flag set, the message body
+        is packed once and only per-destination header costs repeat — the
+        §4.2.3 optimization.  Otherwise each destination pays the full
+        allocation + packing cost, as NAMD originally did.
+        """
+        self.runtime.post_multicast(
+            self.object_id, list(dest_objects), method, data or {}, size_bytes, priority
+        )
+
+    def local_call(self, dest_object: int, method: str, **kwargs) -> object:
+        """Synchronously invoke a method on a co-located chare (zero cost).
+
+        The analog of calling a local C++ object directly; used for force
+        deposition from a compute into a patch/proxy on the same processor.
+        Raises if the target lives on a different processor.
+        """
+        return self.runtime.invoke_local(self.object_id, dest_object, method, kwargs)
+
+    # ------------------------------------------------------------------ #
+    def label(self) -> str:
+        """Display name for traces; subclasses override."""
+        return f"{type(self).__name__}#{self.object_id}"

@@ -1,0 +1,127 @@
+"""Machine models: the simulated analog of the Converse machine layer.
+
+Each model captures the handful of parameters that determine parallel MD
+performance at the message level:
+
+* ``cpu_factor`` — compute speed relative to one ASCI-Red processor (the
+  cost model's reference machine; smaller is faster),
+* per-message CPU overheads for sending/receiving (the "overhead" and
+  "receives" columns of the paper's Table 1),
+* per-byte packing cost (what the optimized multicast of §4.2.3 eliminates
+  for all but one copy),
+* network latency and bandwidth.
+
+Values are representative of the era's published MPI micro-benchmarks; the
+reproduction's claims rest on the *shape* they induce, not the exact
+microseconds (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineModel", "ASCI_RED", "T3E_900", "ORIGIN_2000", "GENERIC_CLUSTER", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of a simulated message-passing machine."""
+
+    name: str
+    #: execution-time multiplier relative to the ASCI-Red reference CPU
+    cpu_factor: float
+    #: CPU seconds to initiate one remote send (allocation, header, driver)
+    send_overhead_s: float
+    #: CPU seconds to receive/dispatch one remote message
+    recv_overhead_s: float
+    #: CPU seconds per byte to pack/copy an outgoing message body
+    pack_per_byte_s: float
+    #: one-way network latency, seconds
+    latency_s: float
+    #: network bandwidth, bytes/second
+    bandwidth_Bps: float
+    #: CPU seconds to enqueue a message for a co-located object
+    local_send_overhead_s: float = 1.0e-6
+    #: maximum processor count the real machine offered (for table sweeps)
+    max_procs: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.cpu_factor <= 0:
+            raise ValueError("cpu_factor must be positive")
+        if self.bandwidth_Bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        for fld in ("send_overhead_s", "recv_overhead_s", "pack_per_byte_s", "latency_s"):
+            if getattr(self, fld) < 0:
+                raise ValueError(f"{fld} must be non-negative")
+
+    def transit_time(self, size_bytes: float) -> float:
+        """Network time for a message body of ``size_bytes``."""
+        return self.latency_s + size_bytes / self.bandwidth_Bps
+
+    def pack_time(self, size_bytes: float) -> float:
+        """CPU time to pack/copy a message body once."""
+        return size_bytes * self.pack_per_byte_s
+
+    def with_overrides(self, **kwargs) -> "MachineModel":
+        """A copy with selected fields replaced (for ablation studies)."""
+        return replace(self, **kwargs)
+
+
+#: Sandia ASCI-Red: 333 MHz Pentium II Xeon, custom mesh network.  The cost
+#: model's reference machine (cpu_factor = 1).
+ASCI_RED = MachineModel(
+    name="ASCI-Red",
+    cpu_factor=1.0,
+    send_overhead_s=22e-6,
+    recv_overhead_s=15e-6,
+    # effective marshalling rate ~45 MB/s: allocation + copy + header
+    # construction on a 333 MHz Pentium II, calibrated so the Table 1 audit's
+    # Overhead column lands near the paper's 7.97 ms at 1024 procs
+    pack_per_byte_s=22e-9,
+    latency_s=20e-6,
+    bandwidth_Bps=310e6,
+    max_procs=4096,
+)
+
+#: PSC Cray T3E-900: 450 MHz Alpha EV5, very low-latency torus.  Per-CPU
+#: speed from Table 5 (ApoA-I at 4 procs: 10.7 s vs 14.7 s on ASCI-Red).
+T3E_900 = MachineModel(
+    name="T3E-900",
+    cpu_factor=0.73,
+    send_overhead_s=8e-6,
+    recv_overhead_s=6e-6,
+    pack_per_byte_s=12e-9,
+    latency_s=9e-6,
+    bandwidth_Bps=330e6,
+    max_procs=512,
+)
+
+#: NCSA SGI Origin 2000: 250 MHz R10000, ccNUMA.  Per-CPU speed from
+#: Table 6 (ApoA-I at 1 proc: 24.4 s vs 57.1 s on ASCI-Red).
+ORIGIN_2000 = MachineModel(
+    name="Origin-2000",
+    cpu_factor=0.427,
+    send_overhead_s=10e-6,
+    recv_overhead_s=8e-6,
+    pack_per_byte_s=10e-9,
+    latency_s=10e-6,
+    bandwidth_Bps=160e6,
+    max_procs=128,
+)
+
+#: A generic commodity cluster, for examples that are not reproducing a
+#: specific table.
+GENERIC_CLUSTER = MachineModel(
+    name="generic-cluster",
+    cpu_factor=0.5,
+    send_overhead_s=25e-6,
+    recv_overhead_s=20e-6,
+    pack_per_byte_s=10e-9,
+    latency_s=50e-6,
+    bandwidth_Bps=100e6,
+    max_procs=1024,
+)
+
+MACHINES: dict[str, MachineModel] = {
+    m.name: m for m in (ASCI_RED, T3E_900, ORIGIN_2000, GENERIC_CLUSTER)
+}

@@ -1,0 +1,117 @@
+"""The load-balancing database (paper §2.2).
+
+"The framework automatically instruments all Charm++ objects, collects their
+timing and communication data at runtime (in a 'database'), and provides a
+standard interface to different load balancing strategies."
+
+The scheduler feeds this database on every entry-method execution and every
+send; strategies (:mod:`repro.balancer`) read a :class:`LBSnapshot` — they
+never touch the live runtime, mirroring the strategy/framework split the
+paper emphasizes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["ObjectStats", "CommEdge", "LBSnapshot", "LBDatabase"]
+
+
+@dataclass
+class ObjectStats:
+    """Measured data for one object since the last reset."""
+
+    object_id: int
+    load: float = 0.0  # accumulated execution time (reference seconds)
+    invocations: int = 0
+    migratable: bool = False
+    proc: int = -1
+
+
+@dataclass(frozen=True)
+class CommEdge:
+    """Aggregated communication between two objects."""
+
+    src: int
+    dst: int
+    messages: int
+    bytes: float
+
+
+@dataclass
+class LBSnapshot:
+    """A consistent copy of the database handed to a strategy.
+
+    ``background_load`` is the per-processor time spent in non-migratable
+    objects — the paper's "background load" that strategies must balance
+    migratable objects around.
+    """
+
+    objects: dict[int, ObjectStats]
+    edges: list[CommEdge]
+    background_load: dict[int, float]
+    measured_steps: int
+
+    def migratable_objects(self) -> list[ObjectStats]:
+        """Stats of migratable objects only (what strategies may move)."""
+        return [o for o in self.objects.values() if o.migratable]
+
+    def per_step(self, load: float) -> float:
+        """Convert an accumulated load to a per-step load."""
+        return load / max(self.measured_steps, 1)
+
+
+class LBDatabase:
+    """Accumulates object loads and the communication graph."""
+
+    def __init__(self) -> None:
+        self._objects: dict[int, ObjectStats] = {}
+        self._edges: dict[tuple[int, int], list[float]] = defaultdict(lambda: [0, 0.0])
+        self._background: dict[int, float] = defaultdict(float)
+        self.measured_steps = 0
+
+    def record_execution(
+        self, object_id: int, migratable: bool, proc: int, duration: float
+    ) -> None:
+        stats = self._objects.get(object_id)
+        if stats is None:
+            stats = self._objects[object_id] = ObjectStats(
+                object_id, migratable=migratable
+            )
+        stats.load += duration
+        stats.invocations += 1
+        stats.migratable = migratable
+        stats.proc = proc
+        if not migratable:
+            self._background[proc] += duration
+
+    def record_send(self, src: int, dst: int, size_bytes: float) -> None:
+        cell = self._edges[(src, dst)]
+        cell[0] += 1
+        cell[1] += size_bytes
+
+    def mark_step(self) -> None:
+        """Note that one simulation step's worth of data has been recorded."""
+        self.measured_steps += 1
+
+    def reset(self) -> None:
+        self._objects.clear()
+        self._edges.clear()
+        self._background.clear()
+        self.measured_steps = 0
+
+    def snapshot(self) -> LBSnapshot:
+        """The copy a centralized strategy receives on processor 0."""
+        return LBSnapshot(
+            objects={
+                oid: ObjectStats(oid, s.load, s.invocations, s.migratable, s.proc)
+                for oid, s in self._objects.items()
+            },
+            edges=[
+                CommEdge(src, dst, int(cnt), float(byt))
+                for (src, dst), (cnt, byt) in self._edges.items()
+            ],
+            background_load=dict(self._background),
+            measured_steps=self.measured_steps,
+        )

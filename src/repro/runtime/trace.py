@@ -1,0 +1,171 @@
+"""Projections-style tracing (paper §4.1).
+
+Three levels of instrumentation, mirroring the paper:
+
+1. step times — produced by the driver in :mod:`repro.core.simulation`;
+2. *summary profiles* — per-entry-method accumulated execution time and
+   per-processor busy time, cheap enough to keep always-on;
+3. *full traces* — every execution record (processor, object, category,
+   start, duration), the data behind the paper's Figures 1–4.
+
+Full traces are buffered in memory and never written during the timed steps,
+matching the paper's note that Projections buffers trace data "in memory
+buffers till the end of the program".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ExecutionRecord", "TraceLog", "SummaryProfile"]
+
+
+@dataclass
+class ExecutionRecord:
+    """One entry-method execution on the simulated machine.
+
+    ``duration`` is total busy time; ``work`` is the modeled computation
+    alone, with ``send_overhead``/``recv_overhead`` the messaging CPU charged
+    to this execution (the "Overhead" and "Receives" columns of Table 1).
+    """
+
+    proc: int
+    object_id: int
+    label: str
+    category: str
+    start: float
+    duration: float
+    work: float = 0.0
+    send_overhead: float = 0.0
+    recv_overhead: float = 0.0
+
+    @property
+    def end(self) -> float:
+        """Execution end time (start + duration)."""
+        return self.start + self.duration
+
+
+@dataclass
+class SummaryProfile:
+    """Always-on aggregate statistics (the paper's "summary profile")."""
+
+    busy_time_per_proc: np.ndarray
+    work_per_proc: np.ndarray
+    send_overhead_per_proc: np.ndarray
+    recv_overhead_per_proc: np.ndarray
+    time_per_category: dict[str, float]
+    count_per_category: dict[str, int]
+    messages_sent: int
+    bytes_sent: float
+
+    def utilization(self, makespan: float) -> np.ndarray:
+        """Per-processor busy fraction over ``makespan`` seconds."""
+        if makespan <= 0:
+            return np.zeros_like(self.busy_time_per_proc)
+        return self.busy_time_per_proc / makespan
+
+
+class TraceLog:
+    """Collects execution records and summary statistics.
+
+    ``full`` enables per-execution records (needed for timelines and
+    grainsize histograms); summary accumulation is always on.
+    """
+
+    def __init__(self, n_procs: int, full: bool = False) -> None:
+        self.n_procs = n_procs
+        self.full = full
+        self.records: list[ExecutionRecord] = []
+        self._busy = np.zeros(n_procs)
+        self._work = np.zeros(n_procs)
+        self._send_overhead = np.zeros(n_procs)
+        self._recv_overhead = np.zeros(n_procs)
+        self._cat_time: dict[str, float] = defaultdict(float)
+        self._cat_count: dict[str, int] = defaultdict(int)
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    # ------------------------------------------------------------------ #
+    def record_execution(
+        self,
+        proc: int,
+        object_id: int,
+        label: str,
+        category: str,
+        start: float,
+        duration: float,
+        work: float = 0.0,
+        send_overhead: float = 0.0,
+        recv_overhead: float = 0.0,
+    ) -> None:
+        """Accumulate one entry-method execution into the log."""
+        self._busy[proc] += duration
+        self._work[proc] += work
+        self._send_overhead[proc] += send_overhead
+        self._recv_overhead[proc] += recv_overhead
+        self._cat_time[category] += work
+        self._cat_count[category] += 1
+        if self.full:
+            self.records.append(
+                ExecutionRecord(
+                    proc,
+                    object_id,
+                    label,
+                    category,
+                    start,
+                    duration,
+                    work,
+                    send_overhead,
+                    recv_overhead,
+                )
+            )
+
+    def record_send(self, size_bytes: float) -> None:
+        """Count one outgoing message."""
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+
+    def reset(self) -> None:
+        """Clear everything (e.g. after warmup steps)."""
+        self.records.clear()
+        self._busy[:] = 0.0
+        self._work[:] = 0.0
+        self._send_overhead[:] = 0.0
+        self._recv_overhead[:] = 0.0
+        self._cat_time.clear()
+        self._cat_count.clear()
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> SummaryProfile:
+        """Aggregate statistics snapshot (copies the counters)."""
+        return SummaryProfile(
+            busy_time_per_proc=self._busy.copy(),
+            work_per_proc=self._work.copy(),
+            send_overhead_per_proc=self._send_overhead.copy(),
+            recv_overhead_per_proc=self._recv_overhead.copy(),
+            time_per_category=dict(self._cat_time),
+            count_per_category=dict(self._cat_count),
+            messages_sent=self.messages_sent,
+            bytes_sent=self.bytes_sent,
+        )
+
+    def records_in_window(self, t0: float, t1: float) -> list[ExecutionRecord]:
+        """Records overlapping the time window ``[t0, t1)``."""
+        return [r for r in self.records if r.end > t0 and r.start < t1]
+
+    def durations_by_category(self, category: str) -> np.ndarray:
+        """All execution durations of one category (grainsize data)."""
+        return np.array(
+            [r.duration for r in self.records if r.category == category], dtype=float
+        )
+
+    def proc_timeline(self, proc: int) -> list[ExecutionRecord]:
+        """Chronological records of one processor (a Projections timeline)."""
+        return sorted(
+            (r for r in self.records if r.proc == proc), key=lambda r: r.start
+        )

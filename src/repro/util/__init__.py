@@ -1,0 +1,17 @@
+"""Shared utilities: periodic boundary helpers and seeded randomness."""
+
+from repro.util.pbc import (
+    minimum_image,
+    wrap_positions,
+    box_volume,
+    displacement_table,
+)
+from repro.util.rng import make_rng
+
+__all__ = [
+    "minimum_image",
+    "wrap_positions",
+    "box_volume",
+    "displacement_table",
+    "make_rng",
+]

@@ -1,0 +1,66 @@
+"""Orthorhombic periodic-boundary-condition helpers.
+
+All routines operate on an orthorhombic box described by a length-3 array
+``box = (Lx, Ly, Lz)``.  Positions live in the half-open cell ``[0, L)`` on
+each axis after wrapping.  The minimum-image convention is valid whenever the
+interaction cutoff is at most half the smallest box edge, which the patch
+decomposition in :mod:`repro.core.decomposition` enforces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minimum_image", "wrap_positions", "box_volume", "displacement_table"]
+
+
+def minimum_image(delta: np.ndarray, box: np.ndarray) -> np.ndarray:
+    """Apply the minimum-image convention to displacement vectors.
+
+    Parameters
+    ----------
+    delta:
+        Array of shape ``(..., 3)`` of raw displacements ``r_j - r_i``.
+    box:
+        Orthorhombic box lengths, shape ``(3,)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Displacements folded into ``[-L/2, L/2)`` per axis (same shape).
+    """
+    box = np.asarray(box, dtype=np.float64)
+    return delta - box * np.round(delta / box)
+
+
+def wrap_positions(positions: np.ndarray, box: np.ndarray) -> np.ndarray:
+    """Fold positions into the primary cell ``[0, L)`` on each axis."""
+    box = np.asarray(box, dtype=np.float64)
+    wrapped = np.mod(positions, box)
+    # np.mod can return exactly L for tiny negative inputs due to rounding;
+    # fold those onto 0 so downstream cell indexing stays in range.
+    wrapped[wrapped >= box] = 0.0
+    return wrapped
+
+
+def box_volume(box: np.ndarray) -> float:
+    """Volume of an orthorhombic box in cubic Angstroms."""
+    box = np.asarray(box, dtype=np.float64)
+    if box.shape != (3,):
+        raise ValueError(f"box must have shape (3,), got {box.shape}")
+    return float(np.prod(box))
+
+
+def displacement_table(
+    pos_a: np.ndarray, pos_b: np.ndarray, box: np.ndarray | None
+) -> np.ndarray:
+    """All-pairs displacement vectors ``pos_b[j] - pos_a[i]``.
+
+    Returns an array of shape ``(len(pos_a), len(pos_b), 3)``.  When ``box``
+    is given, the minimum-image convention is applied.  Intended for small
+    blocks (patch-sized groups of atoms); the memory cost is ``O(n*m)``.
+    """
+    delta = pos_b[np.newaxis, :, :] - pos_a[:, np.newaxis, :]
+    if box is not None:
+        delta = minimum_image(delta, np.asarray(box, dtype=np.float64))
+    return delta

@@ -1,0 +1,24 @@
+"""Deterministic random-number-generator construction.
+
+Every stochastic component of the reproduction (structure builders, velocity
+initialisation, baseline load-balancing strategies) accepts a ``seed`` and
+routes it through :func:`make_rng` so that benchmark tables are bit-for-bit
+repeatable across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng"]
+
+
+def make_rng(seed: int | np.random.Generator | None = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an existing generator (returned unchanged) so that helpers can be
+    composed without reseeding, an integer seed, or ``None`` for OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

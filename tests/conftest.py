@@ -1,0 +1,43 @@
+"""Shared fixtures: small systems that build in well under a second.
+
+The giant paper benchmarks (92k/206k atoms) are exercised only by the
+benchmark harness, not the unit tests; tests use miniature systems with the
+same structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box, tiny_peptide
+from repro.builder.benchmarks import mini_assembly
+
+
+@pytest.fixture(scope="session")
+def water64():
+    """A relaxed 64-molecule water box (192 atoms)."""
+    return small_water_box(64, seed=3)
+
+
+@pytest.fixture(scope="session")
+def water100():
+    """A relaxed 100-molecule water box (300 atoms)."""
+    return small_water_box(100, seed=4)
+
+
+@pytest.fixture(scope="session")
+def peptide():
+    """A 5-residue vacuum peptide."""
+    return tiny_peptide(5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def assembly():
+    """The 3,100-atom protein+lipid+water mini assembly (2x2x2 patches)."""
+    return mini_assembly()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,53 @@
+"""Timeline rendering (Figures 3-4)."""
+
+import pytest
+
+from repro.analysis.timeline import render_timeline
+from repro.runtime.trace import TraceLog
+
+
+def make_trace():
+    t = TraceLog(2, full=True)
+    t.record_execution(0, 0, "p0", "integration", 0.0, 0.4)
+    t.record_execution(0, 1, "c", "nonbonded", 0.4, 0.4)
+    t.record_execution(1, 2, "c2", "bonded", 0.2, 0.6)
+    return t
+
+
+class TestTimeline:
+    def test_renders_rows_per_processor(self):
+        out = render_timeline(make_trace(), [0, 1], 0.0, 1.0, width=10)
+        lines = out.splitlines()
+        assert len(lines) == 3  # header + 2 procs
+        assert lines[1].startswith("P0")
+        assert lines[2].startswith("P1")
+
+    def test_category_codes_present(self):
+        out = render_timeline(make_trace(), [0, 1], 0.0, 1.0, width=20)
+        assert "I" in out
+        assert "N" in out
+        assert "B" in out
+
+    def test_idle_shown_as_dots(self):
+        out = render_timeline(make_trace(), [1], 0.0, 1.0, width=10)
+        row = out.splitlines()[1]
+        assert "." in row  # proc 1 idle at the start and end
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline(make_trace(), [0], 1.0, 1.0)
+
+    def test_width_respected(self):
+        out = render_timeline(make_trace(), [0], 0.0, 1.0, width=25)
+        row = out.splitlines()[1]
+        body = row.split("|")[1]
+        assert len(body) == 25
+
+    def test_majority_category_wins_slot(self):
+        t = TraceLog(1, full=True)
+        t.record_execution(0, 0, "a", "integration", 0.0, 0.09)
+        t.record_execution(0, 1, "b", "nonbonded", 0.09, 0.91)
+        out = render_timeline(t, [0], 0.0, 1.0, width=10)
+        body = out.splitlines()[1].split("|")[1]
+        assert body[0] == "I"
+        assert body[5] == "N"

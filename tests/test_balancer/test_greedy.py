@@ -1,0 +1,112 @@
+"""The paper's greedy strategy: load balance + proxy-aware placement."""
+
+import numpy as np
+import pytest
+
+from repro.balancer.greedy import greedy_strategy
+from repro.balancer.problem import ComputeItem, LBProblem, placement_stats
+
+
+def make_problem(n_procs=4, loads=None, patches=None, background=None,
+                 patch_home=None):
+    loads = loads if loads is not None else [1.0] * 8
+    patches = patches if patches is not None else [(i % 4,) for i in range(len(loads))]
+    items = [
+        ComputeItem(index=i, load=l, patches=p, proc=0)
+        for i, (l, p) in enumerate(zip(loads, patches))
+    ]
+    return LBProblem(
+        n_procs=n_procs,
+        computes=items,
+        background=np.array(background if background is not None else [0.0] * n_procs),
+        patch_home=patch_home if patch_home is not None else {i: i % n_procs for i in range(8)},
+    )
+
+
+class TestGreedy:
+    def test_every_object_placed(self):
+        p = make_problem()
+        placement = greedy_strategy(p)
+        assert set(placement) == {i.index for i in p.computes}
+        assert all(0 <= v < p.n_procs for v in placement.values())
+
+    def test_balances_uniform_loads(self):
+        p = make_problem(n_procs=4, loads=[1.0] * 8)
+        placement = greedy_strategy(p)
+        stats = placement_stats(p, placement)
+        assert stats["imbalance_ratio"] < 1.3
+
+    def test_prefers_home_processor(self):
+        """With slack everywhere, a compute lands where its patch lives."""
+        p = LBProblem(
+            n_procs=4,
+            computes=[ComputeItem(0, 0.1, (2,), proc=0)],
+            background=np.zeros(4),
+            patch_home={2: 3},
+        )
+        placement = greedy_strategy(p)
+        assert placement[0] == 3
+
+    def test_respects_background_load(self):
+        """A processor busy with background work receives fewer objects."""
+        p = make_problem(
+            n_procs=2,
+            loads=[1.0] * 6,
+            patches=[(0,)] * 6,
+            background=[5.0, 0.0],
+            patch_home={0: 0},
+        )
+        placement = greedy_strategy(p)
+        on_busy = sum(1 for v in placement.values() if v == 0)
+        assert on_busy <= 1
+
+    def test_reuses_recorded_proxies(self):
+        """Once one compute for patch 5 lands on a processor, later computes
+        for patch 5 prefer the same processor (no new proxies)."""
+        items = [ComputeItem(i, 0.01, (5,), proc=0) for i in range(3)]
+        p = LBProblem(
+            n_procs=8,
+            computes=items,
+            # uniform background dominates: co-location never overloads
+            background=np.full(8, 1.0),
+            patch_home={5: 2},
+        )
+        placement = greedy_strategy(p)
+        assert set(placement.values()) == {2}  # all with the home patch
+
+    def test_overload_forces_spread(self):
+        """When one processor cannot hold everything, objects spill."""
+        items = [ComputeItem(i, 1.0, (5,), proc=0) for i in range(8)]
+        p = LBProblem(
+            n_procs=4,
+            computes=items,
+            background=np.zeros(4),
+            patch_home={5: 2},
+        )
+        placement = greedy_strategy(p)
+        stats = placement_stats(p, placement)
+        assert stats["imbalance_ratio"] <= 1.2
+
+    def test_proxy_counting_in_stats(self):
+        items = [ComputeItem(0, 1.0, (0, 1), proc=0)]
+        p = LBProblem(
+            n_procs=2,
+            computes=items,
+            background=np.zeros(2),
+            patch_home={0: 0, 1: 1},
+        )
+        placement = {0: 0}
+        stats = placement_stats(p, placement)
+        assert stats["n_proxies"] == 1  # patch 1 proxied on proc 0
+
+    def test_better_than_random_on_skewed_input(self):
+        rng = np.random.default_rng(0)
+        loads = rng.exponential(1.0, size=40)
+        patches = [(int(rng.integers(10)),) for _ in range(40)]
+        p = make_problem(n_procs=8, loads=loads.tolist(), patches=patches,
+                         patch_home={i: i % 8 for i in range(10)})
+        from repro.balancer.strategies import random_strategy
+
+        g = placement_stats(p, greedy_strategy(p))
+        r = placement_stats(p, random_strategy(p, seed=1))
+        assert g["max_load"] <= r["max_load"]

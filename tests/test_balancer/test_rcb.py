@@ -1,0 +1,82 @@
+"""Recursive coordinate bisection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balancer.rcb import recursive_coordinate_bisection
+
+
+def grid_coords(nx, ny, nz):
+    g = np.stack(np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz),
+                             indexing="ij"), axis=-1)
+    return g.reshape(-1, 3).astype(float)
+
+
+class TestRCB:
+    def test_all_points_assigned_in_range(self):
+        coords = grid_coords(4, 4, 4)
+        w = np.ones(64)
+        out = recursive_coordinate_bisection(coords, w, 8)
+        assert out.shape == (64,)
+        assert out.min() >= 0 and out.max() < 8
+
+    def test_uniform_weights_balanced(self):
+        coords = grid_coords(4, 4, 4)
+        w = np.ones(64)
+        out = recursive_coordinate_bisection(coords, w, 8)
+        counts = np.bincount(out, minlength=8)
+        assert counts.min() >= 6 and counts.max() <= 10
+
+    def test_weighted_split_tracks_weights(self):
+        # half the points carry 9x the weight: they should spread over more procs
+        coords = grid_coords(8, 1, 1)
+        w = np.array([9.0] * 4 + [1.0] * 4)
+        out = recursive_coordinate_bisection(coords, w, 4)
+        loads = np.bincount(out, weights=w, minlength=4)
+        assert loads.max() / loads.mean() < 2.0
+
+    def test_more_procs_than_points_spreads(self):
+        """The paper's round-robin degenerate case."""
+        coords = grid_coords(3, 2, 1)  # 6 points
+        out = recursive_coordinate_bisection(coords, np.ones(6), 24)
+        assert len(set(out.tolist())) == 6  # each point on its own processor
+        assert out.max() < 24
+
+    def test_one_processor(self):
+        coords = grid_coords(3, 3, 1)
+        out = recursive_coordinate_bisection(coords, np.ones(9), 1)
+        assert np.all(out == 0)
+
+    def test_spatial_locality(self):
+        """Points on the same processor should be spatially contiguous-ish:
+        the average intra-processor spread is below the global spread."""
+        rng = np.random.default_rng(0)
+        coords = rng.random((200, 3)) * 100
+        out = recursive_coordinate_bisection(coords, np.ones(200), 8)
+        global_spread = coords.std(axis=0).mean()
+        spreads = []
+        for p in range(8):
+            pts = coords[out == p]
+            if len(pts) > 1:
+                spreads.append(pts.std(axis=0).mean())
+        assert np.mean(spreads) < global_spread
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            recursive_coordinate_bisection(np.zeros((3, 2)), np.ones(3), 2)
+        with pytest.raises(ValueError):
+            recursive_coordinate_bisection(np.zeros((3, 3)), np.ones(4), 2)
+        with pytest.raises(ValueError):
+            recursive_coordinate_bisection(np.zeros((3, 3)), np.ones(3), 0)
+
+    @given(st.integers(1, 50), st.integers(1, 64), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_total_assignment(self, n, procs, seed):
+        rng = np.random.default_rng(seed)
+        coords = rng.random((n, 3)) * 10
+        weights = rng.random(n) + 0.01
+        out = recursive_coordinate_bisection(coords, weights, procs)
+        assert out.shape == (n,)
+        assert out.min() >= 0 and out.max() < procs

@@ -1,0 +1,67 @@
+"""The refinement strategy: move few objects, only off overloaded procs."""
+
+import numpy as np
+import pytest
+
+from repro.balancer.problem import ComputeItem, LBProblem, placement_stats
+from repro.balancer.refine import refine_strategy
+
+
+def skewed_problem():
+    """Everything starts on processor 0 of 4."""
+    items = [ComputeItem(i, 1.0, (i % 3,), proc=0) for i in range(8)]
+    return LBProblem(
+        n_procs=4,
+        computes=items,
+        background=np.zeros(4),
+        patch_home={0: 0, 1: 1, 2: 2},
+    )
+
+
+class TestRefine:
+    def test_reduces_imbalance(self):
+        p = skewed_problem()
+        before = placement_stats(p, {i.index: i.proc for i in p.computes})
+        after = placement_stats(p, refine_strategy(p))
+        assert after["max_load"] < before["max_load"]
+
+    def test_returns_full_placement(self):
+        p = skewed_problem()
+        placement = refine_strategy(p)
+        assert set(placement) == {i.index for i in p.computes}
+
+    def test_balanced_input_untouched(self):
+        """With nothing overloaded, refinement moves nothing."""
+        items = [ComputeItem(i, 1.0, (0,), proc=i % 4) for i in range(8)]
+        p = LBProblem(n_procs=4, computes=items, background=np.zeros(4),
+                      patch_home={0: 0})
+        placement = refine_strategy(p)
+        assert placement == {i.index: i.proc for i in items}
+
+    def test_moves_fewer_objects_than_greedy_rebuild(self):
+        """Refinement is incremental: most objects stay put."""
+        rng = np.random.default_rng(2)
+        items = [
+            ComputeItem(i, float(rng.exponential(1.0)), (int(rng.integers(6)),),
+                        proc=int(rng.integers(4)))
+            for i in range(40)
+        ]
+        # make proc 0 overloaded
+        for i in range(5):
+            items[i].proc = 0
+            items[i].load = 3.0
+        p = LBProblem(n_procs=4, computes=items, background=np.zeros(4),
+                      patch_home={i: i % 4 for i in range(6)})
+        placement = refine_strategy(p)
+        moved = sum(1 for it in items if placement[it.index] != it.proc)
+        assert 0 < moved < len(items) // 2
+
+    def test_only_underloaded_destinations(self):
+        p = skewed_problem()
+        placement = refine_strategy(p)
+        loads = np.zeros(4)
+        for it in p.computes:
+            loads[placement[it.index]] += it.load
+        # nothing should have been moved onto the (initially) overloaded proc
+        moved_to_0 = [it for it in p.computes if it.proc != 0 and placement[it.index] == 0]
+        assert moved_to_0 == []

@@ -1,0 +1,68 @@
+"""Isoefficiency: the formal version of §3's scalability ordering."""
+
+import pytest
+
+from repro.baselines.isoefficiency import efficiency, isoefficiency_atoms
+from repro.baselines.schemes import (
+    AtomDecompositionModel,
+    AtomReplicationModel,
+    ForceDecompositionModel,
+    SpatialDecompositionModel,
+)
+from repro.runtime.machine import ASCI_RED
+
+
+class TestEfficiency:
+    def test_perfect_at_one_processor(self):
+        for scheme in (AtomReplicationModel, SpatialDecompositionModel):
+            assert efficiency(scheme, 50_000, 1, ASCI_RED) == pytest.approx(1.0)
+
+    def test_monotone_in_problem_size(self):
+        for scheme in (ForceDecompositionModel, SpatialDecompositionModel):
+            e_small = efficiency(scheme, 10_000, 256, ASCI_RED)
+            e_big = efficiency(scheme, 500_000, 256, ASCI_RED)
+            assert e_big >= e_small, scheme.__name__
+
+
+class TestIsoefficiency:
+    def test_spatial_needs_least_atoms(self):
+        """At fixed P and target efficiency, spatial decomposition's
+        required problem size is the smallest."""
+        p = 512
+        sizes = {
+            s.__name__: isoefficiency_atoms(s, p, ASCI_RED, 0.7)
+            for s in (
+                AtomDecompositionModel,
+                ForceDecompositionModel,
+                SpatialDecompositionModel,
+            )
+        }
+        assert sizes["SpatialDecompositionModel"] is not None
+        for name, n in sizes.items():
+            if name != "SpatialDecompositionModel" and n is not None:
+                assert sizes["SpatialDecompositionModel"] <= n, name
+
+    def test_replication_cannot_reach_target_at_scale(self):
+        """Atom replication's comm is Θ(N): no problem size reaches 70%
+        efficiency at 1024 processors — the paper's 'theoretically
+        non-scalable'."""
+        assert (
+            isoefficiency_atoms(AtomReplicationModel, 1024, ASCI_RED, 0.7) is None
+        )
+
+    def test_spatial_growth_roughly_linear(self):
+        """Doubling P should require roughly-linear growth in N for the
+        spatial scheme (bounded isoefficiency)."""
+        n_256 = isoefficiency_atoms(SpatialDecompositionModel, 256, ASCI_RED, 0.8)
+        n_1024 = isoefficiency_atoms(SpatialDecompositionModel, 1024, ASCI_RED, 0.8)
+        assert n_256 is not None and n_1024 is not None
+        growth = n_1024 / n_256
+        assert growth < 4.0 * 3.0  # at most ~linear-in-P growth with slack
+
+    def test_force_growth_superlinear_vs_spatial(self):
+        n_f_256 = isoefficiency_atoms(ForceDecompositionModel, 256, ASCI_RED, 0.8)
+        n_f_2048 = isoefficiency_atoms(ForceDecompositionModel, 2048, ASCI_RED, 0.8)
+        n_s_256 = isoefficiency_atoms(SpatialDecompositionModel, 256, ASCI_RED, 0.8)
+        n_s_2048 = isoefficiency_atoms(SpatialDecompositionModel, 2048, ASCI_RED, 0.8)
+        assert None not in (n_f_256, n_f_2048, n_s_256, n_s_2048)
+        assert (n_f_2048 / n_f_256) > (n_s_2048 / n_s_256)

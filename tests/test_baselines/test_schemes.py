@@ -1,0 +1,90 @@
+"""Baseline decomposition models: the §3 scalability ordering."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.schemes import (
+    AtomDecompositionModel,
+    AtomReplicationModel,
+    ForceDecompositionModel,
+    SpatialDecompositionModel,
+)
+from repro.runtime.machine import ASCI_RED
+
+N = 92_224
+W = 57.04
+VOL = 108.86 * 108.86 * 77.76
+
+
+def models():
+    common = dict(n_atoms=N, sequential_work_s=W, machine=ASCI_RED)
+    return {
+        "replication": AtomReplicationModel(**common),
+        "atom": AtomDecompositionModel(**common),
+        "force": ForceDecompositionModel(**common),
+        "spatial": SpatialDecompositionModel(**common, box_volume_A3=VOL),
+    }
+
+
+class TestScalabilityOrdering:
+    def test_single_processor_equal(self):
+        for m in models().values():
+            assert m.step_time(1) == pytest.approx(W)
+
+    def test_comm_ratio_trends(self):
+        """§3: replication/atom ratios grow with P; spatial stays bounded."""
+        m = models()
+        for name in ("replication", "atom", "force"):
+            assert m[name].comm_ratio(1024) > m[name].comm_ratio(64), name
+        spatial_small = m["spatial"].comm_ratio(64)
+        spatial_large = m["spatial"].comm_ratio(1024)
+        # bounded: does not blow up the way the others do
+        assert spatial_large < 10 * max(spatial_small, 0.05)
+
+    def test_spatial_beats_others_at_scale(self):
+        m = models()
+        at_2048 = {name: mod.step_time(2048) for name, mod in m.items()}
+        assert at_2048["spatial"] < at_2048["force"]
+        assert at_2048["force"] < at_2048["atom"]
+
+    def test_force_decomposition_competitive_at_medium_scale(self):
+        """§3: force decomposition 'may lead to reasonable speedups on
+        medium-size computers (up to 128 processors)'."""
+        m = models()
+        s = m["force"].speedup(128)
+        assert s > 50  # reasonable
+        assert m["force"].speedup(2048) < m["spatial"].speedup(2048)
+
+    def test_speedup_saturates_for_replication(self):
+        m = models()["replication"]
+        assert m.speedup(2048) < m.speedup(512) * 2.0
+
+    def test_spatial_scales_far(self):
+        m = models()["spatial"]
+        assert m.speedup(1024) > 400
+
+    def test_comm_time_positive(self):
+        for name, m in models().items():
+            assert m.comm_time(16) > 0, name
+
+
+class TestSpatialModelDetails:
+    def test_shell_clipped_to_box(self):
+        m = SpatialDecompositionModel(
+            n_atoms=N, sequential_work_s=W, machine=ASCI_RED, box_volume_A3=VOL
+        )
+        # at P=2 the import shell formula would exceed the box; must clip
+        assert m.comm_time(2) > 0
+        region = VOL / 2
+        side = region ** (1 / 3)
+        assert (side + 24) ** 3 - side**3 > VOL - region  # i.e. clipping active
+
+    def test_explicit_density_override(self):
+        m = SpatialDecompositionModel(
+            n_atoms=N, sequential_work_s=W, machine=ASCI_RED,
+            box_volume_A3=VOL, density_atoms_per_A3=0.05,
+        )
+        m2 = SpatialDecompositionModel(
+            n_atoms=N, sequential_work_s=W, machine=ASCI_RED, box_volume_A3=VOL
+        )
+        assert m.comm_time(64) < m2.comm_time(64)

@@ -1,0 +1,41 @@
+"""Ion placement."""
+
+import numpy as np
+import pytest
+
+from repro.builder.assembler import SystemAssembler
+from repro.builder.ions import add_ions, ensure_ion_types
+from repro.md.forcefield import default_forcefield
+from repro.util.rng import make_rng
+
+
+class TestIons:
+    def test_exact_count(self):
+        asm = SystemAssembler(np.ones(3) * 20)
+        assert add_ions(asm, 7, make_rng(0)) == 7
+        assert asm.n_atoms == 7
+
+    def test_alternating_charges_near_neutral(self):
+        asm = SystemAssembler(np.ones(3) * 20)
+        add_ions(asm, 10, make_rng(0))
+        s = asm.finalize()
+        assert s.charges.sum() == pytest.approx(0.0)
+
+    def test_odd_count_charge_one(self):
+        asm = SystemAssembler(np.ones(3) * 20)
+        add_ions(asm, 5, make_rng(0))
+        assert asm.finalize().charges.sum() == pytest.approx(1.0)
+
+    def test_ensure_ion_types_idempotent(self):
+        ff = default_forcefield()
+        ensure_ion_types(ff)
+        n = ff.n_atom_types
+        ensure_ion_types(ff)
+        assert ff.n_atom_types == n
+        assert "SOD" in ff and "CLA" in ff
+
+    def test_crowded_box_raises(self):
+        asm = SystemAssembler(np.ones(3) * 4.0)
+        add_ions(asm, 2, make_rng(0), clearance=1.0)
+        with pytest.raises(RuntimeError):
+            add_ions(asm, 500, make_rng(1), clearance=3.5)

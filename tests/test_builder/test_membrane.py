@@ -1,0 +1,69 @@
+"""Lipid and bilayer builders."""
+
+import numpy as np
+import pytest
+
+from repro.builder.assembler import SystemAssembler
+from repro.builder.membrane import LIPID_HEAD_ATOMS, lipid_bilayer, lipid_molecule
+from repro.util.rng import make_rng
+
+
+class TestLipidMolecule:
+    def test_atom_count(self):
+        pos, q, names, topo = lipid_molecule(np.array([5.0, 5.0]), 10.0, 1, 12, make_rng(0))
+        assert len(pos) == len(LIPID_HEAD_ATOMS) + 2 * 12
+        assert len(names) == len(pos)
+
+    def test_rejects_short_tail(self):
+        with pytest.raises(ValueError):
+            lipid_molecule(np.zeros(2), 0.0, 1, 2, make_rng(0))
+
+    def test_tails_point_in_direction(self):
+        pos, _, names, _ = lipid_molecule(np.array([0.0, 0.0]), 0.0, 1, 10, make_rng(0))
+        tail = pos[np.array([n == "CTL" for n in names])]
+        assert tail[:, 2].mean() > 2.0  # +z for direction=1
+        pos2, _, names2, _ = lipid_molecule(np.array([0.0, 0.0]), 0.0, -1, 10, make_rng(0))
+        tail2 = pos2[np.array([n == "CTL" for n in names2])]
+        assert tail2[:, 2].mean() < -2.0
+
+    def test_connected(self):
+        pos, _, _, topo = lipid_molecule(np.zeros(2), 0.0, 1, 8, make_rng(1))
+        adj = topo.bonded_neighbors(len(pos))
+        seen, stack = {0}, [0]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        assert len(seen) == len(pos)
+
+    def test_neutral_overall(self):
+        _, q, _, _ = lipid_molecule(np.zeros(2), 0.0, 1, 8, make_rng(0))
+        assert q.sum() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBilayer:
+    def test_places_requested_count(self):
+        asm = SystemAssembler(np.array([60.0, 60.0, 60.0]))
+        n = lipid_bilayer(asm, 30.0, (5.0, 55.0, 5.0, 55.0), 40, make_rng(0), tail_length=8)
+        assert n == 40
+        assert asm.n_atoms == 40 * (len(LIPID_HEAD_ATOMS) + 16)
+
+    def test_two_leaflets_straddle_center(self):
+        asm = SystemAssembler(np.array([60.0, 60.0, 60.0]))
+        lipid_bilayer(asm, 30.0, (5.0, 55.0, 5.0, 55.0), 20, make_rng(0), tail_length=8)
+        z = asm.current_positions()[:, 2]
+        assert (z < 30.0).any() and (z > 30.0).any()
+        # density concentrated near the center plane
+        assert np.abs(z - 30.0).mean() < 16.0
+
+    def test_degenerate_area_raises(self):
+        asm = SystemAssembler(np.ones(3) * 60)
+        with pytest.raises(ValueError):
+            lipid_bilayer(asm, 30.0, (5.0, 5.0, 5.0, 55.0), 10, make_rng(0))
+
+    def test_odd_count_split(self):
+        asm = SystemAssembler(np.ones(3) * 60)
+        n = lipid_bilayer(asm, 30.0, (5.0, 55.0, 5.0, 55.0), 7, make_rng(0), tail_length=6)
+        assert n == 7

@@ -1,0 +1,88 @@
+"""Protein chain builder: atom accounting, topology sanity, confinement."""
+
+import numpy as np
+import pytest
+
+from repro.builder.protein import protein_chain
+from repro.util.rng import make_rng
+
+
+class TestAtomAccounting:
+    def test_exact_atom_count_with_explicit_sidechains(self):
+        sc = np.array([2, 3, 4, 5, 6])
+        pos, q, names, topo = protein_chain(5, np.zeros(3), make_rng(0), sidechain_lengths=sc)
+        assert len(pos) == 5 * 6 + sc.sum()
+        assert len(q) == len(names) == len(pos)
+
+    def test_rejects_bad_sidechain_length(self):
+        with pytest.raises(ValueError):
+            protein_chain(3, np.zeros(3), make_rng(0), sidechain_lengths=np.array([1, 5, 5]))
+
+    def test_rejects_wrong_length_array(self):
+        with pytest.raises(ValueError):
+            protein_chain(3, np.zeros(3), make_rng(0), sidechain_lengths=np.array([5, 5]))
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError):
+            protein_chain(0, np.zeros(3), make_rng(0))
+
+
+class TestTopologySanity:
+    def test_connected_backbone(self):
+        """Every atom is reachable from atom 0 through bonds (one molecule)."""
+        pos, _, _, topo = protein_chain(8, np.zeros(3), make_rng(3))
+        n = len(pos)
+        adj = topo.bonded_neighbors(n)
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        assert len(seen) == n
+
+    def test_term_counts_scale_with_residues(self):
+        _, _, _, t1 = protein_chain(5, np.zeros(3), make_rng(0),
+                                    sidechain_lengths=np.full(5, 4))
+        _, _, _, t2 = protein_chain(10, np.zeros(3), make_rng(0),
+                                    sidechain_lengths=np.full(10, 4))
+        assert t2.n_bonds > t1.n_bonds
+        assert t2.n_dihedrals > t1.n_dihedrals
+        assert t1.n_impropers == 5 and t2.n_impropers == 10
+
+    def test_bond_lengths_reasonable(self):
+        pos, _, _, topo = protein_chain(6, np.zeros(3), make_rng(1))
+        idx, _, _ = topo.bond_arrays()
+        lengths = np.linalg.norm(pos[idx[:, 1]] - pos[idx[:, 0]], axis=1)
+        assert lengths.max() < 3.0
+        assert lengths.min() > 0.5
+
+    def test_near_neutral_charge(self):
+        _, q, _, _ = protein_chain(10, np.zeros(3), make_rng(2))
+        assert abs(q.sum()) < 2.0
+
+
+class TestConfinement:
+    def test_confined_chain_stays_near_center(self):
+        center = np.array([50.0, 50.0, 50.0])
+        pos, _, _, _ = protein_chain(
+            100, center, make_rng(5), confine_center=center, confine_radius=12.0
+        )
+        r = np.linalg.norm(pos - center, axis=1)
+        assert r.max() < 12.0 + 15.0  # radius + a few bond lengths of slop
+
+    def test_unconfined_chain_wanders(self):
+        center = np.array([50.0, 50.0, 50.0])
+        pos, _, _, _ = protein_chain(100, center, make_rng(5))
+        r = np.linalg.norm(pos - center, axis=1)
+        assert r.max() > 25.0
+
+    def test_ca_spacing(self):
+        pos, _, _, _ = protein_chain(10, np.zeros(3), make_rng(0),
+                                     sidechain_lengths=np.full(10, 2))
+        # CA atoms are index 2 within each 8-atom residue
+        cas = pos[[2 + 8 * i for i in range(10)]]
+        d = np.linalg.norm(np.diff(cas, axis=0), axis=1)
+        np.testing.assert_allclose(d, 3.8, atol=0.01)

@@ -1,0 +1,58 @@
+"""CLI smoke tests (direct invocation, captured stdout)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        for cmd in ("info", "md", "scaling", "audit", "grainsize"):
+            args = build_parser().parse_args([cmd])
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "92224" in out.replace(",", "")
+        assert "ASCI-Red" in out
+
+    def test_md(self, capsys):
+        assert main(["md", "--waters", "27", "--steps", "3", "--cutoff", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "kinetic" in out
+        assert len(out.strip().splitlines()) == 4
+
+    def test_scaling_mini(self, capsys):
+        assert main(["scaling", "--system", "mini", "--procs", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Speedup" in out
+
+    def test_audit_mini(self, capsys):
+        assert main(["audit", "--system", "mini", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Ideal" in out and "Actual" in out
+
+    def test_grainsize_mini(self, capsys):
+        assert main(["grainsize", "--system", "mini"]) == 0
+        out = capsys.readouterr().out
+        assert "before pair splitting" in out
+
+    def test_unknown_machine_exits(self):
+        with pytest.raises(SystemExit):
+            main(["scaling", "--system", "mini", "--machine", "Cray-XMP"])
+
+    def test_report_empty_dir_errors(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 1
+
+    def test_report_prints_artifacts(self, tmp_path, capsys):
+        (tmp_path / "table9.txt").write_text("hello table")
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "table9" in out and "hello table" in out

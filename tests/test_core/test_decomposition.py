@@ -1,0 +1,182 @@
+"""Spatial decomposition: patch grids, neighbor pairs, bonded ownership."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import PATCH_SIZE_FACTOR, SpatialDecomposition
+
+
+class TestPatchGrid:
+    def test_apoa1_box_gives_245_patches(self, water64):
+        """The paper's ApoA-I grid: 108.86x108.86x77.76 at 12 A -> 7x7x5."""
+        s = water64.copy()
+        s.box = np.array([108.86, 108.86, 77.76])
+        d = SpatialDecomposition(s, cutoff=12.0)
+        assert tuple(d.dims) == (7, 7, 5)
+        assert d.n_patches == 245
+
+    def test_patch_edges_at_least_cutoff(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        assert np.all(d.patch_edge >= d.cutoff - 1e-9)
+
+    def test_every_atom_in_exactly_one_patch(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        counted = np.concatenate(d.patch_atoms)
+        assert len(counted) == assembly.n_atoms
+        assert len(np.unique(counted)) == assembly.n_atoms
+
+    def test_atoms_inside_their_patch_bounds(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        for p in range(d.n_patches):
+            atoms = d.patch_atoms[p]
+            if len(atoms) == 0:
+                continue
+            coords = np.array(d.coords(p))
+            lo = coords * d.patch_edge
+            hi = (coords + 1) * d.patch_edge
+            pos = assembly.positions[atoms]
+            assert np.all(pos >= lo - 1e-9) and np.all(pos <= hi + 1e-9)
+
+    def test_explicit_dims_override(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0, dims=(1, 1, 2))
+        assert d.n_patches == 2
+
+    def test_rejects_dims_smaller_than_cutoff(self, assembly):
+        with pytest.raises(ValueError):
+            SpatialDecomposition(assembly, cutoff=12.0, dims=(5, 5, 5))
+
+    def test_flat_coords_roundtrip(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        for p in range(d.n_patches):
+            assert d.flat(*d.coords(p)) == p
+
+
+class TestNeighbors:
+    def test_pair_count_matches_paper_formula(self, water64):
+        """With periodic wrapping and dims >= 3 per axis: 13 pairs/patch."""
+        s = water64.copy()
+        s.box = np.array([108.86, 108.86, 77.76])
+        d = SpatialDecomposition(s, cutoff=12.0)
+        # paper: 14 objects per cube = 1 self + 26/2 pair objects, i.e.
+        # 3430 total for ApoA-I; pair objects alone = 245*13 = 3185
+        assert len(d.neighbor_pairs()) == 245 * 13
+        assert len(d.neighbor_pairs()) + d.n_patches == 3430
+
+    def test_pairs_unique_and_ordered(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        pairs = d.neighbor_pairs()
+        assert len(set(pairs)) == len(pairs)
+        assert all(a < b for a, b in pairs)
+
+    def test_small_grid_dedupes_wrapped_neighbors(self, assembly):
+        """2x2x2 grid: wrapping aliases many offsets."""
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        assert tuple(d.dims) == (2, 2, 2)
+        pairs = d.neighbor_pairs()
+        # all C(8,2)=28 pairs are neighbors on a 2-cube with PBC
+        assert len(pairs) == 28
+
+    def test_upstream_neighbors_at_most_seven(self, water64):
+        s = water64.copy()
+        s.box = np.array([108.86, 108.86, 77.76])
+        d = SpatialDecomposition(s, cutoff=12.0)
+        for p in range(0, d.n_patches, 17):
+            ups = d.upstream_neighbors(p)
+            assert 1 <= len(ups) <= 7
+            assert p not in ups
+
+
+class TestBondedOwnership:
+    def test_every_term_assigned_exactly_once(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        a = d.assign_bonded_terms()
+        topo = assembly.topology
+        for kind, total in (
+            ("bond", topo.n_bonds),
+            ("angle", topo.n_angles),
+            ("dihedral", topo.n_dihedrals),
+            ("improper", topo.n_impropers),
+        ):
+            assigned = sum(len(v) for v in a.intra[kind].values()) + sum(
+                len(v) for v in a.inter[kind].values()
+            )
+            assert assigned == total, kind
+            seen = np.concatenate(
+                [v for v in a.intra[kind].values()]
+                + [v for v in a.inter[kind].values()]
+                + [np.zeros(0, dtype=np.int64)]
+            )
+            assert len(np.unique(seen)) == total
+
+    def test_intra_terms_have_all_atoms_in_owner(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        a = d.assign_bonded_terms()
+        idx, _, _ = assembly.topology.bond_arrays()
+        for patch, terms in a.intra["bond"].items():
+            atoms = idx[terms]
+            assert np.all(d.patch_of_atom[atoms] == patch)
+
+    def test_most_terms_are_intra(self, assembly):
+        """Paper §4.2.2: 'most are contained completely within a single cube'."""
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        a = d.assign_bonded_terms()
+        intra = sum(len(v) for v in a.intra["bond"].values())
+        inter = sum(len(v) for v in a.inter["bond"].values())
+        assert intra > inter
+
+    def test_owner_patch_wrap_aware(self, water64):
+        """A term across the periodic boundary is owned by the high-coord
+        patch (the wrap-aware minimum)."""
+        s = water64.copy()
+        s.box = np.array([108.86, 108.86, 77.76])
+        d = SpatialDecomposition(s, cutoff=12.0)
+        # fabricate patch coords: atom A in x-patch 6 (last), B in x-patch 0
+        pos = s.positions
+        pos[0] = [108.0, 5.0, 5.0]  # patch x = 6
+        pos[1] = [0.5, 5.0, 5.0]  # patch x = 0
+        d2 = SpatialDecomposition(s, cutoff=12.0)
+        owner = d2.owner_patch(np.array([0, 1]))
+        assert d2.coords(owner)[0] == 6
+
+    def test_counts_helper(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        a = d.assign_bonded_terms()
+        c = a.counts(0, "intra")
+        assert set(c) == {"bond", "angle", "dihedral", "improper"}
+        assert all(v >= 0 for v in c.values())
+
+
+class TestPairRowCounts:
+    def test_self_counts_sum_to_pair_count(self, assembly):
+        from repro.md.nonbonded import count_interacting_pairs
+
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        p = int(np.argmax([len(a) for a in d.patch_atoms]))
+        rows = d.pair_row_counts(p, None)
+        expected = count_interacting_pairs(
+            assembly.positions[d.patch_atoms[p]], None, assembly.box, 12.0
+        )
+        assert rows.sum() == expected
+
+    def test_cross_counts_sum_to_pair_count(self, assembly):
+        from repro.md.nonbonded import count_interacting_pairs
+
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        pa, pb = d.neighbor_pairs()[0]
+        rows = d.pair_row_counts(pa, pb)
+        expected = count_interacting_pairs(
+            assembly.positions[d.patch_atoms[pa]],
+            assembly.positions[d.patch_atoms[pb]],
+            assembly.box,
+            12.0,
+        )
+        assert rows.sum() == expected
+        assert len(rows) == len(d.patch_atoms[pa])
+
+    def test_empty_patch(self, water64):
+        s = water64.copy()
+        s.box = np.array([108.86, 108.86, 77.76])  # water cluster in a corner
+        d = SpatialDecomposition(s, cutoff=12.0)
+        empties = [p for p in range(d.n_patches) if len(d.patch_atoms[p]) == 0]
+        assert empties, "expected empty patches in oversized box"
+        assert d.pair_row_counts(empties[0], None).shape == (0,)

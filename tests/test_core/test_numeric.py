@@ -1,0 +1,112 @@
+"""Numeric-mode validation: the parallel protocol computes the same physics
+as the sequential engine (paper V1 — 'not a bad sequential algorithm')."""
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box
+from repro.core.problem import DecomposedProblem
+from repro.core.simulation import (
+    DEFAULT_COST_MODEL,
+    ParallelSimulation,
+    SimulationConfig,
+)
+from repro.md.engine import SequentialEngine
+from repro.md.nonbonded import NonbondedOptions
+
+
+class TestStaticEquivalence:
+    def test_energies_match_sequential_at_x0(self, assembly):
+        eng = SequentialEngine(assembly.copy(), NonbondedOptions(cutoff=12.0))
+        eng.compute_forces()
+        ref = eng.report()
+
+        cfg = SimulationConfig(
+            n_procs=3, numeric=True, lb_schedule=(), steps_per_phase=1, measure_last=1
+        )
+        res = ParallelSimulation(assembly, cfg).run()
+        e = res.final.backend.energies(0)
+        assert e["lj"] == pytest.approx(ref.lj, rel=1e-12)
+        assert e["elec"] == pytest.approx(ref.elec, rel=1e-12)
+        assert e["bonded"] == pytest.approx(ref.bonded.total, rel=1e-12)
+
+    @pytest.mark.parametrize("n_procs", [1, 2, 5])
+    def test_processor_count_does_not_change_physics(self, assembly, n_procs):
+        cfg = SimulationConfig(
+            n_procs=n_procs, numeric=True, lb_schedule=(), steps_per_phase=1,
+            measure_last=1,
+        )
+        res = ParallelSimulation(assembly, cfg).run()
+        e = res.final.backend.energies(0)
+        cfg1 = SimulationConfig(
+            n_procs=1, numeric=True, lb_schedule=(), steps_per_phase=1, measure_last=1
+        )
+        ref = ParallelSimulation(assembly, cfg1).run().final.backend.energies(0)
+        for key in ("lj", "elec", "bonded"):
+            assert e[key] == pytest.approx(ref[key], rel=1e-10)
+
+
+class TestTrajectoryEquivalence:
+    def test_three_step_energies_match_sequential(self):
+        w = small_water_box(100, seed=4)
+        w.assign_velocities(300.0, seed=9)
+
+        seq = SequentialEngine(w.copy(), NonbondedOptions(cutoff=6.0))
+        reports = [seq.step() for _ in range(3)]
+
+        cfg = SimulationConfig(
+            n_procs=4,
+            numeric=True,
+            dt=1.0,
+            cutoff=6.0,
+            lb_schedule=(),
+            steps_per_phase=4,
+            measure_last=1,
+        )
+        res = ParallelSimulation(w, cfg).run()
+        be = res.final.backend
+        for r in (1, 2, 3):
+            e = be.energies(r)
+            ref = reports[r - 1]
+            assert e["lj"] == pytest.approx(ref.lj, abs=1e-8)
+            assert e["elec"] == pytest.approx(ref.elec, abs=1e-8)
+            assert e["kinetic"] == pytest.approx(ref.kinetic, abs=1e-8)
+
+    def test_energy_conserved_in_parallel_nve(self):
+        w = small_water_box(64, seed=3)
+        w.assign_velocities(300.0, seed=1)
+        cfg = SimulationConfig(
+            n_procs=3,
+            numeric=True,
+            dt=0.5,
+            cutoff=6.0,
+            lb_schedule=(),
+            steps_per_phase=20,
+            measure_last=1,
+        )
+        res = ParallelSimulation(w, cfg).run()
+        be = res.final.backend
+        totals = []
+        for r in range(1, 20):
+            e = be.energies(r)
+            totals.append(e["lj"] + e["elec"] + e["bonded"] + e["kinetic"])
+        totals = np.array(totals)
+        assert np.abs(totals - totals[0]).max() / abs(totals[0]) < 1e-2
+
+    def test_grainsize_split_does_not_change_forces(self, assembly):
+        from repro.core.computes import GrainsizeConfig
+
+        base = SimulationConfig(
+            n_procs=2, numeric=True, lb_schedule=(), steps_per_phase=1,
+            measure_last=1,
+            grainsize=GrainsizeConfig(split_self=False, split_pairs=False),
+        )
+        split = SimulationConfig(
+            n_procs=2, numeric=True, lb_schedule=(), steps_per_phase=1,
+            measure_last=1,
+            grainsize=GrainsizeConfig(target_load_s=0.001),
+        )
+        e1 = ParallelSimulation(assembly, base).run().final.backend.energies(0)
+        e2 = ParallelSimulation(assembly, split).run().final.backend.energies(0)
+        for key in ("lj", "elec", "bonded"):
+            assert e1[key] == pytest.approx(e2[key], rel=1e-9)

@@ -1,0 +1,46 @@
+"""Flop model used for the GFLOPS columns."""
+
+import pytest
+
+from repro.costmodel.flops import DEFAULT_FLOPS, FlopModel
+from repro.costmodel.model import WorkCounts
+
+
+def counts(**kw):
+    base = dict(atoms=100, nonbonded_pairs=1000, candidate_pairs=5000,
+                bonds=50, angles=30, dihedrals=20, impropers=5)
+    base.update(kw)
+    return WorkCounts(**base)
+
+
+class TestFlopModel:
+    def test_step_flops_positive(self):
+        assert DEFAULT_FLOPS.step_flops(counts()) > 0
+
+    def test_linear_in_pairs(self):
+        f1 = DEFAULT_FLOPS.step_flops(counts(nonbonded_pairs=1000))
+        f2 = DEFAULT_FLOPS.step_flops(counts(nonbonded_pairs=2000))
+        assert f2 - f1 == pytest.approx(1000 * DEFAULT_FLOPS.per_pair)
+
+    def test_component_accounting(self):
+        fm = FlopModel(per_pair=10, per_candidate=1, per_bond=2, per_angle=3,
+                       per_dihedral=4, per_improper=5, per_atom_integration=6)
+        c = counts()
+        expected = (10 * 1000 + 1 * 5000 + 2 * 50 + 3 * 30 + 4 * 20 + 5 * 5
+                    + 6 * 100)
+        assert fm.step_flops(c) == expected
+
+    def test_apoa1_scale_sanity(self):
+        """The paper's 1-processor ApoA-I run: ~0.048 GFLOPS at 57 s/step,
+        i.e. ~2.7 Gflop per step at ~34M pairs."""
+        c = counts(
+            atoms=92_224,
+            nonbonded_pairs=34_136_210,
+            candidate_pairs=470_422_030,
+            bonds=67_418,
+            angles=42_243,
+            dihedrals=11_272,
+            impropers=880,
+        )
+        gflops_at_paper_time = DEFAULT_FLOPS.step_flops(c) / 57.04 / 1e9
+        assert gflops_at_paper_time == pytest.approx(0.048, rel=0.2)

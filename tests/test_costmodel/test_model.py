@@ -1,0 +1,87 @@
+"""Cost model: calibration algebra and work counting."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import SpatialDecomposition
+from repro.costmodel.model import PAPER_APOA1_SECONDS, CostModel, WorkCounts, count_work
+
+
+def make_counts(**overrides):
+    base = dict(
+        atoms=1000,
+        nonbonded_pairs=100_000,
+        candidate_pairs=1_000_000,
+        bonds=800,
+        angles=500,
+        dihedrals=200,
+        impropers=20,
+    )
+    base.update(overrides)
+    return WorkCounts(**base)
+
+
+class TestCalibration:
+    def test_calibrated_reproduces_target_times(self):
+        counts = make_counts()
+        cm = CostModel.calibrated(counts, nonbonded_s=10.0, bonded_s=2.0,
+                                  integration_s=1.0)
+        nb = cm.nonbonded_cost(counts.nonbonded_pairs, counts.candidate_pairs)
+        bd = cm.bonded_cost(counts.bonds, counts.angles, counts.dihedrals,
+                            counts.impropers)
+        integ = cm.integration_cost(counts.atoms)
+        assert nb == pytest.approx(10.0)
+        assert bd == pytest.approx(2.0)
+        assert integ == pytest.approx(1.0)
+        assert cm.sequential_step_cost(counts) == pytest.approx(13.0)
+
+    def test_calibration_defaults_are_paper_numbers(self):
+        counts = make_counts()
+        cm = CostModel.calibrated(counts)
+        assert cm.sequential_step_cost(counts) == pytest.approx(
+            sum(PAPER_APOA1_SECONDS.values())
+        )
+
+    def test_rejects_zero_pairs(self):
+        with pytest.raises(ValueError):
+            CostModel.calibrated(make_counts(nonbonded_pairs=0))
+
+    def test_costs_scale_linearly(self):
+        cm = CostModel.calibrated(make_counts())
+        assert cm.nonbonded_cost(200, 0) == pytest.approx(2 * cm.nonbonded_cost(100, 0))
+        assert cm.integration_cost(50) == pytest.approx(50 * cm.t_atom_integration)
+
+    def test_weighted_bonded(self):
+        c = make_counts(bonds=10, angles=10, dihedrals=10, impropers=10)
+        assert c.weighted_bonded == pytest.approx(10 * (1 + 2 + 4 + 3.5))
+
+
+class TestCountWork:
+    def test_counts_on_assembly(self, assembly):
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        w = count_work(assembly, d)
+        assert w.atoms == assembly.n_atoms
+        assert w.bonds == assembly.topology.n_bonds
+        assert w.nonbonded_pairs > 0
+        assert w.candidate_pairs >= w.nonbonded_pairs
+
+    def test_counts_match_brute_force(self, water64):
+        from repro.md.nonbonded import count_interacting_pairs
+
+        d = SpatialDecomposition(water64, cutoff=6.0, dims=(2, 2, 2))
+        w = count_work(water64, d)
+        # brute force over the whole system
+        brute = count_interacting_pairs(water64.positions, None, water64.box, 6.0)
+        assert w.nonbonded_pairs == brute
+
+    def test_counts_agree_with_descriptor_sums(self, assembly):
+        from repro.core.computes import GrainsizeConfig, build_nonbonded_computes
+        from repro.core.simulation import DEFAULT_COST_MODEL
+
+        d = SpatialDecomposition(assembly, cutoff=12.0)
+        w = count_work(assembly, d)
+        descs = build_nonbonded_computes(
+            d, DEFAULT_COST_MODEL, GrainsizeConfig(split_self=False, split_pairs=False)
+        )
+        assert sum(x.n_pairs for x in descs) == w.nonbonded_pairs
+        assert sum(x.n_candidates for x in descs) == w.candidate_pairs

@@ -1,0 +1,217 @@
+"""Bonded kernels: analytic forces vs numerical gradients, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.md import bonded
+from repro.md.forcefield import (
+    STANDARD_ANGLE,
+    STANDARD_BOND,
+    STANDARD_DIHEDRAL,
+    STANDARD_IMPROPER,
+)
+from repro.md.system import MolecularSystem
+from repro.md.topology import Topology
+from repro.md.forcefield import default_forcefield
+
+
+def four_atom_system(positions, topo):
+    ff = default_forcefield()
+    n = len(positions)
+    return MolecularSystem(
+        positions=np.asarray(positions, dtype=float),
+        velocities=np.zeros((n, 3)),
+        charges=np.zeros(n),
+        type_indices=np.full(n, ff.atom_type_index("CT")),
+        topology=topo,
+        forcefield=ff,
+        box=np.array([50.0, 50.0, 50.0]),
+    )
+
+
+def numerical_forces(system, kernel, h=1e-6):
+    def energy():
+        f = np.zeros_like(system.positions)
+        return kernel(system, f)
+
+    out = np.zeros_like(system.positions)
+    for i in range(system.n_atoms):
+        for d in range(3):
+            orig = system.positions[i, d]
+            system.positions[i, d] = orig + h
+            ep = energy()
+            system.positions[i, d] = orig - h
+            em = energy()
+            system.positions[i, d] = orig
+            out[i, d] = -(ep - em) / (2 * h)
+    return out
+
+
+class TestBonds:
+    def test_energy_zero_at_equilibrium(self):
+        topo = Topology()
+        topo.add_bond(0, 1, STANDARD_BOND)
+        s = four_atom_system([[0, 0, 0], [STANDARD_BOND.r0, 0, 0]], topo)
+        f = np.zeros((2, 3))
+        assert bonded.compute_bonds(s, f) == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(f, 0.0, atol=1e-9)
+
+    def test_stretched_bond_pulls_together(self):
+        topo = Topology()
+        topo.add_bond(0, 1, STANDARD_BOND)
+        s = four_atom_system([[0, 0, 0], [STANDARD_BOND.r0 + 0.5, 0, 0]], topo)
+        f = np.zeros((2, 3))
+        e = bonded.compute_bonds(s, f)
+        assert e == pytest.approx(STANDARD_BOND.k * 0.25)
+        assert f[0, 0] > 0 and f[1, 0] < 0  # attraction
+
+    def test_forces_match_numerical(self, rng):
+        topo = Topology()
+        topo.add_bond(0, 1, STANDARD_BOND)
+        topo.add_bond(1, 2, STANDARD_BOND)
+        s = four_atom_system(rng.normal(scale=1.5, size=(3, 3)) + 25.0, topo)
+        f = np.zeros((3, 3))
+        bonded.compute_bonds(s, f)
+        np.testing.assert_allclose(
+            f, numerical_forces(s, bonded.compute_bonds), rtol=1e-5, atol=1e-6
+        )
+
+    def test_pbc_bond_across_boundary(self):
+        topo = Topology()
+        topo.add_bond(0, 1, STANDARD_BOND)
+        # atoms on opposite faces: true separation via PBC is small
+        s = four_atom_system([[0.2, 0, 0], [49.8, 0, 0]], topo)
+        f = np.zeros((2, 3))
+        e = bonded.compute_bonds(s, f)
+        # min-image distance = 0.4 -> compressed bond, not stretched to 49.6
+        assert e == pytest.approx(STANDARD_BOND.k * (0.4 - STANDARD_BOND.r0) ** 2)
+
+    def test_subset_selects_terms(self):
+        topo = Topology()
+        topo.add_bond(0, 1, STANDARD_BOND)
+        topo.add_bond(1, 2, STANDARD_BOND)
+        s = four_atom_system([[0, 0, 0], [2.0, 0, 0], [4.0, 0, 0]], topo)
+        f_all = np.zeros((3, 3))
+        e_all = bonded.compute_bonds(s, f_all)
+        f0 = np.zeros((3, 3))
+        e0 = bonded.compute_bonds(s, f0, subset=np.array([0]))
+        f1 = np.zeros((3, 3))
+        e1 = bonded.compute_bonds(s, f1, subset=np.array([1]))
+        assert e0 + e1 == pytest.approx(e_all)
+        np.testing.assert_allclose(f0 + f1, f_all, atol=1e-12)
+
+
+class TestAngles:
+    def test_energy_zero_at_equilibrium(self):
+        theta0 = STANDARD_ANGLE.theta0
+        topo = Topology()
+        topo.add_angle(0, 1, 2, STANDARD_ANGLE)
+        pos = [
+            [np.cos(theta0), np.sin(theta0), 0.0],
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+        ]
+        s = four_atom_system(pos, topo)
+        f = np.zeros((3, 3))
+        assert bonded.compute_angles(s, f) == pytest.approx(0.0, abs=1e-10)
+
+    def test_forces_match_numerical(self, rng):
+        topo = Topology()
+        topo.add_angle(0, 1, 2, STANDARD_ANGLE)
+        s = four_atom_system(rng.normal(scale=1.5, size=(3, 3)) + 25.0, topo)
+        f = np.zeros((3, 3))
+        bonded.compute_angles(s, f)
+        np.testing.assert_allclose(
+            f, numerical_forces(s, bonded.compute_angles), rtol=1e-4, atol=1e-6
+        )
+
+    def test_net_force_and_torque_free(self, rng):
+        topo = Topology()
+        topo.add_angle(0, 1, 2, STANDARD_ANGLE)
+        pos = rng.normal(scale=1.5, size=(3, 3)) + 25.0
+        s = four_atom_system(pos, topo)
+        f = np.zeros((3, 3))
+        bonded.compute_angles(s, f)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-10)
+        torque = np.cross(s.positions - s.positions.mean(axis=0), f).sum(axis=0)
+        np.testing.assert_allclose(torque, 0.0, atol=1e-9)
+
+
+class TestDihedrals:
+    def test_forces_match_numerical(self, rng):
+        topo = Topology()
+        topo.add_dihedral(0, 1, 2, 3, STANDARD_DIHEDRAL)
+        s = four_atom_system(rng.normal(scale=1.5, size=(4, 3)) + 25.0, topo)
+        f = np.zeros((4, 3))
+        bonded.compute_dihedrals(s, f)
+        np.testing.assert_allclose(
+            f, numerical_forces(s, bonded.compute_dihedrals), rtol=1e-4, atol=1e-6
+        )
+
+    def test_net_force_zero(self, rng):
+        topo = Topology()
+        topo.add_dihedral(0, 1, 2, 3, STANDARD_DIHEDRAL)
+        s = four_atom_system(rng.normal(scale=2.0, size=(4, 3)) + 25.0, topo)
+        f = np.zeros((4, 3))
+        bonded.compute_dihedrals(s, f)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_energy_bounds(self, rng):
+        """E = k (1 + cos(...)) lies in [0, 2k]."""
+        topo = Topology()
+        topo.add_dihedral(0, 1, 2, 3, STANDARD_DIHEDRAL)
+        for _ in range(10):
+            s = four_atom_system(rng.normal(scale=2.0, size=(4, 3)) + 25.0, topo)
+            f = np.zeros((4, 3))
+            e = bonded.compute_dihedrals(s, f)
+            assert 0.0 <= e <= 2.0 * STANDARD_DIHEDRAL.k + 1e-12
+
+    def test_planar_trans_configuration_angle(self):
+        """A planar zig-zag has phi = pi."""
+        topo = Topology()
+        topo.add_dihedral(0, 1, 2, 3, STANDARD_DIHEDRAL)
+        pos = [[0, 1, 0], [0, 0, 0], [1, 0, 0], [1, -1, 0]]
+        s = four_atom_system(pos, topo)
+        phi = bonded.dihedral_angles(s)
+        assert abs(abs(phi[0]) - np.pi) < 1e-9
+
+
+class TestImpropers:
+    def test_forces_match_numerical(self, rng):
+        topo = Topology()
+        topo.add_improper(0, 1, 2, 3, STANDARD_IMPROPER)
+        s = four_atom_system(rng.normal(scale=1.5, size=(4, 3)) + 25.0, topo)
+        f = np.zeros((4, 3))
+        bonded.compute_impropers(s, f)
+        np.testing.assert_allclose(
+            f, numerical_forces(s, bonded.compute_impropers), rtol=1e-4, atol=1e-6
+        )
+
+    def test_wraps_angle_difference(self):
+        """psi0 near pi must behave continuously across the branch cut."""
+        from repro.md.forcefield import ImproperType
+
+        itype = ImproperType(k=10.0, psi0=np.pi - 0.01)
+        topo = Topology()
+        topo.add_improper(0, 1, 2, 3, itype)
+        pos = [[0, 1, 0], [0, 0, 0], [1, 0, 0], [1, -1, 1e-3]]
+        s = four_atom_system(pos, topo)
+        f = np.zeros((4, 3))
+        e = bonded.compute_impropers(s, f)
+        assert e < 10.0 * 0.1  # small deviation, not ~ (2 pi)^2
+
+
+class TestComputeBonded:
+    def test_aggregates_all_kinds(self, peptide):
+        energies, forces = bonded.compute_bonded(peptide)
+        assert energies.bond > 0
+        assert energies.angle > 0
+        assert energies.dihedral >= 0
+        assert energies.total == pytest.approx(
+            energies.bond + energies.angle + energies.dihedral + energies.improper
+        )
+        assert forces.shape == (peptide.n_atoms, 3)
+
+    def test_net_force_zero_full_system(self, peptide):
+        _, forces = bonded.compute_bonded(peptide)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-8)

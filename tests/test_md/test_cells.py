@@ -1,0 +1,108 @@
+"""Cell grid and candidate pair coverage (must find every in-cutoff pair)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.cells import HALF_SHELL_OFFSETS, CellGrid, candidate_pairs
+from repro.util.pbc import minimum_image, wrap_positions
+
+
+def brute_force_pairs(pos, box, cutoff):
+    n = len(pos)
+    found = set()
+    for i in range(n):
+        delta = minimum_image(pos[i + 1 :] - pos[i], box)
+        r2 = np.einsum("ij,ij->i", delta, delta)
+        for j in np.flatnonzero(r2 < cutoff * cutoff):
+            found.add((i, i + 1 + int(j)))
+    return found
+
+
+class TestHalfShell:
+    def test_thirteen_offsets(self):
+        assert HALF_SHELL_OFFSETS.shape == (13, 3)
+
+    def test_lexicographically_positive(self):
+        for off in HALF_SHELL_OFFSETS:
+            assert tuple(off) > (0, 0, 0)
+
+    def test_union_with_negations_covers_26(self):
+        s = {tuple(o) for o in HALF_SHELL_OFFSETS}
+        s |= {tuple(-o) for o in HALF_SHELL_OFFSETS}
+        assert len(s) == 26
+
+
+class TestCellGrid:
+    def test_build_assigns_all_atoms(self):
+        rng = np.random.default_rng(0)
+        box = np.array([30.0, 30.0, 30.0])
+        pos = wrap_positions(rng.random((100, 3)) * box, box)
+        grid = CellGrid.build(pos, box, cutoff=10.0)
+        total = sum(len(grid.atoms_in_cell(c)) for c in range(grid.n_cells))
+        assert total == 100
+
+    def test_dims_at_least_one(self):
+        box = np.array([5.0, 5.0, 5.0])
+        pos = np.array([[1.0, 1.0, 1.0]])
+        grid = CellGrid.build(pos, box, cutoff=10.0)
+        assert grid.n_cells == 1
+
+    def test_flat_coords_roundtrip(self):
+        box = np.array([30.0, 40.0, 50.0])
+        pos = np.zeros((1, 3))
+        grid = CellGrid.build(pos, box, cutoff=10.0)
+        for c in range(grid.n_cells):
+            assert grid.flat_index(*grid.cell_coords(c)) == c
+
+    def test_rejects_nonpositive_cutoff(self):
+        with pytest.raises(ValueError):
+            CellGrid.build(np.zeros((1, 3)), np.ones(3), 0.0)
+
+    def test_neighbor_pairs_unique(self):
+        box = np.array([30.0, 30.0, 30.0])
+        grid = CellGrid.build(np.zeros((1, 3)), box, 10.0)
+        pairs = grid.neighbor_cell_pairs()
+        assert len(pairs) == len(set(pairs))
+
+    def test_small_grid_no_duplicate_neighbor_pairs(self):
+        # dims (2,2,2): wrapping makes many offsets alias; must dedupe
+        box = np.array([20.0, 20.0, 20.0])
+        grid = CellGrid.build(np.zeros((1, 3)), box, 10.0)
+        pairs = grid.neighbor_cell_pairs()
+        for a, b in pairs:
+            assert a <= b
+        assert len(pairs) == len(set(pairs))
+
+
+class TestCandidatePairCoverage:
+    @pytest.mark.parametrize("n,cutoff,side", [(60, 5.0, 20.0), (40, 8.0, 18.0), (25, 3.0, 9.5)])
+    def test_covers_brute_force(self, n, cutoff, side):
+        rng = np.random.default_rng(n)
+        box = np.array([side, side, side])
+        pos = wrap_positions(rng.random((n, 3)) * box, box)
+        i, j = candidate_pairs(pos, box, cutoff)
+        cand = {(min(a, b), max(a, b)) for a, b in zip(i.tolist(), j.tolist())}
+        assert len(cand) == len(i), "candidate pairs must be unique"
+        ref = brute_force_pairs(pos, box, cutoff)
+        assert ref <= cand, f"missing pairs: {ref - cand}"
+
+    def test_empty_input(self):
+        i, j = candidate_pairs(np.zeros((0, 3)), np.ones(3) * 10, 3.0)
+        assert len(i) == len(j) == 0
+
+    def test_single_atom(self):
+        i, j = candidate_pairs(np.zeros((1, 3)), np.ones(3) * 10, 3.0)
+        assert len(i) == 0
+
+    @given(st.integers(2, 40), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_coverage(self, n, seed):
+        rng = np.random.default_rng(seed)
+        box = np.array([15.0, 12.0, 18.0])
+        cutoff = 4.0
+        pos = wrap_positions(rng.random((n, 3)) * box, box)
+        i, j = candidate_pairs(pos, box, cutoff)
+        cand = {(min(a, b), max(a, b)) for a, b in zip(i.tolist(), j.tolist())}
+        assert brute_force_pairs(pos, box, cutoff) <= cand

@@ -1,0 +1,121 @@
+"""SHAKE/RATTLE constraints: convergence, exactness, rigid-water dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box
+from repro.md.constraints import ConstraintSolver, water_constraints
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ConstraintSolver(np.array([[0, 1]]), np.array([1.0, 2.0]))
+
+    def test_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            ConstraintSolver(np.array([[0, 1]]), np.array([0.0]))
+
+
+class TestShake:
+    def test_single_pair_exact(self):
+        box = np.array([50.0, 50.0, 50.0])
+        pos = np.array([[0.0, 0.0, 0.0], [1.3, 0.0, 0.0]])
+        masses = np.array([16.0, 1.0])
+        solver = ConstraintSolver(np.array([[0, 1]]), np.array([1.0]))
+        solver.shake(pos, masses, box)
+        assert np.linalg.norm(pos[1] - pos[0]) == pytest.approx(1.0, rel=1e-7)
+
+    def test_mass_weighting(self):
+        """The heavy atom moves (much) less."""
+        box = np.array([50.0, 50.0, 50.0])
+        pos = np.array([[0.0, 0.0, 0.0], [1.5, 0.0, 0.0]])
+        p0 = pos.copy()
+        masses = np.array([100.0, 1.0])
+        ConstraintSolver(np.array([[0, 1]]), np.array([1.0])).shake(pos, masses, box)
+        moved = np.linalg.norm(pos - p0, axis=1)
+        assert moved[0] < 0.05 * moved[1]
+
+    def test_center_of_mass_preserved(self):
+        box = np.array([50.0, 50.0, 50.0])
+        rng = np.random.default_rng(0)
+        pos = rng.random((3, 3)) * 3 + 20
+        masses = np.array([16.0, 1.0, 1.0])
+        com0 = masses @ pos / masses.sum()
+        solver = ConstraintSolver(
+            np.array([[0, 1], [0, 2], [1, 2]]), np.array([1.0, 1.0, 1.6])
+        )
+        solver.shake(pos, masses, box)
+        com1 = masses @ pos / masses.sum()
+        np.testing.assert_allclose(com1, com0, atol=1e-9)
+
+    def test_triangle_converges(self):
+        box = np.array([50.0, 50.0, 50.0])
+        pos = np.array([[0.0, 0.0, 0.0], [1.2, 0.1, 0.0], [-0.2, 1.1, 0.0]])
+        masses = np.array([16.0, 1.0, 1.0])
+        solver = ConstraintSolver(
+            np.array([[0, 1], [0, 2], [1, 2]]),
+            np.array([0.9572, 0.9572, 1.5139]),
+        )
+        solver.shake(pos, masses, box)
+        assert solver.max_violation(pos, box) < 1e-6
+
+    def test_pbc_constraint_across_boundary(self):
+        box = np.array([10.0, 10.0, 10.0])
+        pos = np.array([[0.2, 0.0, 0.0], [9.9, 0.0, 0.0]])  # true dist 0.3
+        masses = np.ones(2)
+        ConstraintSolver(np.array([[0, 1]]), np.array([0.5])).shake(pos, masses, box)
+        from repro.util.pbc import minimum_image
+
+        d = np.linalg.norm(minimum_image(pos[1] - pos[0], box))
+        assert d == pytest.approx(0.5, rel=1e-6)
+
+
+class TestRattle:
+    def test_removes_radial_velocity(self):
+        box = np.array([50.0, 50.0, 50.0])
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        vel = np.array([[0.0, 0.0, 0.0], [0.3, 0.2, 0.0]])
+        masses = np.ones(2)
+        solver = ConstraintSolver(np.array([[0, 1]]), np.array([1.0]))
+        solver.rattle(pos, vel, masses, box)
+        vrel = vel[1] - vel[0]
+        assert abs(np.dot(vrel, pos[1] - pos[0])) < 1e-9
+        # tangential component untouched
+        assert vel[1][1] - vel[0][1] == pytest.approx(0.2)
+
+
+class TestRigidWaterDynamics:
+    def test_water_constraints_extraction(self, water64):
+        solver = water_constraints(water64)
+        assert solver.n_constraints == 64 * 3
+        assert solver.max_violation(water64.positions, water64.box) < 0.2
+
+    def test_rigid_water_nve_keeps_geometry(self):
+        """Constrained dynamics at dt=2 fs keeps every water rigid."""
+        from repro.md.bonded import compute_bonded
+        from repro.md.constants import ACC_CONVERSION
+        from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
+
+        s = small_water_box(27, seed=5)
+        s.assign_velocities(300.0, seed=2)
+        solver = water_constraints(s)
+        solver.shake(s.positions, s.masses, s.box)
+        opts = NonbondedOptions(cutoff=4.5)
+        dt = 2.0  # rigid water tolerates 2 fs
+        masses = s.masses[:, None]
+
+        def forces():
+            nb = compute_nonbonded(s, opts)
+            _, f = compute_bonded(s)
+            return f + nb.forces
+
+        f = forces()
+        for _ in range(10):
+            s.velocities += 0.5 * dt * ACC_CONVERSION * f / masses
+            s.positions += dt * s.velocities
+            solver.shake(s.positions, s.masses, s.box, s.velocities, dt)
+            f = forces()
+            s.velocities += 0.5 * dt * ACC_CONVERSION * f / masses
+            solver.rattle(s.positions, s.velocities, s.masses, s.box)
+        assert solver.max_violation(s.positions, s.box) < 1e-6

@@ -1,0 +1,58 @@
+"""Sequential engine end-to-end: energy conservation, reports."""
+
+import numpy as np
+import pytest
+
+from repro.md.engine import SequentialEngine
+from repro.md.integrator import VelocityVerlet
+from repro.md.nonbonded import NonbondedOptions
+
+
+class TestEngine:
+    def test_report_components_sum(self, water64):
+        eng = SequentialEngine(water64.copy(), NonbondedOptions(cutoff=6.0))
+        rep = eng.report()
+        assert rep.total == pytest.approx(rep.kinetic + rep.potential)
+        assert rep.potential == pytest.approx(rep.lj + rep.elec + rep.bonded.total)
+
+    def test_nve_energy_conservation(self, water64):
+        system = water64.copy()
+        system.assign_velocities(300.0, seed=1)
+        eng = SequentialEngine(
+            system, NonbondedOptions(cutoff=5.0, switch_dist=4.0), VelocityVerlet(dt=0.5)
+        )
+        first = eng.step()
+        reports = eng.run(40)
+        e0 = first.total
+        for rep in reports:
+            assert abs(rep.total - e0) / abs(e0) < 5e-3
+
+    def test_step_counter_advances(self, water64):
+        eng = SequentialEngine(water64.copy(), NonbondedOptions(cutoff=6.0))
+        assert eng.current_step == 0
+        eng.run(3)
+        assert eng.current_step == 3
+        assert eng.report().step == 3
+
+    def test_forces_change_positions(self, water64):
+        system = water64.copy()
+        system.assign_velocities(300.0, seed=1)
+        before = system.positions.copy()
+        SequentialEngine(system, NonbondedOptions(cutoff=6.0)).step()
+        assert not np.allclose(before, system.positions)
+
+    def test_cold_start_stays_cold_briefly(self, water64):
+        """At v=0 and near-minimum, kinetic energy stays small initially."""
+        system = water64.copy()
+        system.velocities[:] = 0.0
+        eng = SequentialEngine(system, NonbondedOptions(cutoff=6.0), VelocityVerlet(dt=0.2))
+        rep = eng.step()
+        assert rep.kinetic < 50.0
+
+    def test_vacuum_peptide_runs(self, peptide):
+        system = peptide.copy()
+        system.assign_velocities(10.0, seed=0)
+        eng = SequentialEngine(system, NonbondedOptions(cutoff=10.0), VelocityVerlet(dt=0.25))
+        reports = eng.run(10)
+        assert len(reports) == 10
+        assert np.isfinite(reports[-1].total)

@@ -1,0 +1,82 @@
+"""Force-field registry and parameter validation."""
+
+import numpy as np
+import pytest
+
+from repro.md.forcefield import (
+    AtomType,
+    BondType,
+    ForceField,
+    default_forcefield,
+)
+
+
+class TestAtomType:
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ValueError):
+            AtomType("X", 0.0, 0.1, 1.0)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            AtomType("X", 1.0, -0.1, 1.0)
+
+    def test_rejects_negative_rmin(self):
+        with pytest.raises(ValueError):
+            AtomType("X", 1.0, 0.1, -1.0)
+
+
+class TestForceField:
+    def test_registration_returns_stable_indices(self):
+        ff = ForceField()
+        i = ff.add_atom_type(AtomType("A", 1.0, 0.1, 1.0))
+        j = ff.add_atom_type(AtomType("B", 2.0, 0.2, 2.0))
+        assert (i, j) == (0, 1)
+        assert ff.atom_type_index("A") == 0
+        assert ff.atom_type_index("B") == 1
+
+    def test_idempotent_reregistration(self):
+        ff = ForceField()
+        t = AtomType("A", 1.0, 0.1, 1.0)
+        assert ff.add_atom_type(t) == ff.add_atom_type(t)
+        assert ff.n_atom_types == 1
+
+    def test_conflicting_redefinition_raises(self):
+        ff = ForceField()
+        ff.add_atom_type(AtomType("A", 1.0, 0.1, 1.0))
+        with pytest.raises(ValueError):
+            ff.add_atom_type(AtomType("A", 9.0, 0.1, 1.0))
+
+    def test_unknown_type_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            ForceField().atom_type_index("nope")
+
+    def test_contains(self):
+        ff = default_forcefield()
+        assert "OT" in ff
+        assert "XX" not in ff
+
+    def test_lj_tables_order_matches_indices(self):
+        ff = default_forcefield()
+        mass, eps, rmin = ff.lj_tables()
+        i = ff.atom_type_index("OT")
+        assert mass[i] == pytest.approx(15.9994)
+        assert eps[i] == pytest.approx(0.1521)
+        assert rmin[i] == pytest.approx(1.7682)
+        assert len(mass) == len(eps) == len(rmin) == ff.n_atom_types
+
+
+class TestDefaultForcefield:
+    def test_covers_builder_types(self):
+        ff = default_forcefield()
+        for name in ("OT", "HT", "C", "CA", "CT", "N", "O", "H", "HA",
+                     "CTL", "CL", "PL", "OSL", "O2L", "NTL"):
+            assert name in ff
+
+    def test_water_types_are_tip3p_like(self):
+        ff = default_forcefield()
+        mass, _, _ = ff.lj_tables()
+        assert mass[ff.atom_type_index("HT")] == pytest.approx(1.008)
+
+    def test_bond_type_values(self):
+        b = BondType(k=340.0, r0=1.53)
+        assert b.k == 340.0 and b.r0 == 1.53

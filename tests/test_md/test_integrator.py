@@ -1,0 +1,99 @@
+"""Integrators: exactness on analytic systems, thermostat behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.md.constants import ACC_CONVERSION
+from repro.md.integrator import LangevinIntegrator, VelocityVerlet
+
+
+class TestVelocityVerlet:
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            VelocityVerlet(dt=0.0)
+
+    def test_free_particle_constant_velocity(self):
+        vv = VelocityVerlet(dt=1.0)
+        x = np.zeros((1, 3))
+        v = np.array([[0.1, 0.0, 0.0]])
+        f = np.zeros((1, 3))
+        m = np.array([1.0])
+        for _ in range(10):
+            f = vv.step(x, v, f, m, lambda pos: np.zeros((1, 3)))
+        np.testing.assert_allclose(v, [[0.1, 0.0, 0.0]])
+        np.testing.assert_allclose(x, [[1.0, 0.0, 0.0]])
+
+    def test_harmonic_oscillator_energy_conservation(self):
+        """SHO with period >> dt conserves energy to O(dt^2)."""
+        k = 100.0  # kcal/mol/A^2
+        m = np.array([12.0])
+        vv = VelocityVerlet(dt=0.5)
+        x = np.array([[0.3, 0.0, 0.0]])
+        v = np.zeros((1, 3))
+
+        def force(pos):
+            return -k * pos
+
+        f = force(x)
+
+        def energy():
+            ke = 0.5 * m[0] * (v**2).sum() / ACC_CONVERSION
+            pe = 0.5 * k * (x**2).sum()
+            return ke + pe
+
+        e0 = energy()
+        for _ in range(2000):
+            f = vv.step(x, v, f, m, force)
+        assert energy() == pytest.approx(e0, rel=1e-3)
+
+    def test_time_reversibility(self):
+        """Integrate forward then backward (v -> -v) returns to start."""
+        k = 50.0
+        m = np.array([10.0])
+        vv = VelocityVerlet(dt=1.0)
+        x = np.array([[0.5, -0.2, 0.1]])
+        v = np.array([[0.01, 0.02, -0.01]])
+
+        def force(pos):
+            return -k * pos
+
+        f = force(x)
+        for _ in range(50):
+            f = vv.step(x, v, f, m, force)
+        v *= -1.0
+        for _ in range(50):
+            f = vv.step(x, v, f, m, force)
+        np.testing.assert_allclose(x, [[0.5, -0.2, 0.1]], atol=1e-9)
+
+    def test_half_kick_units(self):
+        vv = VelocityVerlet(dt=2.0)
+        v = np.zeros((1, 3))
+        vv.half_kick(v, np.array([[1.0, 0.0, 0.0]]), np.array([2.0]))
+        assert v[0, 0] == pytest.approx(0.5 * 2.0 * ACC_CONVERSION / 2.0)
+
+
+class TestLangevin:
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ValueError):
+            LangevinIntegrator(gamma=-1.0)
+
+    def test_zero_gamma_is_plain_verlet(self):
+        li = LangevinIntegrator(dt=1.0, gamma=0.0, temperature=300.0, seed=0)
+        v = np.array([[0.1, 0.0, 0.0]])
+        li.apply_thermostat(v, np.array([1.0]))
+        np.testing.assert_allclose(v, [[0.1, 0.0, 0.0]])
+
+    def test_thermostat_equilibrates_temperature(self):
+        """Free particles under Langevin reach the target temperature."""
+        from repro.md.constants import BOLTZMANN_KCAL, KCAL_PER_AMU_A2_FS2
+
+        n = 2000
+        rng = np.random.default_rng(0)
+        masses = np.full(n, 16.0)
+        v = np.zeros((n, 3))
+        li = LangevinIntegrator(dt=1.0, gamma=0.2, temperature=300.0, seed=42)
+        for _ in range(60):
+            li.apply_thermostat(v, masses)
+        ke = 0.5 * KCAL_PER_AMU_A2_FS2 * (masses[:, None] * v**2).sum()
+        temp = 2 * ke / (3 * n * BOLTZMANN_KCAL)
+        assert temp == pytest.approx(300.0, rel=0.08)

@@ -1,0 +1,98 @@
+"""Physics invariance properties of the force field (hypothesis-driven).
+
+The potential energy of an isolated system must be invariant under rigid
+translation (and, in a big enough box to avoid image changes, rotation);
+forces must transform covariantly.  These catch subtle kernel bugs that
+pointwise gradient checks miss.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.builder import tiny_peptide
+from repro.md.bonded import compute_bonded
+from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
+
+
+def total_energy_and_forces(system):
+    nb = compute_nonbonded(system, NonbondedOptions(cutoff=10.0))
+    be, forces = compute_bonded(system)
+    forces += nb.forces
+    return nb.energy + be.total, forces
+
+
+@pytest.fixture(scope="module")
+def peptide_sys():
+    return tiny_peptide(4, seed=3)
+
+
+class TestTranslationInvariance:
+    @given(
+        st.tuples(
+            st.floats(-5, 5, allow_nan=False),
+            st.floats(-5, 5, allow_nan=False),
+            st.floats(-5, 5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_energy_unchanged_by_translation(self, peptide_sys, shift):
+        s = peptide_sys.copy()
+        e0, f0 = total_energy_and_forces(s)
+        s.positions += np.array(shift)
+        e1, f1 = total_energy_and_forces(s)
+        assert e1 == pytest.approx(e0, rel=1e-9, abs=1e-9)
+        np.testing.assert_allclose(f1, f0, atol=1e-7)
+
+    def test_energy_unchanged_by_whole_box_period(self, peptide_sys):
+        s = peptide_sys.copy()
+        e0, _ = total_energy_and_forces(s)
+        s.positions += s.box  # a full period
+        e1, _ = total_energy_and_forces(s)
+        assert e1 == pytest.approx(e0, rel=1e-9)
+
+
+class TestRotationInvariance:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_energy_unchanged_by_rotation(self, peptide_sys, seed):
+        rng = np.random.default_rng(seed)
+        q, r = np.linalg.qr(rng.normal(size=(3, 3)))
+        q *= np.sign(np.diag(r))
+        if np.linalg.det(q) < 0:
+            q[:, 0] *= -1  # proper rotation
+
+        s = peptide_sys.copy()
+        e0, f0 = total_energy_and_forces(s)
+        center = s.box / 2
+        s.positions = (s.positions - center) @ q.T + center
+        e1, f1 = total_energy_and_forces(s)
+        assert e1 == pytest.approx(e0, rel=1e-8)
+        # forces rotate with the configuration
+        np.testing.assert_allclose(f1, f0 @ q.T, atol=1e-6)
+
+
+class TestNewtonThirdLaw:
+    def test_momentum_conserving_forces(self, peptide_sys):
+        _, f = total_energy_and_forces(peptide_sys.copy())
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-8)
+
+    def test_isolated_molecule_torque_free(self, peptide_sys):
+        s = peptide_sys.copy()
+        _, f = total_energy_and_forces(s)
+        com = s.positions.mean(axis=0)
+        torque = np.cross(s.positions - com, f).sum(axis=0)
+        np.testing.assert_allclose(torque, 0.0, atol=1e-6)
+
+
+class TestEnergyScaleProperties:
+    @given(st.floats(0.5, 2.0))
+    @settings(max_examples=10, deadline=None)
+    def test_charge_scaling_quadratic_in_electrostatics(self, peptide_sys, scale):
+        s1 = peptide_sys.copy()
+        e1 = compute_nonbonded(s1, NonbondedOptions(cutoff=10.0)).energy_elec
+        s2 = peptide_sys.copy()
+        s2.charges = s2.charges * scale
+        e2 = compute_nonbonded(s2, NonbondedOptions(cutoff=10.0)).energy_elec
+        assert e2 == pytest.approx(e1 * scale * scale, rel=1e-9, abs=1e-12)

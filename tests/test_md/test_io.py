@@ -1,0 +1,74 @@
+"""System I/O: PDB export and JSON round trip."""
+
+import numpy as np
+import pytest
+
+from repro.md.io import load_system, save_system, write_pdb
+from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
+
+
+class TestPDB:
+    def test_writes_standard_records(self, water64, tmp_path):
+        path = tmp_path / "w.pdb"
+        write_pdb(water64, path)
+        text = path.read_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("CRYST1")
+        atoms = [l for l in lines if l.startswith("ATOM")]
+        assert len(atoms) == water64.n_atoms
+        assert lines[-1] == "END"
+
+    def test_coordinates_in_fixed_columns(self, water64, tmp_path):
+        path = tmp_path / "w.pdb"
+        write_pdb(water64, path)
+        atom_line = next(
+            l for l in path.read_text().splitlines() if l.startswith("ATOM")
+        )
+        x = float(atom_line[30:38])
+        assert x == pytest.approx(water64.positions[0, 0], abs=5e-4)
+
+    def test_elements_assigned(self, peptide, tmp_path):
+        path = tmp_path / "p.pdb"
+        write_pdb(peptide, path)
+        elements = {
+            l[76:78].strip() for l in path.read_text().splitlines()
+            if l.startswith("ATOM")
+        }
+        assert {"C", "N", "O", "H"} <= elements
+
+
+class TestJSONRoundTrip:
+    def test_arrays_preserved(self, peptide, tmp_path):
+        path = tmp_path / "sys.json"
+        save_system(peptide, path)
+        loaded = load_system(path)
+        np.testing.assert_allclose(loaded.positions, peptide.positions)
+        np.testing.assert_allclose(loaded.charges, peptide.charges)
+        np.testing.assert_array_equal(loaded.type_indices, peptide.type_indices)
+        np.testing.assert_allclose(loaded.box, peptide.box)
+        assert loaded.segment_labels == peptide.segment_labels
+
+    def test_topology_preserved(self, peptide, tmp_path):
+        path = tmp_path / "sys.json"
+        save_system(peptide, path)
+        loaded = load_system(path)
+        t1, t2 = peptide.topology, loaded.topology
+        assert (t1.n_bonds, t1.n_angles, t1.n_dihedrals, t1.n_impropers) == (
+            t2.n_bonds, t2.n_angles, t2.n_dihedrals, t2.n_impropers
+        )
+        np.testing.assert_array_equal(t1.bond_arrays()[0], t2.bond_arrays()[0])
+
+    def test_energies_identical_after_roundtrip(self, water64, tmp_path):
+        path = tmp_path / "sys.json"
+        save_system(water64, path)
+        loaded = load_system(path)
+        opts = NonbondedOptions(cutoff=6.0)
+        e1 = compute_nonbonded(water64.copy(), opts).energy
+        e2 = compute_nonbonded(loaded, opts).energy
+        assert e2 == pytest.approx(e1, rel=1e-12)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_system(path)

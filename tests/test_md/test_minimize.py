@@ -1,0 +1,37 @@
+"""Steepest-descent minimizer."""
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box
+from repro.md.minimize import minimize
+from repro.md.nonbonded import NonbondedOptions
+
+
+class TestMinimize:
+    def test_reduces_energy(self):
+        s = small_water_box(27, seed=12, relax=False)
+        res = minimize(s, NonbondedOptions(cutoff=5.0), max_iterations=50)
+        assert res.final_energy <= res.initial_energy
+
+    def test_monotone_nonincreasing_api(self):
+        s = small_water_box(27, seed=12, relax=False)
+        r1 = minimize(s, NonbondedOptions(cutoff=5.0), max_iterations=20)
+        r2 = minimize(s, NonbondedOptions(cutoff=5.0), max_iterations=20)
+        assert r2.initial_energy == pytest.approx(r1.final_energy, rel=1e-9)
+        assert r2.final_energy <= r2.initial_energy
+
+    def test_converged_flag_on_easy_system(self):
+        s = small_water_box(8, seed=2, relax=False)
+        res = minimize(
+            s, NonbondedOptions(cutoff=4.0), max_iterations=500, force_tolerance=30.0
+        )
+        assert res.converged
+        assert res.max_force < 30.0
+
+    def test_max_displacement_respected(self):
+        s = small_water_box(27, seed=12, relax=False)
+        before = s.positions.copy()
+        minimize(s, NonbondedOptions(cutoff=5.0), max_iterations=1, max_displacement=0.1)
+        moved = np.linalg.norm(s.positions - before, axis=1)
+        assert moved.max() <= 0.1 + 1e-9

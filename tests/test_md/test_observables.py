@@ -1,0 +1,81 @@
+"""Observables: RDF normalization/physics, MSD, VACF."""
+
+import numpy as np
+import pytest
+
+from repro.md.observables import (
+    mean_squared_displacement,
+    radial_distribution,
+    velocity_autocorrelation,
+)
+
+
+class TestRDF:
+    def test_ideal_gas_is_flat(self):
+        rng = np.random.default_rng(0)
+        box = np.array([20.0, 20.0, 20.0])
+        pos = rng.random((800, 3)) * box
+        r, g = radial_distribution(pos, box, r_max=9.0, n_bins=30)
+        # away from r=0 noise, g ~ 1 for uncorrelated points
+        assert np.abs(g[5:] - 1.0).mean() < 0.15
+
+    def test_water_oxygen_first_peak(self):
+        """Liquid-water O-O g(r) peaks near 2.8 Å."""
+        from repro.builder import small_water_box
+
+        s = small_water_box(216, seed=7)
+        oxygens = np.flatnonzero(
+            s.type_indices == s.forcefield.atom_type_index("OT")
+        )
+        r, g = radial_distribution(
+            s.positions, s.box, r_max=s.box.min() / 2 * 0.99, n_bins=60,
+            subset=oxygens,
+        )
+        peak_r = r[np.argmax(g)]
+        assert 2.2 < peak_r < 3.6
+        assert g.max() > 1.3
+
+    def test_rejects_oversized_rmax(self):
+        box = np.array([10.0, 10.0, 10.0])
+        with pytest.raises(ValueError):
+            radial_distribution(np.zeros((5, 3)), box, r_max=6.0)
+
+    def test_rejects_single_atom(self):
+        box = np.ones(3) * 10
+        with pytest.raises(ValueError):
+            radial_distribution(np.zeros((1, 3)), box, r_max=4.0)
+
+
+class TestMSD:
+    def test_zero_at_frame_zero(self):
+        traj = np.random.default_rng(0).random((5, 10, 3))
+        msd = mean_squared_displacement(traj)
+        assert msd[0] == 0.0
+
+    def test_linear_for_ballistic_motion(self):
+        v = np.random.default_rng(1).normal(size=(10, 3))
+        traj = np.array([i * v for i in range(6)])
+        msd = mean_squared_displacement(traj)
+        # ballistic: MSD ~ t^2
+        ratios = msd[2:] / msd[1]
+        np.testing.assert_allclose(ratios, np.arange(2, 6) ** 2, rtol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mean_squared_displacement(np.zeros((5, 3)))
+
+
+class TestVACF:
+    def test_normalized_at_zero(self):
+        frames = np.random.default_rng(2).normal(size=(4, 20, 3))
+        c = velocity_autocorrelation(frames)
+        assert c[0] == pytest.approx(1.0)
+
+    def test_constant_velocity_stays_one(self):
+        v = np.random.default_rng(3).normal(size=(10, 3))
+        frames = np.array([v] * 5)
+        np.testing.assert_allclose(velocity_autocorrelation(frames), 1.0)
+
+    def test_zero_velocity_rejected(self):
+        with pytest.raises(ValueError):
+            velocity_autocorrelation(np.zeros((3, 5, 3)))

@@ -1,0 +1,86 @@
+"""Verlet neighbor lists: correctness-preserving reuse."""
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box
+from repro.md.engine import SequentialEngine
+from repro.md.integrator import VelocityVerlet
+from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
+from repro.md.pairlist import VerletPairList
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VerletPairList(cutoff=0.0)
+        with pytest.raises(ValueError):
+            VerletPairList(cutoff=5.0, skin=-1.0)
+
+    def test_first_query_builds(self, water64):
+        pl = VerletPairList(cutoff=6.0, skin=1.0)
+        pl.pairs(water64.positions, water64.box)
+        assert pl.n_builds == 1 and pl.n_reuses == 0
+
+    def test_reuse_under_small_motion(self, water64):
+        pl = VerletPairList(cutoff=6.0, skin=1.0)
+        pos = water64.positions.copy()
+        pl.pairs(pos, water64.box)
+        pos2 = pos + 0.1  # well under skin/2
+        pl.pairs(pos2, water64.box)
+        assert pl.n_reuses == 1
+
+    def test_rebuild_after_large_motion(self, water64):
+        pl = VerletPairList(cutoff=6.0, skin=1.0)
+        pos = water64.positions.copy()
+        pl.pairs(pos, water64.box)
+        pos2 = pos.copy()
+        pos2[0] += 0.6  # beyond skin/2
+        pl.pairs(pos2, water64.box)
+        assert pl.n_builds == 2
+
+    def test_invalidate(self, water64):
+        pl = VerletPairList(cutoff=6.0, skin=1.0)
+        pl.pairs(water64.positions, water64.box)
+        pl.invalidate()
+        assert pl.needs_rebuild(water64.positions, water64.box)
+
+    def test_atom_count_change_triggers_rebuild(self, water64):
+        pl = VerletPairList(cutoff=6.0, skin=1.0)
+        pl.pairs(water64.positions, water64.box)
+        assert pl.needs_rebuild(water64.positions[:-3], water64.box)
+
+
+class TestCorrectness:
+    def test_energy_identical_with_and_without(self, water64):
+        s = water64.copy()
+        opts = NonbondedOptions(cutoff=6.0)
+        direct = compute_nonbonded(s, opts)
+        pl = VerletPairList(cutoff=6.0, skin=1.5)
+        listed = compute_nonbonded(s, opts, pairlist=pl)
+        assert listed.energy == pytest.approx(direct.energy, rel=1e-12)
+        np.testing.assert_allclose(listed.forces, direct.forces, atol=1e-12)
+
+    def test_trajectory_identical_over_reuse_window(self):
+        """Dynamics with a pairlist must track direct enumeration exactly
+        while the skin guarantee holds."""
+        a = small_water_box(64, seed=3).copy()
+        a.assign_velocities(300.0, seed=1)
+        b = a.copy()
+        opts = NonbondedOptions(cutoff=5.0, switch_dist=4.0)
+        e1 = SequentialEngine(a, opts, VelocityVerlet(dt=0.5))
+        pl = VerletPairList(cutoff=5.0, skin=1.5)
+        e2 = SequentialEngine(b, opts, VelocityVerlet(dt=0.5), pairlist=pl)
+        for _ in range(10):
+            r1 = e1.step()
+            r2 = e2.step()
+            assert r2.total == pytest.approx(r1.total, rel=1e-9)
+        assert pl.reuse_fraction > 0.3  # the point of the exercise
+        np.testing.assert_allclose(a.positions, b.positions, atol=1e-9)
+
+    def test_reuse_fraction_statistics(self, water64):
+        pl = VerletPairList(cutoff=6.0, skin=2.0)
+        pos = water64.positions.copy()
+        for _ in range(5):
+            pl.pairs(pos, water64.box)
+        assert pl.reuse_fraction == pytest.approx(0.8)

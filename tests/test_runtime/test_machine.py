@@ -1,0 +1,42 @@
+"""Machine models."""
+
+import pytest
+
+from repro.runtime.machine import ASCI_RED, MACHINES, ORIGIN_2000, T3E_900, MachineModel
+
+
+class TestMachineModel:
+    def test_presets_registered(self):
+        assert "ASCI-Red" in MACHINES
+        assert "T3E-900" in MACHINES
+        assert "Origin-2000" in MACHINES
+
+    def test_reference_machine_is_unit_factor(self):
+        assert ASCI_RED.cpu_factor == 1.0
+
+    def test_faster_cpus_per_paper_tables(self):
+        """Table 5/6: T3E and Origin per-CPU times beat ASCI-Red."""
+        assert T3E_900.cpu_factor < 1.0
+        assert ORIGIN_2000.cpu_factor < T3E_900.cpu_factor
+
+    def test_transit_time_components(self):
+        m = ASCI_RED
+        assert m.transit_time(0) == pytest.approx(m.latency_s)
+        assert m.transit_time(1e6) == pytest.approx(m.latency_s + 1e6 / m.bandwidth_Bps)
+
+    def test_pack_time_linear(self):
+        assert ASCI_RED.pack_time(2000) == pytest.approx(2 * ASCI_RED.pack_time(1000))
+
+    def test_with_overrides(self):
+        m2 = ASCI_RED.with_overrides(latency_s=1e-3)
+        assert m2.latency_s == 1e-3
+        assert m2.bandwidth_Bps == ASCI_RED.bandwidth_Bps
+        assert ASCI_RED.latency_s != 1e-3  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineModel("bad", 0.0, 1e-6, 1e-6, 1e-9, 1e-6, 1e8)
+        with pytest.raises(ValueError):
+            MachineModel("bad", 1.0, -1e-6, 1e-6, 1e-9, 1e-6, 1e8)
+        with pytest.raises(ValueError):
+            MachineModel("bad", 1.0, 1e-6, 1e-6, 1e-9, 1e-6, 0.0)

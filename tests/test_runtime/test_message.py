@@ -1,0 +1,24 @@
+"""Message and priority semantics."""
+
+from repro.runtime.message import Message, Priority
+
+
+class TestMessage:
+    def test_sort_key_priority_then_fifo(self):
+        a = Message(0, "m", priority=Priority.NORMAL)
+        a.seq = 5
+        b = Message(0, "m", priority=Priority.HIGH)
+        b.seq = 9
+        c = Message(0, "m", priority=Priority.NORMAL)
+        c.seq = 7
+        order = sorted([a, b, c], key=lambda m: m.sort_key())
+        assert order == [b, a, c]
+
+    def test_priority_values_ordered(self):
+        assert Priority.HIGH < Priority.NORMAL < Priority.LOW
+
+    def test_defaults(self):
+        m = Message(3, "go")
+        assert m.data == {}
+        assert m.size_bytes == 64.0
+        assert m.src_object == -1

@@ -1,0 +1,114 @@
+"""Scheduler conservation properties (hypothesis-driven).
+
+Random workloads of chares pinging each other must satisfy accounting
+invariants regardless of topology: every message sent is executed exactly
+once, busy time decomposes exactly into work + overheads, and the makespan
+bounds every processor's busy time.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.chare import Chare
+from repro.runtime.machine import MachineModel
+from repro.runtime.scheduler import Scheduler
+
+MACHINE = MachineModel(
+    name="t",
+    cpu_factor=1.0,
+    send_overhead_s=1e-4,
+    recv_overhead_s=2e-4,
+    pack_per_byte_s=1e-6,
+    latency_s=5e-4,
+    bandwidth_Bps=1e6,
+    local_send_overhead_s=1e-5,
+)
+
+
+class Node(Chare):
+    category = "node"
+
+    def __init__(self, cost, fanout_targets):
+        super().__init__()
+        self.cost = cost
+        self.fanout_targets = fanout_targets
+        self.received = 0
+
+    def ping(self, hops=0):
+        self.received += 1
+        if hops > 0:
+            for t in self.fanout_targets:
+                self.send(t, "ping", {"hops": hops - 1}, size_bytes=100.0)
+        return self.cost
+
+
+def build_random_workload(n_procs, n_nodes, fanout, hops, seed):
+    rng = np.random.default_rng(seed)
+    sched = Scheduler(n_procs, MACHINE)
+    nodes = []
+    for i in range(n_nodes):
+        node = Node(float(rng.exponential(1e-3)), [])
+        sched.register(node, int(rng.integers(n_procs)))
+        nodes.append(node)
+    for node in nodes:
+        k = min(fanout, n_nodes - 1)
+        targets = rng.choice(
+            [m.object_id for m in nodes if m is not node], size=k, replace=False
+        )
+        node.fanout_targets = [int(t) for t in targets]
+    sched.inject(nodes[0].object_id, "ping", {"hops": hops})
+    return sched, nodes
+
+
+class TestConservation:
+    @given(
+        st.integers(1, 6),
+        st.integers(2, 10),
+        st.integers(1, 3),
+        st.integers(0, 3),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_message_executed_once(self, n_procs, n_nodes, fanout, hops, seed):
+        sched, nodes = build_random_workload(n_procs, n_nodes, fanout, hops, seed)
+        sched.run()
+        assert sched.quiescent()
+        total_received = sum(n.received for n in nodes)
+        # injected 1 + all sends recorded by the trace
+        assert total_received == 1 + sched.trace.messages_sent
+
+    @given(st.integers(1, 6), st.integers(2, 8), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_busy_decomposition_exact(self, n_procs, n_nodes, seed):
+        sched, _ = build_random_workload(n_procs, n_nodes, 2, 2, seed)
+        sched.run()
+        s = sched.trace.summary()
+        np.testing.assert_allclose(
+            s.busy_time_per_proc,
+            s.work_per_proc + s.send_overhead_per_proc + s.recv_overhead_per_proc,
+            rtol=1e-12,
+            atol=1e-15,
+        )
+
+    @given(st.integers(2, 6), st.integers(3, 8), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_makespan_bounds_busy_time(self, n_procs, n_nodes, seed):
+        sched, _ = build_random_workload(n_procs, n_nodes, 2, 2, seed)
+        makespan = sched.run()
+        busy = sched.trace.summary().busy_time_per_proc
+        assert np.all(busy <= makespan + 1e-12)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, seed):
+        s1, _ = build_random_workload(4, 6, 2, 2, seed)
+        s2, _ = build_random_workload(4, 6, 2, 2, seed)
+        t1 = s1.run()
+        t2 = s2.run()
+        assert t1 == t2
+        np.testing.assert_array_equal(
+            s1.trace.summary().busy_time_per_proc,
+            s2.trace.summary().busy_time_per_proc,
+        )

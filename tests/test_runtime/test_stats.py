@@ -1,0 +1,63 @@
+"""The LB database."""
+
+import pytest
+
+from repro.runtime.stats import LBDatabase
+
+
+class TestLBDatabase:
+    def test_load_accumulation(self):
+        db = LBDatabase()
+        db.record_execution(5, True, 0, 0.2)
+        db.record_execution(5, True, 0, 0.3)
+        snap = db.snapshot()
+        assert snap.objects[5].load == pytest.approx(0.5)
+        assert snap.objects[5].invocations == 2
+
+    def test_background_only_nonmigratable(self):
+        db = LBDatabase()
+        db.record_execution(1, True, 0, 1.0)
+        db.record_execution(2, False, 0, 0.25)
+        snap = db.snapshot()
+        assert snap.background_load == {0: 0.25}
+
+    def test_comm_graph(self):
+        db = LBDatabase()
+        db.record_send(1, 2, 100.0)
+        db.record_send(1, 2, 50.0)
+        db.record_send(2, 3, 10.0)
+        snap = db.snapshot()
+        edges = {(e.src, e.dst): (e.messages, e.bytes) for e in snap.edges}
+        assert edges[(1, 2)] == (2, 150.0)
+        assert edges[(2, 3)] == (1, 10.0)
+
+    def test_per_step_normalization(self):
+        db = LBDatabase()
+        db.record_execution(1, True, 0, 1.0)
+        db.mark_step()
+        db.mark_step()
+        snap = db.snapshot()
+        assert snap.per_step(snap.objects[1].load) == pytest.approx(0.5)
+
+    def test_migratable_objects_filter(self):
+        db = LBDatabase()
+        db.record_execution(1, True, 0, 1.0)
+        db.record_execution(2, False, 0, 1.0)
+        snap = db.snapshot()
+        assert [o.object_id for o in snap.migratable_objects()] == [1]
+
+    def test_snapshot_is_a_copy(self):
+        db = LBDatabase()
+        db.record_execution(1, True, 0, 1.0)
+        snap = db.snapshot()
+        db.record_execution(1, True, 0, 1.0)
+        assert snap.objects[1].load == pytest.approx(1.0)
+
+    def test_reset(self):
+        db = LBDatabase()
+        db.record_execution(1, True, 0, 1.0)
+        db.mark_step()
+        db.reset()
+        snap = db.snapshot()
+        assert snap.objects == {}
+        assert snap.measured_steps == 0

@@ -1,0 +1,70 @@
+"""Trace log and summary profiles."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.trace import TraceLog
+
+
+def fill(trace: TraceLog):
+    trace.record_execution(0, 1, "a", "nonbonded", 0.0, 0.5, work=0.4,
+                           send_overhead=0.06, recv_overhead=0.04)
+    trace.record_execution(1, 2, "b", "bonded", 0.2, 0.3, work=0.3)
+    trace.record_execution(0, 1, "a", "nonbonded", 0.5, 0.1, work=0.1)
+
+
+class TestTraceLog:
+    def test_summary_totals(self):
+        t = TraceLog(2, full=True)
+        fill(t)
+        s = t.summary()
+        assert s.busy_time_per_proc[0] == pytest.approx(0.6)
+        assert s.busy_time_per_proc[1] == pytest.approx(0.3)
+        assert s.time_per_category["nonbonded"] == pytest.approx(0.5)  # work only
+        assert s.count_per_category["nonbonded"] == 2
+        assert s.send_overhead_per_proc[0] == pytest.approx(0.06)
+        assert s.recv_overhead_per_proc[0] == pytest.approx(0.04)
+
+    def test_full_flag_controls_records(self):
+        t = TraceLog(1, full=False)
+        t.record_execution(0, 0, "x", "c", 0.0, 1.0)
+        assert t.records == []
+        t2 = TraceLog(1, full=True)
+        t2.record_execution(0, 0, "x", "c", 0.0, 1.0)
+        assert len(t2.records) == 1
+
+    def test_durations_by_category(self):
+        t = TraceLog(2, full=True)
+        fill(t)
+        d = t.durations_by_category("nonbonded")
+        np.testing.assert_allclose(sorted(d), [0.1, 0.5])
+
+    def test_records_in_window(self):
+        t = TraceLog(2, full=True)
+        fill(t)
+        assert len(t.records_in_window(0.0, 0.2)) == 1
+        assert len(t.records_in_window(0.0, 0.6)) == 3
+        assert len(t.records_in_window(0.55, 0.56)) == 1
+
+    def test_proc_timeline_sorted(self):
+        t = TraceLog(2, full=True)
+        fill(t)
+        tl = t.proc_timeline(0)
+        assert [r.start for r in tl] == sorted(r.start for r in tl)
+        assert all(r.proc == 0 for r in tl)
+
+    def test_reset(self):
+        t = TraceLog(2, full=True)
+        fill(t)
+        t.record_send(100.0)
+        t.reset()
+        s = t.summary()
+        assert s.busy_time_per_proc.sum() == 0.0
+        assert s.messages_sent == 0
+        assert t.records == []
+
+    def test_utilization(self):
+        t = TraceLog(2)
+        fill(t)
+        u = t.summary().utilization(1.0)
+        np.testing.assert_allclose(u, [0.6, 0.3])

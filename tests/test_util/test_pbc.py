@@ -1,0 +1,115 @@
+"""Periodic boundary helpers: minimum image, wrapping, volumes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.pbc import box_volume, displacement_table, minimum_image, wrap_positions
+
+BOX = np.array([10.0, 20.0, 30.0])
+
+
+class TestMinimumImage:
+    def test_identity_inside_half_box(self):
+        delta = np.array([[1.0, -2.0, 3.0]])
+        out = minimum_image(delta, BOX)
+        np.testing.assert_allclose(out, delta)
+
+    def test_folds_large_displacement(self):
+        delta = np.array([[9.0, 0.0, 0.0]])
+        out = minimum_image(delta, BOX)
+        np.testing.assert_allclose(out, [[-1.0, 0.0, 0.0]])
+
+    def test_folds_negative(self):
+        delta = np.array([[-9.0, -19.0, -29.0]])
+        out = minimum_image(delta, BOX)
+        np.testing.assert_allclose(out, [[1.0, 1.0, 1.0]])
+
+    def test_multiple_periods(self):
+        delta = np.array([[25.0, 45.0, 95.0]])
+        out = minimum_image(delta, BOX)
+        assert np.all(np.abs(out) <= BOX / 2 + 1e-12)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_result_always_within_half_box(self, deltas):
+        arr = np.array(deltas, dtype=float)
+        out = minimum_image(arr, BOX)
+        assert np.all(np.abs(out) <= BOX / 2 * (1 + 1e-12))
+
+    @given(
+        st.tuples(
+            st.floats(-4.9, 4.9),
+            st.floats(-9.9, 9.9),
+            st.floats(-14.9, 14.9),
+        ),
+        st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_periodic_invariance(self, delta, shifts):
+        """Adding whole box periods never changes the minimum image."""
+        d = np.array(delta, dtype=float)
+        shifted = d + np.array(shifts, dtype=float) * BOX
+        np.testing.assert_allclose(
+            minimum_image(d, BOX), minimum_image(shifted, BOX), atol=1e-9
+        )
+
+
+class TestWrapPositions:
+    def test_wraps_into_primary_cell(self):
+        pos = np.array([[10.5, -0.5, 31.0], [-20.0, 40.0, 0.0]])
+        out = wrap_positions(pos, BOX)
+        assert np.all(out >= 0.0)
+        assert np.all(out < BOX)
+
+    def test_preserves_interior_points(self):
+        pos = np.array([[5.0, 5.0, 5.0]])
+        np.testing.assert_allclose(wrap_positions(pos, BOX), pos)
+
+    def test_edge_case_exactly_box_length(self):
+        pos = np.array([[10.0, 20.0, 30.0]])
+        out = wrap_positions(pos, BOX)
+        np.testing.assert_allclose(out, [[0.0, 0.0, 0.0]])
+
+    def test_tiny_negative_rounds_into_cell(self):
+        pos = np.array([[-1e-16, 0.0, 0.0]])
+        out = wrap_positions(pos, BOX)
+        assert np.all(out < BOX)
+        assert np.all(out >= 0.0)
+
+
+class TestBoxVolume:
+    def test_volume(self):
+        assert box_volume(BOX) == pytest.approx(6000.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            box_volume(np.array([1.0, 2.0]))
+
+
+class TestDisplacementTable:
+    def test_shape_and_antisymmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((4, 3)) * BOX
+        b = rng.random((6, 3)) * BOX
+        tab = displacement_table(a, b, BOX)
+        assert tab.shape == (4, 6, 3)
+        tab_T = displacement_table(b, a, BOX)
+        np.testing.assert_allclose(tab, -np.transpose(tab_T, (1, 0, 2)), atol=1e-12)
+
+    def test_no_box_means_raw_differences(self):
+        a = np.zeros((1, 3))
+        b = np.array([[9.0, 0.0, 0.0]])
+        tab = displacement_table(a, b, None)
+        np.testing.assert_allclose(tab[0, 0], [9.0, 0.0, 0.0])

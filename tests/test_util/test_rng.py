@@ -1,0 +1,24 @@
+"""Deterministic RNG construction."""
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def test_same_seed_same_stream():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+
+def test_generator_passthrough():
+    g = np.random.default_rng(7)
+    assert make_rng(g) is g
+
+
+def test_none_gives_entropy_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
