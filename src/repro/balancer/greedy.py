@@ -41,6 +41,8 @@ def greedy_strategy(
     """Compute a fresh placement for every migratable compute object."""
     n_procs = problem.n_procs
     loads = problem.background.astype(np.float64).copy()
+    # dead processors can never win any load comparison
+    loads[list(problem.dead_procs)] = np.inf
     avg = problem.average_load()
     limit = avg * (1.0 + overload_threshold)
 

@@ -40,20 +40,31 @@ class LBProblem:
     #: (patch, proc) pairs where a proxy already exists (e.g. required by
     #: non-migratable computes); strategies may use these for free
     existing_proxies: set[tuple[int, int]] = field(default_factory=set)
+    #: processors lost to fail-stop failures: strategies must evacuate any
+    #: objects still placed there and never choose them as destinations
+    dead_procs: frozenset = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
         self.background = np.asarray(self.background, dtype=np.float64)
         if self.background.shape != (self.n_procs,):
             raise ValueError("background load must have one entry per processor")
+        if len(self.dead_procs) >= self.n_procs:
+            raise ValueError("at least one processor must be live")
 
     def patch_available(self, patch: int, proc: int) -> bool:
         """True when ``patch`` data is already on ``proc`` (home or proxy)."""
         return self.patch_home.get(patch) == proc or (patch, proc) in self.existing_proxies
 
+    @property
+    def n_live(self) -> int:
+        """Processors still available for placement."""
+        return self.n_procs - len(self.dead_procs)
+
     def average_load(self) -> float:
-        """Mean per-processor load if migratables were spread perfectly."""
+        """Mean per-*live*-processor load if migratables were spread
+        perfectly (dead processors cannot absorb any)."""
         total = float(self.background.sum()) + sum(c.load for c in self.computes)
-        return total / self.n_procs
+        return total / self.n_live
 
 
 def placement_stats(

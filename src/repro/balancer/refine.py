@@ -33,6 +33,9 @@ def refine_strategy(
     map (unmoved objects keep their current processor)."""
     n_procs = problem.n_procs
     loads = problem.background.astype(np.float64).copy()
+    # dead processors are infinitely overloaded: everything still placed on
+    # one must move, and none may be chosen as a destination
+    loads[list(problem.dead_procs)] = np.inf
     on_proc: dict[int, list] = defaultdict(list)
     for item in problem.computes:
         loads[item.proc] += item.load
@@ -84,6 +87,17 @@ def refine_strategy(
             loads[best_proc] += item.load
             for patch in item.patches:
                 procs_with_patch[patch].add(best_proc)
+
+    # evacuation guarantee: anything left on a dead processor (every live
+    # destination exceeded the limit) goes to the least-loaded live one
+    if problem.dead_procs:
+        for item in problem.computes:
+            if placement[item.index] in problem.dead_procs:
+                dest = int(np.argmin(loads))
+                placement[item.index] = dest
+                loads[dest] += item.load
+                for patch in item.patches:
+                    procs_with_patch[patch].add(dest)
     return placement
 
 

@@ -1,0 +1,42 @@
+"""Synthetic structure builders for the paper benchmarks.
+
+Builds water boxes, peptides, lipid bilayers, ions, and the composed
+benchmark assemblies (ApoA-I / BC1 / bR analogues) with exact atom counts,
+entirely from the in-repo force field — no external structure files.
+"""
+
+from repro.builder.assembler import SystemAssembler
+from repro.builder.benchmarks import (
+    BENCHMARK_SPECS,
+    BenchmarkSpec,
+    apoa1_like,
+    bc1_like,
+    br_like,
+    mini_assembly,
+    small_water_box,
+    tiny_peptide,
+)
+from repro.builder.ions import add_ions, ensure_ion_types
+from repro.builder.membrane import lipid_bilayer, lipid_molecule
+from repro.builder.protein import protein_chain
+from repro.builder.water import fill_water, water_box_positions, water_molecule
+
+__all__ = [
+    "SystemAssembler",
+    "BENCHMARK_SPECS",
+    "BenchmarkSpec",
+    "apoa1_like",
+    "bc1_like",
+    "br_like",
+    "mini_assembly",
+    "small_water_box",
+    "tiny_peptide",
+    "add_ions",
+    "ensure_ion_types",
+    "lipid_bilayer",
+    "lipid_molecule",
+    "protein_chain",
+    "fill_water",
+    "water_box_positions",
+    "water_molecule",
+]

@@ -1,0 +1,75 @@
+"""Counter-ion placement.
+
+Ions alternate Na⁺/Cl⁻ so an even count is exactly neutral and an odd count
+carries a net +1 — the convention the benchmark builders rely on to hit
+exact atom budgets while staying (near) neutral.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.forcefield import AtomType, ForceField
+from repro.md.topology import Topology
+from repro.util.pbc import minimum_image
+from repro.util.rng import make_rng
+
+__all__ = ["SODIUM", "CHLORIDE", "ensure_ion_types", "add_ions"]
+
+SODIUM = AtomType("SOD", 22.9898, 0.0469, 1.41075)
+CHLORIDE = AtomType("CLA", 35.453, 0.1500, 2.2700)
+
+_MAX_ATTEMPTS_PER_ION = 500
+
+
+def ensure_ion_types(forcefield: ForceField) -> None:
+    """Register the SOD/CLA atom types (idempotent)."""
+    forcefield.add_atom_type(SODIUM)
+    forcefield.add_atom_type(CHLORIDE)
+
+
+def add_ions(
+    asm,
+    n_ions: int,
+    rng: np.random.Generator,
+    clearance: float = 2.0,
+) -> int:
+    """Scatter ``n_ions`` alternating Na⁺/Cl⁻ ions into free space of ``asm``.
+
+    Each candidate position is drawn uniformly in the box and accepted only
+    if its minimum-image distance to every existing atom (and every ion
+    placed so far) exceeds ``clearance``.  Raises ``RuntimeError`` when a
+    position cannot be found within the attempt budget.
+    """
+    rng = make_rng(rng)
+    ensure_ion_types(asm.forcefield)
+    box = asm.box
+    existing = asm.current_positions()
+
+    placed: list[np.ndarray] = []
+    for i in range(n_ions):
+        accepted = None
+        for _ in range(_MAX_ATTEMPTS_PER_ION):
+            candidate = rng.uniform(0.0, 1.0, size=3) * box
+            others = existing if not placed else np.vstack([existing, placed])
+            if len(others):
+                delta = minimum_image(others - candidate, box)
+                if np.min(np.einsum("ij,ij->i", delta, delta)) <= clearance**2:
+                    continue
+            accepted = candidate
+            break
+        if accepted is None:
+            raise RuntimeError(
+                f"could not place ion {i + 1}/{n_ions} with clearance "
+                f"{clearance} Å in box {box.tolist()}"
+            )
+        placed.append(accepted)
+        positive = i % 2 == 0
+        asm.add_component(
+            accepted.reshape(1, 3),
+            np.array([1.0 if positive else -1.0]),
+            ["SOD" if positive else "CLA"],
+            Topology(),
+            "ION",
+        )
+    return n_ions

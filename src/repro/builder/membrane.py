@@ -1,0 +1,158 @@
+"""Synthetic lipid and bilayer builders.
+
+A lipid is a 9-atom phosphatidylcholine-like head group plus two aliphatic
+tails of configurable length.  ``direction`` (+1/-1) points the tails along
+±z, so two leaflets built with opposite directions form a bilayer whose
+tails meet at the mid-plane — the density profile the ApoA-I and BC1
+benchmarks need for realistic load imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.forcefield import (
+    STANDARD_ANGLE,
+    STANDARD_BOND,
+    STANDARD_DIHEDRAL,
+)
+from repro.md.topology import Topology
+from repro.util.rng import make_rng
+
+__all__ = ["LIPID_HEAD_ATOMS", "lipid_molecule", "lipid_bilayer"]
+
+#: Head-group atoms: (type name, partial charge, local offset (x, y, z)).
+#: z offsets are multiplied by ``direction`` so the head sits opposite the
+#: tails.  Charges sum to zero (zwitterionic PC head).
+LIPID_HEAD_ATOMS: list[tuple[str, float, tuple[float, float, float]]] = [
+    ("NTL", 0.60, (0.0, 0.0, -3.6)),  # choline nitrogen
+    ("CL", 0.10, (0.0, 0.9, -2.5)),
+    ("CL", 0.10, (0.0, 0.0, -1.5)),
+    ("PL", 1.10, (1.3, 0.0, -2.2)),  # phosphorus
+    ("O2L", -0.70, (2.4, 0.8, -2.2)),
+    ("O2L", -0.70, (2.4, -0.8, -2.2)),
+    ("OSL", -0.35, (-0.75, -0.5, 0.9)),  # ester oxygen, anchors tail A
+    ("OSL", -0.35, (0.75, -0.5, 0.9)),  # ester oxygen, anchors tail B
+    ("CL", 0.20, (0.0, -0.3, -0.1)),  # glycerol carbon
+]
+
+# head-group bond graph over local indices (glycerol CL at 8 bridges to
+# both ester oxygens, which anchor the two tails)
+_HEAD_BONDS = [(0, 1), (1, 2), (2, 3), (3, 4), (3, 5), (2, 8), (8, 6), (8, 7)]
+_HEAD_ANGLES = [(0, 1, 2), (1, 2, 3), (2, 3, 4), (6, 8, 7)]
+_TAIL_ANCHORS = (6, 7)
+_TAIL_RISE = 1.27  # Å per carbon along the tail axis
+_TAIL_ZIGZAG = 0.4
+
+
+def lipid_molecule(
+    xy: np.ndarray,
+    z0: float,
+    direction: int,
+    tail_length: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, list[str], Topology]:
+    """One lipid at in-plane position ``xy``, head anchored at ``z0``.
+
+    ``direction`` = +1 points the two tails toward +z, -1 toward -z.
+    Returns ``(positions, charges, names, topology)`` with
+    ``9 + 2*tail_length`` atoms.
+    """
+    if tail_length < 3:
+        raise ValueError("lipid tails need at least 3 carbons")
+    rng = make_rng(rng)
+    xy = np.asarray(xy, dtype=np.float64)
+    base = np.array([xy[0], xy[1], z0])
+    jitter = rng.uniform(-0.15, 0.15, size=2)
+
+    positions: list[np.ndarray] = []
+    charges: list[float] = []
+    names: list[str] = []
+    topo = Topology()
+
+    for name, charge, (dx, dy, dz) in LIPID_HEAD_ATOMS:
+        positions.append(base + [dx + jitter[0], dy + jitter[1], direction * dz])
+        charges.append(charge)
+        names.append(name)
+    for i, j in _HEAD_BONDS:
+        topo.add_bond(i, j, STANDARD_BOND)
+    for i, j, k in _HEAD_ANGLES:
+        topo.add_angle(i, j, k, STANDARD_ANGLE)
+
+    for tail, anchor in enumerate(_TAIL_ANCHORS):
+        anchor_pos = positions[anchor]
+        tail_x = -0.75 if tail == 0 else 0.75
+        prev_idx = anchor
+        first_idx = len(positions)
+        for j in range(tail_length):
+            zig = _TAIL_ZIGZAG * (1 if j % 2 else -1)
+            pos = base + [
+                tail_x + zig + jitter[0],
+                -0.5 + jitter[1],
+                direction * (2.0 + _TAIL_RISE * j),
+            ]
+            idx = len(positions)
+            positions.append(pos)
+            charges.append(0.0)
+            names.append("CTL")
+            topo.add_bond(prev_idx, idx, STANDARD_BOND)
+            if j == 1:
+                topo.add_angle(anchor, first_idx, idx, STANDARD_ANGLE)
+            elif j >= 2:
+                topo.add_angle(idx - 2, idx - 1, idx, STANDARD_ANGLE)
+            if j == 2:
+                topo.add_dihedral(anchor, first_idx, idx - 1, idx, STANDARD_DIHEDRAL)
+            prev_idx = idx
+        _ = anchor_pos  # anchor geometry is implicit in the offsets above
+
+    return (
+        np.array(positions, dtype=np.float64),
+        np.array(charges, dtype=np.float64),
+        names,
+        topo,
+    )
+
+
+def lipid_bilayer(
+    asm,
+    z_center: float,
+    rect: tuple[float, float, float, float],
+    n_lipids: int,
+    rng: np.random.Generator,
+    tail_length: int = 12,
+) -> int:
+    """Tile ``n_lipids`` into two leaflets meeting at ``z_center``.
+
+    ``rect`` is ``(x0, x1, y0, y1)`` bounding the membrane patch.  Odd
+    counts put the extra lipid in the lower leaflet.  Returns the number of
+    lipids placed.
+    """
+    x0, x1, y0, y1 = rect
+    if x1 <= x0 or y1 <= y0:
+        raise ValueError(f"degenerate membrane rectangle {rect}")
+    rng = make_rng(rng)
+
+    leaflet_offset = 2.0 + _TAIL_RISE * (tail_length - 1) + 0.6
+    leaflets = (
+        (n_lipids - n_lipids // 2, z_center - leaflet_offset, 1),
+        (n_lipids // 2, z_center + leaflet_offset, -1),
+    )
+    width, height = x1 - x0, y1 - y0
+    for count, z0, direction in leaflets:
+        if count == 0:
+            continue
+        nx = max(1, int(np.ceil(np.sqrt(count * width / height))))
+        ny = int(np.ceil(count / nx))
+        dx, dy = width / nx, height / ny
+        placed = 0
+        for iy in range(ny):
+            for ix in range(nx):
+                if placed >= count:
+                    break
+                xy = np.array([x0 + (ix + 0.5) * dx, y0 + (iy + 0.5) * dy])
+                pos, q, names, topo = lipid_molecule(
+                    xy, z0, direction, tail_length, rng
+                )
+                asm.add_component(pos, q, names, topo, "LIP")
+                placed += 1
+    return n_lipids

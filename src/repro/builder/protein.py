@@ -1,0 +1,215 @@
+"""Synthetic protein chain builder.
+
+Residues are laid out along a persistent random walk of Cα atoms with the
+canonical 3.8 Å Cα-Cα spacing.  Each residue carries six backbone atoms
+(N, H, CA, HA, C, O — CA at local index 2) plus a side chain of 2-8
+aliphatic carbons, so atom counts are exactly ``6*n_res + sum(sidechains)``.
+An optional spherical confinement keeps the walk inside a benchmark box.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.forcefield import (
+    BACKBONE_ANGLE,
+    BACKBONE_BOND,
+    BACKBONE_DIHEDRAL,
+    CARBONYL_BOND,
+    STANDARD_ANGLE,
+    STANDARD_BOND,
+    STANDARD_DIHEDRAL,
+    STANDARD_IMPROPER,
+    XH_BOND,
+)
+from repro.md.topology import Topology
+from repro.util.rng import make_rng
+
+__all__ = ["protein_chain", "BACKBONE_ATOMS_PER_RESIDUE"]
+
+#: N, H, CA, HA, C, O
+BACKBONE_ATOMS_PER_RESIDUE = 6
+
+_CA_SPACING = 3.8
+_BACKBONE_NAMES = ["N", "H", "CA", "HA", "C", "O"]
+# CHARMM-like backbone partial charges; they sum to zero per residue.
+_BACKBONE_CHARGES = [-0.47, 0.31, 0.07, 0.09, 0.51, -0.51]
+
+
+def _random_unit(rng: np.random.Generator) -> np.ndarray:
+    v = rng.normal(size=3)
+    return v / np.linalg.norm(v)
+
+
+def _perpendicular(d: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """A unit vector perpendicular to ``d`` with a random azimuth."""
+    p = np.cross(d, _random_unit(rng))
+    norm = np.linalg.norm(p)
+    while norm < 1e-8:
+        p = np.cross(d, _random_unit(rng))
+        norm = np.linalg.norm(p)
+    return p / norm
+
+
+def _ca_trace(
+    n_res: int,
+    start: np.ndarray,
+    rng: np.random.Generator,
+    confine_center: np.ndarray | None,
+    confine_radius: float | None,
+) -> np.ndarray:
+    """Persistent random walk of Cα positions, optionally confined."""
+    cas = np.empty((n_res, 3), dtype=np.float64)
+    cas[0] = start
+    direction = _random_unit(rng)
+    for i in range(1, n_res):
+        for _ in range(64):
+            candidate = cas[i - 1] + _CA_SPACING * direction
+            if (
+                confine_center is None
+                or np.linalg.norm(candidate - confine_center) <= confine_radius
+            ):
+                break
+            # steer back toward the confinement centre
+            inward = confine_center - cas[i - 1]
+            inward /= max(np.linalg.norm(inward), 1e-12)
+            direction = inward + 0.6 * _random_unit(rng)
+            direction /= np.linalg.norm(direction)
+        cas[i] = cas[i - 1] + _CA_SPACING * direction
+        direction = direction + 0.7 * _random_unit(rng)
+        direction /= np.linalg.norm(direction)
+    return cas
+
+
+def protein_chain(
+    n_res: int,
+    start: np.ndarray,
+    rng: np.random.Generator,
+    sidechain_lengths: np.ndarray | None = None,
+    confine_center: np.ndarray | None = None,
+    confine_radius: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, list[str], Topology]:
+    """Build one protein chain of ``n_res`` residues starting at ``start``.
+
+    Returns ``(positions, charges, names, topology)``.  ``sidechain_lengths``
+    (2..8 carbons per residue) defaults to random draws; pass an explicit
+    array for exact atom budgets.
+    """
+    if n_res < 1:
+        raise ValueError("protein chain needs at least one residue")
+    rng = make_rng(rng)
+    if sidechain_lengths is None:
+        sidechain_lengths = rng.integers(2, 9, size=n_res)
+    sidechain_lengths = np.asarray(sidechain_lengths, dtype=np.int64)
+    if sidechain_lengths.shape != (n_res,):
+        raise ValueError(
+            f"sidechain_lengths must have shape ({n_res},); "
+            f"got {sidechain_lengths.shape}"
+        )
+    if sidechain_lengths.min() < 2 or sidechain_lengths.max() > 8:
+        raise ValueError("sidechain lengths must be in 2..8")
+
+    start = np.asarray(start, dtype=np.float64)
+    if confine_center is not None:
+        confine_center = np.asarray(confine_center, dtype=np.float64)
+    cas = _ca_trace(n_res, start, rng, confine_center, confine_radius)
+
+    positions: list[np.ndarray] = []
+    charges: list[float] = []
+    names: list[str] = []
+    topo = Topology()
+
+    # per-residue backbone directions (last residue reuses the previous one)
+    dirs = np.empty((n_res, 3))
+    if n_res > 1:
+        diffs = np.diff(cas, axis=0)
+        dirs[:-1] = diffs / np.linalg.norm(diffs, axis=1, keepdims=True)
+        dirs[-1] = dirs[-2]
+    else:
+        dirs[0] = _random_unit(rng)
+
+    n_index_of: list[int] = []  # absolute index of each residue's N
+    c_index_of: list[int] = []  # absolute index of each residue's C
+    ca_index_of: list[int] = []
+    sc0_index_of: list[int] = []
+
+    offset = 0
+    for i in range(n_res):
+        d = dirs[i]
+        d_prev = dirs[i - 1] if i > 0 else dirs[i]
+        perp = _perpendicular(d, rng)
+        ca = cas[i]
+
+        n_pos = ca - 1.45 * d_prev
+        h_pos = n_pos + 1.0 * perp
+        ha_dir = -perp + 0.3 * d
+        ha_pos = ca + 1.09 * ha_dir / np.linalg.norm(ha_dir)
+        # C sits off-axis so the C(i)-N(i+1) peptide bond lands at its
+        # 1.45 Å rest length: (2.35 - a)^2 + b^2 = 1.45^2 with a^2 + b^2
+        # = 1.53^2 (CA-C rest length) gives (a, b) below.
+        c_pos = ca + 1.2255 * d + 0.9153 * perp
+        o_dir = perp + 0.25 * d
+        o_pos = c_pos + 1.23 * o_dir / np.linalg.norm(o_dir)
+        positions.extend([n_pos, h_pos, ca, ha_pos, c_pos, o_pos])
+        charges.extend(_BACKBONE_CHARGES)
+        names.extend(_BACKBONE_NAMES)
+
+        n_i, h_i, ca_i, ha_i, c_i, o_i = (offset + k for k in range(6))
+        n_index_of.append(n_i)
+        c_index_of.append(c_i)
+        ca_index_of.append(ca_i)
+
+        topo.add_bond(n_i, h_i, XH_BOND)
+        topo.add_bond(n_i, ca_i, BACKBONE_BOND)
+        topo.add_bond(ca_i, ha_i, XH_BOND)
+        topo.add_bond(ca_i, c_i, STANDARD_BOND)
+        topo.add_bond(c_i, o_i, CARBONYL_BOND)
+        topo.add_angle(h_i, n_i, ca_i, STANDARD_ANGLE)
+        topo.add_angle(n_i, ca_i, c_i, BACKBONE_ANGLE)
+        topo.add_angle(ca_i, c_i, o_i, STANDARD_ANGLE)
+
+        # side chain: a short random walk of aliphatic carbons off CA
+        sc = int(sidechain_lengths[i])
+        prev_pos, prev_idx = ca, ca_i
+        step_dir = _perpendicular(d, rng)
+        for j in range(sc):
+            sc_pos = prev_pos + 1.53 * step_dir
+            sc_idx = offset + 6 + j
+            positions.append(sc_pos)
+            charges.append(0.0)
+            names.append("CT")
+            topo.add_bond(prev_idx, sc_idx, STANDARD_BOND)
+            if j == 0:
+                sc0_index_of.append(sc_idx)
+            if j == 1:
+                topo.add_angle(ca_i, sc0_index_of[i], sc_idx, STANDARD_ANGLE)
+            elif j >= 2:
+                topo.add_angle(sc_idx - 2, sc_idx - 1, sc_idx, STANDARD_ANGLE)
+            if j == 2:
+                topo.add_dihedral(
+                    ca_i, sc0_index_of[i], sc_idx - 1, sc_idx, STANDARD_DIHEDRAL
+                )
+            prev_pos, prev_idx = sc_pos, sc_idx
+            step_dir = step_dir + 0.8 * _random_unit(rng)
+            step_dir /= np.linalg.norm(step_dir)
+
+        # improper keeps CA pyramidal: CA central, bonded to N, C, SC0
+        topo.add_improper(ca_i, n_i, c_i, sc0_index_of[i], STANDARD_IMPROPER)
+        offset += 6 + sc
+
+    # inter-residue terms
+    for i in range(n_res - 1):
+        c_i, n_next = c_index_of[i], n_index_of[i + 1]
+        topo.add_bond(c_i, n_next, BACKBONE_BOND)
+        topo.add_angle(ca_index_of[i], c_i, n_next, BACKBONE_ANGLE)
+        topo.add_angle(c_i, n_next, ca_index_of[i + 1], BACKBONE_ANGLE)
+        topo.add_dihedral(
+            n_index_of[i], ca_index_of[i], c_i, n_next, BACKBONE_DIHEDRAL
+        )
+
+    return (
+        np.array(positions, dtype=np.float64),
+        np.array(charges, dtype=np.float64),
+        names,
+        topo,
+    )

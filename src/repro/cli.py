@@ -125,11 +125,36 @@ def cmd_audit(args) -> int:
     """Run one configuration and print the Table-1-style audit."""
     from repro.analysis.audit import performance_audit
     from repro.core.simulation import ParallelSimulation, SimulationConfig
+    from repro.runtime.faults import FaultPlan
 
     system = _load_system(args.system)
     problem = _build_problem(system)
-    cfg = SimulationConfig(n_procs=args.procs, machine=_machine(args.machine))
-    result = ParallelSimulation(system, cfg, problem=problem).run()
+    try:
+        plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+        if plan:
+            for f in plan.failures:
+                if not 0 <= f.proc < args.procs:
+                    raise ValueError(
+                        f"kill targets processor {f.proc}, "
+                        f"but --procs is {args.procs}"
+                    )
+    except ValueError as exc:
+        raise SystemExit(f"bad --fault-plan: {exc}")
+    try:
+        cfg = SimulationConfig(
+            n_procs=args.procs,
+            machine=_machine(args.machine),
+            fault_plan=plan,
+            checkpoint_interval=args.checkpoint_interval,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    from repro.runtime.checkpoint import UnrecoverableFailure
+
+    try:
+        result = ParallelSimulation(system, cfg, problem=problem).run()
+    except UnrecoverableFailure as exc:
+        raise SystemExit(f"unrecoverable: {exc}")
     print(performance_audit(result).format())
     return 0
 
@@ -211,6 +236,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_au.add_argument("--system", choices=_SYSTEMS, default="br")
     p_au.add_argument("--machine", default="ASCI-Red")
     p_au.add_argument("--procs", type=int, default=32)
+    p_au.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="fault injection spec, e.g. 'seed=7,kill=2@0.5,drop=0.01' "
+             "(see repro.runtime.faults.FaultPlan.parse)",
+    )
+    p_au.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="STEPS",
+        help="double-checkpoint every N steps (0 = baseline cut only)",
+    )
 
     p_gs = sub.add_parser("grainsize", help="Figure-1/2-style histograms")
     p_gs.add_argument("--system", choices=_SYSTEMS, default="br")

@@ -39,6 +39,17 @@ from repro.costmodel.flops import DEFAULT_FLOPS, FlopModel
 from repro.costmodel.model import CostModel, WorkCounts
 from repro.md.nonbonded import NonbondedOptions
 from repro.md.system import MolecularSystem
+from repro.runtime.checkpoint import (
+    BackendState,
+    ChareCheckpoint,
+    Checkpoint,
+    DoubleCheckpointStore,
+    RecoveryEvent,
+    RecoveryStats,
+    restore_chare,
+    snapshot_chare,
+)
+from repro.runtime.faults import FaultPlan
 from repro.runtime.machine import ASCI_RED, MachineModel
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.trace import SummaryProfile, TraceLog
@@ -96,12 +107,25 @@ class SimulationConfig:
     #: per-processor CPU slowdown factors (heterogeneous / externally
     #: loaded machine, ref [3]); None = homogeneous
     proc_speed_factors: "np.ndarray | None" = None
+    #: deterministic fault schedule (processor death, transient slowdowns,
+    #: message drop/delay/duplicate); None = fault-free run
+    fault_plan: "FaultPlan | None" = None
+    #: rounds between in-memory double checkpoints; 0 = checkpoint only at
+    #: phase start (a baseline cut is always taken when resilience is on)
+    checkpoint_interval: int = 0
+    #: simulated seconds from a processor death to its detection (the
+    #: keep-alive timeout of the failure detector)
+    failure_detection_timeout: float = 5e-4
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
             raise ValueError("n_procs must be >= 1")
         if not (0 < self.measure_last <= self.steps_per_phase):
             raise ValueError("measure_last must be in 1..steps_per_phase")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.failure_detection_timeout <= 0:
+            raise ValueError("failure_detection_timeout must be positive")
         for name in self.lb_schedule:
             base_names = name.split("+")
             for b in base_names:
@@ -155,6 +179,11 @@ class PhaseResult:
     #: numeric-mode backend (real positions/velocities/energies); None in
     #: timing mode
     backend: "NumericBackend | None" = None
+    #: fault-tolerance accounting; None when the phase ran without the
+    #: resilience layer
+    recovery: "RecoveryStats | None" = None
+    #: processors lost (cumulatively) by the end of this phase
+    dead_procs: tuple[int, ...] = ()
 
 
 @dataclass
@@ -186,6 +215,32 @@ class SimulationResult:
     def gflops(self) -> float:
         """Modeled flop rate at the final step time."""
         return self.flops_per_step / self.time_per_step / 1e9
+
+    @property
+    def recovery(self) -> RecoveryStats:
+        """Aggregate fault-tolerance accounting across all phases."""
+        total = RecoveryStats()
+        for ph in self.phases:
+            if ph.recovery is not None:
+                total = total.merge(ph.recovery)
+        return total
+
+    @property
+    def dead_procs(self) -> tuple[int, ...]:
+        """Processors lost by the end of the run."""
+        return self.phases[-1].dead_procs if self.phases else ()
+
+
+@dataclass
+class _ChareGraph:
+    """All chares of one phase, as wired onto a scheduler."""
+
+    patch_oid: dict[int, int]
+    patch_chares: dict[int, HomePatchChare]
+    compute_oid: dict[int, int]  # descriptor index -> object id
+    compute_proc: dict[int, int]  # descriptor index -> processor
+    oid_to_desc: dict[int, int]
+    proxy_chares: dict[tuple[int, int], ProxyPatchChare]
 
 
 class ParallelSimulation:
@@ -244,6 +299,16 @@ class ParallelSimulation:
         self.initial_placement = {
             d.index: int(self.patch_proc[d.home_patch]) for d in self.descriptors
         }
+        self._reset_fault_state()
+
+    def _reset_fault_state(self) -> None:
+        """Per-run resilience state: which processors have died so far and
+        where each patch is homed on the (possibly degraded) machine."""
+        self._dead_procs: set[int] = set()
+        self._patch_proc_now = np.array(self.patch_proc, dtype=np.int64).copy()
+        #: sum of completed phases' end times: converts the global fault-plan
+        #: clock into each phase's local clock
+        self._global_offset = 0.0
 
     # ------------------------------------------------------------------ #
     @property
@@ -262,6 +327,7 @@ class ParallelSimulation:
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Execute all phases of the LB schedule; returns all measurements."""
+        self._reset_fault_state()
         placement = dict(self.initial_placement)
         schedule: list[str | None] = list(self.config.lb_schedule) + [None]
         phases: list[PhaseResult] = []
@@ -285,6 +351,7 @@ class ParallelSimulation:
         self, placement: dict[int, int] | None = None, trace_full: bool = False
     ) -> PhaseResult:
         """Run a single phase at a given placement (analysis/benchmarks)."""
+        self._reset_fault_state()
         return self._run_phase(
             0, "static", placement or dict(self.initial_placement), trace_full
         )
@@ -297,25 +364,37 @@ class ParallelSimulation:
         placement: dict[int, int],
         trace_full: bool,
     ) -> PhaseResult:
-        cfg = self.config
-        scheduler = Scheduler(
-            cfg.n_procs,
-            cfg.machine,
-            trace_full=trace_full,
-            optimized_multicast=cfg.optimized_multicast,
-            proc_speed_factors=cfg.proc_speed_factors,
-        )
-        backend = (
-            NumericBackend(
-                self.system,
-                NonbondedOptions(cutoff=cfg.cutoff),
-                dt=cfg.dt,
+        if self.config.fault_plan is None and self.config.checkpoint_interval == 0:
+            return self._run_phase_simple(
+                phase_index, strategy_applied, placement, trace_full
             )
-            if cfg.numeric
-            else None
+        return self._run_phase_resilient(
+            phase_index, strategy_applied, placement, trace_full
         )
+
+    def _make_backend(self) -> "NumericBackend | None":
+        cfg = self.config
+        if not cfg.numeric:
+            return None
+        return NumericBackend(
+            self.system, NonbondedOptions(cutoff=cfg.cutoff), dt=cfg.dt
+        )
+
+    def _build_chare_graph(
+        self,
+        scheduler: Scheduler,
+        placement: dict[int, int],
+        backend: "NumericBackend | None",
+        n_rounds: int,
+    ) -> "_ChareGraph":
+        """Create and wire all chares on ``scheduler`` for one phase.
+
+        Homes come from ``self._patch_proc_now`` (equal to the static RCB map
+        until a failure re-homes patches onto survivors); migratable computes
+        from ``placement``; non-migratables follow their anchor patch.
+        """
         decomp = self.decomposition
-        n_steps = cfg.steps_per_phase
+        patch_proc = self._patch_proc_now
 
         # --- create home patches -------------------------------------- #
         patch_oid: dict[int, int] = {}
@@ -326,10 +405,10 @@ class ParallelSimulation:
                 p,
                 atoms,
                 self.cost_model.integration_cost(len(atoms)),
-                n_steps,
+                n_rounds,
                 backend,
             )
-            patch_oid[p] = scheduler.register(chare, int(self.patch_proc[p]))
+            patch_oid[p] = scheduler.register(chare, int(patch_proc[p]))
             patch_chares[p] = chare
 
         # --- create computes ------------------------------------------ #
@@ -338,9 +417,9 @@ class ParallelSimulation:
         oid_to_desc: dict[int, int] = {}
         for d in self.descriptors:
             if d.migratable:
-                proc = int(placement.get(d.index, self.patch_proc[d.home_patch]))
+                proc = int(placement.get(d.index, patch_proc[d.home_patch]))
             else:
-                proc = int(self.patch_proc[d.home_patch])
+                proc = int(patch_proc[d.home_patch])
             compute_proc[d.index] = proc
             if d.kind in ("nb_self", "nb_pair"):
                 atoms_a = decomp.patch_atoms[d.patches[0]]
@@ -366,7 +445,7 @@ class ParallelSimulation:
         for d in self.descriptors:
             proc = compute_proc[d.index]
             for q in d.patches:
-                if int(self.patch_proc[q]) != proc and (q, proc) not in proxy_oid:
+                if int(patch_proc[q]) != proc and (q, proc) not in proxy_oid:
                     proxy = ProxyPatchChare(
                         q, patch_oid[q], decomp.patch_size(q)
                     )
@@ -378,7 +457,7 @@ class ParallelSimulation:
             cid = compute_oid[d.index]
             compute = scheduler.object(cid)
             for q in d.patches:
-                if int(self.patch_proc[q]) == proc:
+                if int(patch_proc[q]) == proc:
                     home = patch_chares[q]
                     home.local_compute_ids.append(cid)
                     compute.deposit_ids.append(patch_oid[q])
@@ -398,8 +477,78 @@ class ParallelSimulation:
         for proxy in proxy_chares.values():
             proxy.expected_deposits = len(proxy.local_compute_ids)
 
+        return _ChareGraph(
+            patch_oid=patch_oid,
+            patch_chares=patch_chares,
+            compute_oid=compute_oid,
+            compute_proc=compute_proc,
+            oid_to_desc=oid_to_desc,
+            proxy_chares=proxy_chares,
+        )
+
+    def _collect_phase(
+        self,
+        phase_index: int,
+        strategy_applied: str | None,
+        placement: dict[int, int],
+        trace_full: bool,
+        scheduler: Scheduler,
+        graph: "_ChareGraph",
+        completion_times: list[float],
+        backend: "NumericBackend | None",
+        recovery: "RecoveryStats | None" = None,
+    ) -> PhaseResult:
+        cfg = self.config
+        snapshot = scheduler.lb_db.snapshot()
+        measured_steps = max(snapshot.measured_steps, 1)
+        measured_loads = {
+            graph.oid_to_desc[oid]: stats.load / measured_steps
+            for oid, stats in snapshot.objects.items()
+            if oid in graph.oid_to_desc
+        }
+        background = np.zeros(cfg.n_procs)
+        for proc, load in snapshot.background_load.items():
+            background[proc] = load / measured_steps
+
+        problem = self._build_problem(placement, measured_loads, background)
+        stats = placement_stats(problem, placement)
+
+        return PhaseResult(
+            phase=phase_index,
+            strategy_applied=strategy_applied,
+            timings=StepTimings(completion_times, cfg.measure_last),
+            summary=scheduler.trace.summary(),
+            placement=dict(placement),
+            stats=stats,
+            trace=scheduler.trace if trace_full else None,
+            measured_loads=measured_loads,
+            background_per_step=background,
+            backend=backend,
+            recovery=recovery,
+            dead_procs=tuple(sorted(self._dead_procs)),
+        )
+
+    def _run_phase_simple(
+        self,
+        phase_index: int,
+        strategy_applied: str | None,
+        placement: dict[int, int],
+        trace_full: bool,
+    ) -> PhaseResult:
+        cfg = self.config
+        scheduler = Scheduler(
+            cfg.n_procs,
+            cfg.machine,
+            trace_full=trace_full,
+            optimized_multicast=cfg.optimized_multicast,
+            proc_speed_factors=cfg.proc_speed_factors,
+        )
+        backend = self._make_backend()
+        n_steps = cfg.steps_per_phase
+        graph = self._build_chare_graph(scheduler, placement, backend, n_steps)
+
         # --- drive the steps ------------------------------------------- #
-        n_patches = decomp.n_patches
+        n_patches = self.decomposition.n_patches
         completion: list[float] = []
         round_counts: dict[int, int] = {}
 
@@ -419,7 +568,9 @@ class ParallelSimulation:
 
         scheduler.set_control_handler(on_control)
         for p in range(n_patches):
-            scheduler.inject(patch_oid[p], "start", {}, size_bytes=0.0, at_time=0.0)
+            scheduler.inject(
+                graph.patch_oid[p], "start", {}, size_bytes=0.0, at_time=0.0
+            )
         scheduler.run()
         if len(completion) != n_steps:
             raise RuntimeError(
@@ -427,33 +578,297 @@ class ParallelSimulation:
                 "(protocol deadlock)"
             )
 
-        # --- collect ----------------------------------------------------#
-        snapshot = scheduler.lb_db.snapshot()
-        measured_steps = max(snapshot.measured_steps, 1)
-        measured_loads = {
-            oid_to_desc[oid]: stats.load / measured_steps
-            for oid, stats in snapshot.objects.items()
-            if oid in oid_to_desc
-        }
-        background = np.zeros(cfg.n_procs)
-        for proc, load in snapshot.background_load.items():
-            background[proc] = load / measured_steps
-
-        problem = self._build_problem(placement, measured_loads, background)
-        stats = placement_stats(problem, placement)
-
-        return PhaseResult(
-            phase=phase_index,
-            strategy_applied=strategy_applied,
-            timings=StepTimings(completion, cfg.measure_last),
-            summary=scheduler.trace.summary(),
-            placement=dict(placement),
-            stats=stats,
-            trace=scheduler.trace if trace_full else None,
-            measured_loads=measured_loads,
-            background_per_step=background,
-            backend=backend,
+        return self._collect_phase(
+            phase_index,
+            strategy_applied,
+            placement,
+            trace_full,
+            scheduler,
+            graph,
+            completion,
+            backend,
         )
+
+    # ------------------------------------------------------------------ #
+    # resilient execution: checkpointing, failure detection, recovery
+    # ------------------------------------------------------------------ #
+    def _run_phase_resilient(
+        self,
+        phase_index: int,
+        strategy_applied: str | None,
+        placement: dict[int, int],
+        trace_full: bool,
+    ) -> PhaseResult:
+        """Segmented phase execution with double checkpointing.
+
+        The phase's rounds are executed in segments of ``checkpoint_interval``
+        rounds.  Each segment ends at quiescence — a consistent global cut —
+        where every chare's state is checkpointed to its processor and a
+        buddy.  If processors die mid-segment the protocol stalls, the
+        failure detector notices, and recovery rebuilds the chare graph on
+        the survivors (forced refinement pass included), restores state from
+        the last surviving checkpoint, and replays.
+        """
+        cfg = self.config
+        plan = (
+            cfg.fault_plan.shifted(self._global_offset)
+            if cfg.fault_plan is not None
+            else None
+        )
+        backend = self._make_backend()
+        n_steps = cfg.steps_per_phase
+        interval = cfg.checkpoint_interval if cfg.checkpoint_interval > 0 else n_steps
+        n_patches = self.decomposition.n_patches
+
+        store = DoubleCheckpointStore(cfg.n_procs)
+        recovery = RecoveryStats()
+        completion: dict[int, float] = {}
+        round_counts: dict[int, int] = {}
+        placement = dict(placement)
+        sched_ref: list[Scheduler] = []
+
+        def on_control(time: float, payload) -> None:
+            tag, _patch, rnd = payload
+            if tag != "step_done":
+                return
+            round_counts[rnd] = round_counts.get(rnd, 0) + 1
+            if round_counts[rnd] == n_patches:
+                completion[rnd] = time
+                sched_ref[0].lb_db.mark_step()
+
+        def new_scheduler(start_time: float) -> Scheduler:
+            s = Scheduler(
+                cfg.n_procs,
+                cfg.machine,
+                trace_full=trace_full,
+                optimized_multicast=cfg.optimized_multicast,
+                proc_speed_factors=cfg.proc_speed_factors,
+                fault_plan=plan,
+                initially_dead=set(self._dead_procs),
+                start_time=start_time,
+            )
+            s.set_control_handler(on_control)
+            sched_ref[:] = [s]
+            return s
+
+        def harvest(s: Scheduler) -> None:
+            fs = s.fault_stats
+            recovery.messages_dropped += fs["drops"]
+            recovery.messages_delayed += fs["delays"]
+            recovery.messages_duplicated += fs["duplicates"]
+            recovery.messages_lost_to_dead += fs["dead_dropped"]
+
+        scheduler = new_scheduler(0.0)
+        graph = self._build_chare_graph(scheduler, placement, backend, n_steps)
+        # baseline cut at round 0: the recovery floor for failures striking
+        # before the first periodic checkpoint
+        start_at = self._take_checkpoint(
+            scheduler, graph, backend, store, recovery, 0, 0.0
+        )
+        resume_round = 0
+
+        while True:
+            target = min(resume_round + interval, n_steps)
+            for chare in graph.patch_chares.values():
+                chare.n_rounds = target
+            for p in range(n_patches):
+                scheduler.inject(
+                    graph.patch_oid[p], "start", {}, size_bytes=0.0, at_time=start_at
+                )
+            end = scheduler.run()
+
+            new_dead = scheduler.dead_procs - self._dead_procs
+            if new_dead:
+                harvest(scheduler)
+                scheduler, graph, start_at, resume_round = self._recover(
+                    scheduler,
+                    plan,
+                    placement,
+                    backend,
+                    store,
+                    recovery,
+                    new_dead,
+                    completion,
+                    round_counts,
+                    n_steps,
+                    new_scheduler,
+                )
+                continue
+
+            done = max(completion) + 1 if completion else 0
+            if done != target:
+                raise RuntimeError(
+                    f"phase {phase_index}: {done}/{target} rounds completed "
+                    "(protocol deadlock)"
+                )
+            if target >= n_steps:
+                harvest(scheduler)
+                break
+            cost = self._take_checkpoint(
+                scheduler, graph, backend, store, recovery, target, end
+            )
+            resume_round = target
+            start_at = end + cost
+
+        self._global_offset += scheduler.now
+        completion_times = [completion[r] for r in range(n_steps)]
+        return self._collect_phase(
+            phase_index,
+            strategy_applied,
+            placement,
+            trace_full,
+            scheduler,
+            graph,
+            completion_times,
+            backend,
+            recovery=recovery,
+        )
+
+    def _take_checkpoint(
+        self,
+        scheduler: Scheduler,
+        graph: "_ChareGraph",
+        backend: "NumericBackend | None",
+        store: DoubleCheckpointStore,
+        recovery: RecoveryStats,
+        round_: int,
+        time: float,
+    ) -> float:
+        """Checkpoint every chare to its owner + buddy; returns modeled cost.
+
+        The cost is the slowest processor's pack + send + transit of its
+        buddy-copy traffic — checkpointing is a barrier, so the max governs.
+        Proxies are not checkpointed: at a quiescent cut they hold no state
+        (deposit counters are zero) and recovery rebuilds them anyway.
+        """
+        cfg = self.config
+        live = [p for p in range(cfg.n_procs) if p not in scheduler.dead_procs]
+        chares: dict[tuple, ChareCheckpoint] = {}
+        for p, chare in graph.patch_chares.items():
+            owner = int(self._patch_proc_now[p])
+            chares[("patch", p)] = ChareCheckpoint(
+                ("patch", p),
+                snapshot_chare(chare),
+                owner,
+                DoubleCheckpointStore.buddy_of(owner, live),
+            )
+        for idx, oid in graph.compute_oid.items():
+            owner = graph.compute_proc[idx]
+            chares[("compute", idx)] = ChareCheckpoint(
+                ("compute", idx),
+                snapshot_chare(scheduler.object(oid)),
+                owner,
+                DoubleCheckpointStore.buddy_of(owner, live),
+            )
+        cp = Checkpoint(
+            round=round_,
+            time=time,
+            chares=chares,
+            backend_state=(
+                BackendState.capture(backend) if backend is not None else None
+            ),
+        )
+        store.commit(cp)
+        recovery.checkpoints_taken += 1
+
+        m = cfg.machine
+        cost = 0.0
+        for p in live:
+            b = cp.bytes_sent_from(p)
+            if b:
+                cost = max(
+                    cost, m.pack_time(b) + m.send_overhead_s + m.transit_time(b)
+                )
+        recovery.checkpoint_time_s += cost
+        return cost
+
+    def _recover(
+        self,
+        scheduler: Scheduler,
+        plan: "FaultPlan | None",
+        placement: dict[int, int],
+        backend: "NumericBackend | None",
+        store: DoubleCheckpointStore,
+        recovery: RecoveryStats,
+        new_dead: set[int],
+        completion: dict[int, float],
+        round_counts: dict[int, int],
+        n_steps: int,
+        new_scheduler,
+    ) -> tuple[Scheduler, "_ChareGraph", float, int]:
+        """Rebuild the run on the surviving processors from the last cut."""
+        cfg = self.config
+        self._dead_procs |= new_dead
+        dead = self._dead_procs
+
+        failure_time = min(scheduler.failure_times[p] for p in new_dead)
+        detected = failure_time + cfg.failure_detection_timeout
+        t0 = max(scheduler.now, detected)
+        rounds_done = max(completion) + 1 if completion else 0
+
+        cp = store.recovery_checkpoint(set(dead))
+        r0 = cp.round
+        for r in [r for r in completion if r >= r0]:
+            del completion[r]
+        for r in [r for r in round_counts if r >= r0]:
+            del round_counts[r]
+
+        # re-home patches that lived on dead processors: the buddy holding
+        # their checkpoint copy becomes the new home
+        live = sorted(set(range(cfg.n_procs)) - dead)
+        for p in range(self.decomposition.n_patches):
+            if int(self._patch_proc_now[p]) in dead:
+                buddy = cp.chares[("patch", p)].buddy
+                self._patch_proc_now[p] = buddy if buddy not in dead else live[0]
+
+        # pull computes off dead processors (non-migratables simply follow
+        # their re-homed anchor patch), then force a refinement pass against
+        # the degraded machine
+        for d in self.descriptors:
+            if not d.migratable:
+                placement[d.index] = int(self._patch_proc_now[d.home_patch])
+            elif placement.get(d.index, -1) in dead:
+                placement[d.index] = int(self._patch_proc_now[d.home_patch])
+        problem = self._build_problem(placement, {}, np.zeros(cfg.n_procs))
+        placement.update(refine_strategy(problem))
+
+        # modeled cost of shipping the lost chares' buddy copies to their
+        # new processors (backend arrays are global shared state here)
+        m = cfg.machine
+        restore_bytes = sum(
+            c.size_bytes for c in cp.chares.values() if c.owner in dead
+        )
+        restore_cost = (
+            m.pack_time(restore_bytes)
+            + m.send_overhead_s
+            + m.transit_time(restore_bytes)
+            if restore_bytes
+            else 0.0
+        )
+        t_restart = t0 + restore_cost
+
+        recovery.events.append(
+            RecoveryEvent(
+                procs=tuple(sorted(new_dead)),
+                failure_time=failure_time,
+                detected_time=detected,
+                checkpoint_round=r0,
+                rounds_done_at_failure=rounds_done,
+                restore_cost_s=restore_cost,
+                restart_time=t_restart,
+            )
+        )
+
+        scheduler = new_scheduler(t_restart)
+        graph = self._build_chare_graph(scheduler, placement, backend, n_steps)
+        for (kind, key), cc in cp.chares.items():
+            if kind == "patch":
+                restore_chare(graph.patch_chares[key], cc.state)
+            else:
+                restore_chare(scheduler.object(graph.compute_oid[key]), cc.state)
+        if backend is not None and cp.backend_state is not None:
+            cp.backend_state.restore(backend)
+        return scheduler, graph, t_restart, r0
 
     # ------------------------------------------------------------------ #
     def _build_problem(
@@ -463,6 +878,7 @@ class ParallelSimulation:
         background: np.ndarray,
     ) -> LBProblem:
         cfg = self.config
+        patch_proc = self._patch_proc_now
         use_measured = cfg.use_measured_loads and measured_loads
         items = []
         for d in self.descriptors:
@@ -476,23 +892,24 @@ class ParallelSimulation:
                     index=d.index,
                     load=load,
                     patches=d.patches,
-                    proc=int(placement.get(d.index, self.patch_proc[d.home_patch])),
+                    proc=int(placement.get(d.index, patch_proc[d.home_patch])),
                 )
             )
         existing = set()
         for d in self.descriptors:
             if d.migratable:
                 continue
-            proc = int(self.patch_proc[d.home_patch])
+            proc = int(patch_proc[d.home_patch])
             for q in d.patches:
-                if int(self.patch_proc[q]) != proc:
+                if int(patch_proc[q]) != proc:
                     existing.add((q, proc))
         return LBProblem(
             n_procs=cfg.n_procs,
             computes=items,
             background=background,
-            patch_home={p: int(self.patch_proc[p]) for p in range(self.decomposition.n_patches)},
+            patch_home={p: int(patch_proc[p]) for p in range(self.decomposition.n_patches)},
             existing_proxies=existing,
+            dead_procs=frozenset(self._dead_procs),
         )
 
     def _apply_strategy(self, name: str, phase: PhaseResult) -> dict[int, int]:

@@ -1,0 +1,241 @@
+"""Deterministic fault injection for the simulated runtime.
+
+The paper motivates the adaptive runtime with machines that *misbehave*
+(externally loaded workstation clusters, §2.1); this module extends the
+simulation beyond slowdowns to outright failures, in the direction the
+Charm++ lineage later took with in-memory double checkpointing.
+
+A :class:`FaultPlan` is a fully deterministic schedule of faults:
+
+* **fail-stop processor death** at a given simulated time
+  (:class:`ProcessorFailure`),
+* **transient slowdown windows** during which a processor's CPU time is
+  multiplied by a factor (:class:`SlowdownWindow`),
+* **per-message drop / delay / duplicate** faults, decided per message from
+  a counter-based RNG stream (:class:`MessageFaults`).
+
+Determinism is the load-bearing property: every message decision is drawn
+from ``default_rng((seed, message_seq, attempt))``, so two runs with the
+same plan see byte-identical fault sequences regardless of wall-clock or
+Python hash state — which is what makes fault-injection tests (and the
+recovery-equivalence invariant) reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "ProcessorFailure",
+    "SlowdownWindow",
+    "MessageFaults",
+    "MessageFate",
+    "FaultPlan",
+    "MAX_RETRANSMITS",
+]
+
+#: Retransmit attempts before a dropped message is assumed delivered (the
+#: modeled sender keeps retrying with exponential backoff; bounding the
+#: count guarantees liveness of the simulation itself).
+MAX_RETRANSMITS = 6
+
+
+@dataclass(frozen=True)
+class ProcessorFailure:
+    """Fail-stop death of processor ``proc`` at simulated time ``time``."""
+
+    proc: int
+    time: float
+
+
+@dataclass(frozen=True)
+class SlowdownWindow:
+    """CPU on ``proc`` runs ``factor`` times slower during [start, end)."""
+
+    proc: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        if self.end <= self.start:
+            raise ValueError("slowdown window must have positive length")
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Rates of per-message communication faults.
+
+    ``drop_rate`` messages are lost and retransmitted with exponential
+    backoff (``retry_base_s * 2^attempt``); ``delay_rate`` messages arrive
+    late by up to ``delay_s``; ``duplicate_rate`` messages arrive twice
+    (the duplicate is suppressed by the receiver — at-most-once delivery).
+    """
+
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_s: float = 1e-4
+    duplicate_rate: float = 0.0
+    retry_base_s: float = 5e-5
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "duplicate_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]; got {rate}")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault rate is nonzero."""
+        return bool(self.drop_rate or self.delay_rate or self.duplicate_rate)
+
+
+class MessageFate(NamedTuple):
+    """Outcome of the fault draw for one scheduled message."""
+
+    drops: int  # number of transmissions lost before one got through
+    extra_delay: float  # seconds added on top of normal transit
+    duplicated: bool  # a second (suppressed) copy also arrives
+
+
+_CLEAN = MessageFate(0, 0.0, False)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded schedule of runtime faults."""
+
+    seed: int = 0
+    failures: tuple[ProcessorFailure, ...] = ()
+    slowdowns: tuple[SlowdownWindow, ...] = ()
+    message_faults: MessageFaults = field(default_factory=MessageFaults)
+
+    # ------------------------------------------------------------------ #
+    def message_fate(self, message_seq: int) -> MessageFate:
+        """Deterministic fate of the message scheduled with ``message_seq``.
+
+        A dropped transmission is retried (each retry gets its own draw), so
+        the returned fate folds the whole retransmit episode into one drop
+        count plus the backoff delay computed by the caller.
+        """
+        mf = self.message_faults
+        if not mf.active:
+            return _CLEAN
+        drops = 0
+        while drops < MAX_RETRANSMITS:
+            rng = np.random.default_rng((self.seed, message_seq, drops))
+            u_drop, u_delay, u_dup, u_jitter = rng.random(4)
+            if u_drop < mf.drop_rate:
+                drops += 1
+                continue
+            extra = mf.delay_s * (0.5 + u_jitter) if u_delay < mf.delay_rate else 0.0
+            return MessageFate(drops, extra, u_dup < mf.duplicate_rate)
+        return MessageFate(drops, 0.0, False)
+
+    def retransmit_delay(self, drops: int) -> float:
+        """Total backoff delay for ``drops`` lost transmissions."""
+        base = self.message_faults.retry_base_s
+        return float(base * (2.0**drops - 1.0))  # sum of base * 2^k
+
+    def slowdown_factor(self, proc: int, time: float) -> float:
+        """Combined slowdown multiplier for ``proc`` at ``time``."""
+        factor = 1.0
+        for w in self.slowdowns:
+            if w.proc == proc and w.start <= time < w.end:
+                factor *= w.factor
+        return factor
+
+    @property
+    def has_slowdowns(self) -> bool:
+        """True when any slowdown window is scheduled."""
+        return bool(self.slowdowns)
+
+    # ------------------------------------------------------------------ #
+    def shifted(self, offset: float) -> "FaultPlan":
+        """The plan in a clock that starts ``offset`` seconds later.
+
+        Used by the multi-phase driver: each phase's scheduler clock starts
+        at zero, so the global plan is re-expressed in phase-local time.
+        Failures whose time has already passed are dropped (the driver
+        carries the resulting dead-processor set forward explicitly).
+        """
+        if offset == 0.0:
+            return self
+        return replace(
+            self,
+            failures=tuple(
+                ProcessorFailure(f.proc, f.time - offset)
+                for f in self.failures
+                if f.time - offset >= 0.0
+            ),
+            slowdowns=tuple(
+                SlowdownWindow(w.proc, w.start - offset, w.end - offset, w.factor)
+                for w in self.slowdowns
+                if w.end - offset > 0.0
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact CLI string.
+
+        Comma-separated clauses::
+
+            seed=<int>
+            kill=<proc>@<time>
+            slow=<proc>@<start>-<end>x<factor>
+            drop=<rate>          delay=<rate>@<seconds>
+            dup=<rate>           retry=<seconds>
+
+        Example: ``"seed=7,kill=2@0.004,drop=0.01,delay=0.02@1e-4"``.
+        """
+        seed = 0
+        failures: list[ProcessorFailure] = []
+        slowdowns: list[SlowdownWindow] = []
+        mf: dict[str, float] = {}
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" not in clause:
+                raise ValueError(f"bad fault clause {clause!r} (expected key=value)")
+            key, _, value = clause.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                seed = int(value)
+            elif key == "kill":
+                proc, _, t = value.partition("@")
+                failures.append(ProcessorFailure(int(proc), float(t)))
+            elif key == "slow":
+                proc, _, rest = value.partition("@")
+                window, _, factor = rest.partition("x")
+                start, _, end = window.partition("-")
+                slowdowns.append(
+                    SlowdownWindow(int(proc), float(start), float(end), float(factor))
+                )
+            elif key == "drop":
+                mf["drop_rate"] = float(value)
+            elif key == "delay":
+                rate, _, secs = value.partition("@")
+                mf["delay_rate"] = float(rate)
+                if secs:
+                    mf["delay_s"] = float(secs)
+            elif key == "dup":
+                mf["duplicate_rate"] = float(value)
+            elif key == "retry":
+                mf["retry_base_s"] = float(value)
+            else:
+                raise ValueError(f"unknown fault clause key {key!r}")
+        return cls(
+            seed=seed,
+            failures=tuple(failures),
+            slowdowns=tuple(slowdowns),
+            message_faults=MessageFaults(**mf),
+        )

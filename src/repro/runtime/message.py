@@ -42,6 +42,9 @@ class Message:
     send_time: float = 0.0
     arrival_time: float = 0.0
     seq: int = -1
+    #: fault-injected duplicate delivery; the receiver suppresses the second
+    #: copy (at-most-once semantics) but still pays receive overhead
+    is_duplicate: bool = False
 
     def sort_key(self) -> tuple[int, int]:
         """Queue ordering: priority first, then FIFO by sequence number."""
