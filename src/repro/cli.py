@@ -86,19 +86,34 @@ def cmd_md(args) -> int:
     from repro.md.engine import SequentialEngine
     from repro.md.integrator import VelocityVerlet
     from repro.md.nonbonded import NonbondedOptions
+    from repro.md.pairlist import VerletPairList
 
+    if args.pairlist_skin < 0:
+        raise SystemExit("--pairlist-skin must be >= 0")
     system = small_water_box(args.waters, seed=args.seed)
     system.assign_velocities(args.temperature, seed=args.seed)
+    pairlist = (
+        VerletPairList(args.cutoff, skin=args.pairlist_skin)
+        if args.pairlist_skin > 0
+        else None
+    )
     engine = SequentialEngine(
         system,
         NonbondedOptions(cutoff=args.cutoff),
         VelocityVerlet(dt=args.dt),
+        pairlist=pairlist,
     )
     print(f"{'step':>5} {'kinetic':>10} {'potential':>12} {'total':>12} {'T':>7}")
     for rep in engine.run(args.steps):
         print(
             f"{rep.step:>5} {rep.kinetic:>10.2f} {rep.potential:>12.2f} "
             f"{rep.total:>12.4f} {system.temperature():>7.1f}"
+        )
+    if pairlist is not None:
+        print(
+            f"pairlist: {pairlist.n_builds} builds, "
+            f"reuse fraction {pairlist.reuse_fraction:.2f} "
+            f"(skin {pairlist.skin:.1f} A)"
         )
     return 0
 
@@ -225,6 +240,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_md.add_argument("--cutoff", type=float, default=8.0)
     p_md.add_argument("--temperature", type=float, default=300.0)
     p_md.add_argument("--seed", type=int, default=7)
+    p_md.add_argument(
+        "--pairlist-skin", type=float, default=1.5, metavar="ANGSTROM",
+        help="Verlet pairlist skin; 0 disables list reuse and re-enumerates "
+             "candidate pairs from the cell grid every step",
+    )
 
     p_sc = sub.add_parser("scaling", help="scaling table for one system")
     p_sc.add_argument("--system", choices=_SYSTEMS, default="br")

@@ -232,7 +232,12 @@ class NonbondedComputeChare(_ComputeBase):
     def _do_work(self) -> None:
         if self.backend is not None:
             self.backend.nonbonded(
-                self.round, self.atoms_a, self.atoms_b, self.part, self.n_parts
+                self.round,
+                self.atoms_a,
+                self.atoms_b,
+                self.part,
+                self.n_parts,
+                cache_key=self.label(),
             )
         self.round += 1
 

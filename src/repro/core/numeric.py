@@ -24,6 +24,7 @@ from repro.md.bonded import (
 )
 from repro.md.constants import ACC_CONVERSION
 from repro.md.nonbonded import NonbondedOptions, pair_interactions, _combined_params
+from repro.md.scatter import accumulate_pair_forces
 from repro.md.system import MolecularSystem
 from repro.util.pbc import minimum_image
 
@@ -53,7 +54,11 @@ class NumericBackend:
         system: MolecularSystem,
         options: NonbondedOptions,
         dt: float = 1.0,
+        pairlist_skin: float = 1.5,
     ) -> None:
+        """``pairlist_skin`` enables per-compute Verlet-style candidate
+        caching (pairs within ``cutoff + skin`` are reused until an involved
+        atom moves more than ``skin/2``); 0 disables the cache."""
         self.system = system.copy()
         self.system.wrap()
         self.options = options
@@ -70,6 +75,11 @@ class NumericBackend:
         ) if len(self.exclusions.pairs14) else np.zeros(0, dtype=np.int64)
         # per-step scalar energy tallies, keyed by step
         self.energy_by_step: dict[int, dict[str, float]] = {}
+        self.pairlist_skin = float(pairlist_skin)
+        # per-compute Verlet caches: cache_key -> {ii, jj, atoms, ref}
+        self._pair_cache: dict = {}
+        self.pairlist_builds = 0
+        self.pairlist_reuses = 0
 
     # ------------------------------------------------------------------ #
     def _tally(self, step: int, key: str, value: float) -> None:
@@ -83,6 +93,91 @@ class NumericBackend:
         return dict(self.energy_by_step.get(step, {}))
 
     # ------------------------------------------------------------------ #
+    def _enumerate_compute(
+        self,
+        atoms_a: np.ndarray,
+        atoms_b: np.ndarray | None,
+        part: int,
+        n_parts: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All candidate pairs of one (possibly split) compute, vectorized.
+
+        Self computes pair row atom ``atoms_a[k]`` with the suffix
+        ``atoms_a[k+1:]`` (each pair once); pair computes stripe rows
+        against all of ``atoms_b``.  Enumeration order matches the original
+        per-row loop, so energies are reproducible to the bit.
+        """
+        if atoms_b is None:
+            ks = np.arange(len(atoms_a), dtype=np.int64)[part::n_parts]
+            cnt = len(atoms_a) - 1 - ks
+            keep = cnt > 0
+            ks, cnt = ks[keep], cnt[keep]
+            if len(ks) == 0:
+                empty = np.zeros(0, dtype=np.int64)
+                return empty, empty.copy()
+            total = int(cnt.sum())
+            offsets = np.cumsum(cnt) - cnt
+            ii = np.repeat(atoms_a[ks], cnt)
+            jj = atoms_a[np.repeat(ks + 1 - offsets, cnt) + np.arange(total)]
+        else:
+            rows = atoms_a[part::n_parts]
+            ii = np.repeat(rows, len(atoms_b))
+            jj = np.tile(atoms_b, len(rows))
+        return ii, jj
+
+    def invalidate_pair_caches(self) -> None:
+        """Drop every per-compute candidate cache (after a state restore)."""
+        self._pair_cache.clear()
+
+    def _cached_candidates(
+        self,
+        cache_key,
+        atoms_a: np.ndarray,
+        atoms_b: np.ndarray | None,
+        part: int,
+        n_parts: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate pairs via the compute's Verlet cache.
+
+        Cached pairs lie within ``cutoff + skin`` of the build positions;
+        the list stays a valid superset of in-cutoff pairs until an involved
+        atom moves more than ``skin/2``, the standard Verlet bound.
+        """
+        pos = self.positions
+        box = self.system.box
+        half_skin2 = (0.5 * self.pairlist_skin) ** 2
+        entry = self._pair_cache.get(cache_key)
+        if entry is not None:
+            moved = minimum_image(pos[entry["atoms"]] - entry["ref"], box)
+            if (
+                len(moved)
+                and float(np.einsum("ij,ij->i", moved, moved).max()) > half_skin2
+            ):
+                entry = None
+        if entry is None:
+            ii, jj = self._enumerate_compute(atoms_a, atoms_b, part, n_parts)
+            if len(ii):
+                delta = minimum_image(pos[jj] - pos[ii], box)
+                r2 = np.einsum("ij,ij->i", delta, delta)
+                keep = r2 < (self.options.cutoff + self.pairlist_skin) ** 2
+                ii, jj = ii[keep], jj[keep]
+            involved = (
+                atoms_a
+                if atoms_b is None
+                else np.concatenate([atoms_a[part::n_parts], atoms_b])
+            )
+            entry = {
+                "ii": ii,
+                "jj": jj,
+                "atoms": involved,
+                "ref": pos[involved].copy(),
+            }
+            self._pair_cache[cache_key] = entry
+            self.pairlist_builds += 1
+        else:
+            self.pairlist_reuses += 1
+        return entry["ii"], entry["jj"]
+
     def nonbonded(
         self,
         step: int,
@@ -90,37 +185,26 @@ class NumericBackend:
         atoms_b: np.ndarray | None,
         part: int,
         n_parts: int,
+        cache_key=None,
     ) -> None:
         """Evaluate a (possibly split) non-bonded compute and accumulate.
 
         Rows of ``atoms_a`` are striped ``part::n_parts`` — the same
         partitioning the descriptors used for load counting, so numeric and
-        timing modes agree on which object owns which pairs.
+        timing modes agree on which object owns which pairs.  With a
+        ``cache_key`` (the calling chare's identity) candidates are served
+        from a per-compute Verlet cache instead of re-enumerated.
         """
-        rows = atoms_a[part::n_parts]
-        if len(rows) == 0:
-            return
         pos = self.positions
         box = self.system.box
-        if atoms_b is None:
-            # self interactions: pairs (i, j) with j after i in the patch
-            # ordering, row-striped by i
-            cols = atoms_a
-            order = {int(a): k for k, a in enumerate(atoms_a)}
-            ii_list, jj_list = [], []
-            for a in rows:
-                k = order[int(a)]
-                if k + 1 < len(cols):
-                    js = cols[k + 1 :]
-                    ii_list.append(np.full(len(js), a, dtype=np.int64))
-                    jj_list.append(js)
-            if not ii_list:
-                return
-            ii = np.concatenate(ii_list)
-            jj = np.concatenate(jj_list)
+        if cache_key is not None and self.pairlist_skin > 0:
+            ii, jj = self._cached_candidates(
+                cache_key, atoms_a, atoms_b, part, n_parts
+            )
         else:
-            ii = np.repeat(rows, len(atoms_b))
-            jj = np.tile(atoms_b, len(rows))
+            ii, jj = self._enumerate_compute(atoms_a, atoms_b, part, n_parts)
+        if len(ii) == 0:
+            return
         delta = minimum_image(pos[jj] - pos[ii], box)
         r2 = np.einsum("ij,ij->i", delta, delta)
         within = r2 < self.options.cutoff**2
@@ -153,8 +237,7 @@ class NumericBackend:
             )
             self._tally(step, "lj", float(e_lj.sum()))
             self._tally(step, "elec", float(e_el.sum()))
-            np.add.at(self.forces, i_m, fvec)
-            np.add.at(self.forces, j_m, -fvec)
+            accumulate_pair_forces(self.forces, i_m, j_m, fvec)
 
     def bonded(self, step: int, term_indices: dict[str, np.ndarray]) -> None:
         """Evaluate one bonded compute's term subsets and accumulate."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.md.cells import count_pairs_within
 from repro.md.nonbonded import count_interacting_pairs
 from repro.md.system import MolecularSystem
 
@@ -69,25 +70,26 @@ def count_work(system: MolecularSystem, decomposition) -> WorkCounts:
 
     ``decomposition`` provides ``patch_atoms`` (list of atom-index arrays),
     ``self_patches()`` and ``neighbor_pairs()`` (see
-    :class:`repro.core.decomposition.SpatialDecomposition`); pair counts are
-    computed patch-block by patch-block so memory stays bounded even for the
-    206,617-atom BC1 system.
+    :class:`repro.core.decomposition.SpatialDecomposition`).  Candidate
+    counts are pure arithmetic over patch sizes; the in-cutoff pair count
+    uses the chunked cell-grid enumeration
+    (:func:`repro.md.cells.count_pairs_within`), which equals the sum over
+    self/neighbour patch blocks because the patch edge is at least one
+    cutoff — every in-cutoff pair lies in exactly one block.  Memory stays
+    bounded even for the 206,617-atom BC1 system, without the former
+    per-block O(n²) Python loop (see ``_count_work_blocked``).
     """
-    pos = system.positions
-    box = system.box
-    cutoff = decomposition.cutoff
-    n_pairs = 0
     n_candidates = 0
     for p in decomposition.self_patches():
-        atoms = decomposition.patch_atoms[p]
-        m = len(atoms)
+        m = len(decomposition.patch_atoms[p])
         n_candidates += m * (m - 1) // 2
-        n_pairs += count_interacting_pairs(pos[atoms], None, box, cutoff)
     for pa, pb in decomposition.neighbor_pairs():
-        atoms_a = decomposition.patch_atoms[pa]
-        atoms_b = decomposition.patch_atoms[pb]
-        n_candidates += len(atoms_a) * len(atoms_b)
-        n_pairs += count_interacting_pairs(pos[atoms_a], pos[atoms_b], box, cutoff)
+        n_candidates += len(decomposition.patch_atoms[pa]) * len(
+            decomposition.patch_atoms[pb]
+        )
+    n_pairs = count_pairs_within(
+        system.positions, system.box, decomposition.cutoff
+    )
     topo = system.topology
     return WorkCounts(
         atoms=system.n_atoms,
@@ -166,3 +168,37 @@ def _count_pairs_blocked(
     pos_a: np.ndarray, pos_b: np.ndarray | None, box: np.ndarray, cutoff: float
 ) -> int:  # pragma: no cover - retained for API compatibility
     return count_interacting_pairs(pos_a, pos_b, box, cutoff)
+
+
+def _count_work_blocked(system: MolecularSystem, decomposition) -> WorkCounts:
+    """Former per-block implementation of :func:`count_work`.
+
+    Kept as the readable specification; the equivalence test in
+    ``tests/test_costmodel/test_model.py`` asserts :func:`count_work`
+    produces identical :class:`WorkCounts`.
+    """
+    pos = system.positions
+    box = system.box
+    cutoff = decomposition.cutoff
+    n_pairs = 0
+    n_candidates = 0
+    for p in decomposition.self_patches():
+        atoms = decomposition.patch_atoms[p]
+        m = len(atoms)
+        n_candidates += m * (m - 1) // 2
+        n_pairs += count_interacting_pairs(pos[atoms], None, box, cutoff)
+    for pa, pb in decomposition.neighbor_pairs():
+        atoms_a = decomposition.patch_atoms[pa]
+        atoms_b = decomposition.patch_atoms[pb]
+        n_candidates += len(atoms_a) * len(atoms_b)
+        n_pairs += count_interacting_pairs(pos[atoms_a], pos[atoms_b], box, cutoff)
+    topo = system.topology
+    return WorkCounts(
+        atoms=system.n_atoms,
+        nonbonded_pairs=int(n_pairs),
+        candidate_pairs=int(n_candidates),
+        bonds=topo.n_bonds,
+        angles=topo.n_angles,
+        dihedrals=topo.n_dihedrals,
+        impropers=topo.n_impropers,
+    )

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.md.scatter import segment_add
 from repro.md.system import MolecularSystem
 from repro.util.pbc import minimum_image
 
@@ -71,8 +72,8 @@ def compute_bonds(
     # F_i = 2 k (r - r0) * delta / r  (toward j when stretched)
     fmag = (2.0 * k * stretch / np.maximum(r, 1e-12))[:, None]
     fvec = fmag * delta
-    np.add.at(forces, idx[:, 0], fvec)
-    np.add.at(forces, idx[:, 1], -fvec)
+    segment_add(forces, idx[:, 0], fvec)
+    segment_add(forces, idx[:, 1], -fvec)
     return energy
 
 
@@ -103,9 +104,9 @@ def compute_angles(
     fi = (-dE_dtheta / (na * sin_t))[:, None] * (cos_t[:, None] * ah - bh)
     fk = (-dE_dtheta / (nb * sin_t))[:, None] * (cos_t[:, None] * bh - ah)
     fj = -(fi + fk)
-    np.add.at(forces, idx[:, 0], fi)
-    np.add.at(forces, idx[:, 1], fj)
-    np.add.at(forces, idx[:, 2], fk)
+    segment_add(forces, idx[:, 0], fi)
+    segment_add(forces, idx[:, 1], fj)
+    segment_add(forces, idx[:, 2], fk)
     return energy
 
 
@@ -181,10 +182,10 @@ def compute_dihedrals(
     energy = float(np.dot(k, 1.0 + np.cos(arg)))
     dE_dphi = -k * n_per * np.sin(arg)
     fi, fj, fk, fl = _torsion_forces(dE_dphi, m, n, b1, b2, b3, nb2, m2, n2)
-    np.add.at(forces, idx[:, 0], fi)
-    np.add.at(forces, idx[:, 1], fj)
-    np.add.at(forces, idx[:, 2], fk)
-    np.add.at(forces, idx[:, 3], fl)
+    segment_add(forces, idx[:, 0], fi)
+    segment_add(forces, idx[:, 1], fj)
+    segment_add(forces, idx[:, 2], fk)
+    segment_add(forces, idx[:, 3], fl)
     return energy
 
 
@@ -208,10 +209,10 @@ def compute_impropers(
     energy = float(np.dot(k, diff * diff))
     dE_dpsi = 2.0 * k * diff
     fi, fj, fk, fl = _torsion_forces(dE_dpsi, m, n, b1, b2, b3, nb2, m2, n2)
-    np.add.at(forces, idx[:, 0], fi)
-    np.add.at(forces, idx[:, 1], fj)
-    np.add.at(forces, idx[:, 2], fk)
-    np.add.at(forces, idx[:, 3], fl)
+    segment_add(forces, idx[:, 0], fi)
+    segment_add(forces, idx[:, 1], fj)
+    segment_add(forces, idx[:, 2], fk)
+    segment_add(forces, idx[:, 3], fl)
     return energy
 
 

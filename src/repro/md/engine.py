@@ -19,6 +19,7 @@ import numpy as np
 from repro.md.bonded import BondedEnergies, compute_bonded
 from repro.md.integrator import VelocityVerlet
 from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
+from repro.md.pairlist import VerletPairList
 from repro.md.system import MolecularSystem
 
 __all__ = ["SequentialEngine", "StepReport"]
@@ -65,13 +66,20 @@ class SequentialEngine:
         system: MolecularSystem,
         options: NonbondedOptions | None = None,
         integrator: VelocityVerlet | None = None,
-        pairlist=None,
+        pairlist="auto",
     ) -> None:
         """``pairlist`` may be a :class:`repro.md.pairlist.VerletPairList`
-        (built for this engine's cutoff) to amortize pair enumeration."""
+        (built for this engine's cutoff) to amortize pair enumeration.  The
+        default ``"auto"`` constructs one with the standard skin — Verlet
+        reuse is the production path; pass ``None`` to re-enumerate from the
+        cell grid every step (reference behaviour for equivalence tests)."""
         self.system = system
         self.options = options or NonbondedOptions()
         self.integrator = integrator or VelocityVerlet(dt=1.0)
+        if isinstance(pairlist, str):
+            if pairlist != "auto":
+                raise ValueError(f"unknown pairlist mode {pairlist!r}")
+            pairlist = VerletPairList(self.options.cutoff)
         self.pairlist = pairlist
         self._step = 0
         self._forces: np.ndarray | None = None
@@ -109,7 +117,12 @@ class SequentialEngine:
             self._forces = self.compute_forces()
         sys = self.system
 
-        def force_fn(_positions: np.ndarray) -> np.ndarray:
+        def force_fn(positions: np.ndarray) -> np.ndarray:
+            # Integrators may hand back a fresh array instead of mutating
+            # the one we passed in; adopt it before evaluating, so the
+            # forces actually correspond to the requested positions.
+            if positions is not sys.positions:
+                sys.positions[...] = positions
             return self.compute_forces()
 
         self._forces = self.integrator.step(

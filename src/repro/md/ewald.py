@@ -30,6 +30,7 @@ import numpy as np
 from scipy.special import erfc
 
 from repro.md.constants import COULOMB_CONSTANT
+from repro.md.scatter import accumulate_pair_forces
 from repro.md.system import MolecularSystem
 from repro.util.pbc import minimum_image
 
@@ -108,8 +109,7 @@ def _real_space(
         erfc_term / r2 + (2.0 * alpha / np.sqrt(np.pi)) * np.exp(-(alpha * r) ** 2) / r
     )
     fvec = (dE_dr / r)[:, None] * delta
-    np.add.at(forces, i_c, fvec)
-    np.add.at(forces, j_c, -fvec)
+    accumulate_pair_forces(forces, i_c, j_c, fvec)
     return energy
 
 
@@ -180,8 +180,7 @@ def _exclusion_correction(
         - erf_term / r2
     )
     fvec = (dE_dr / r)[:, None] * delta
-    np.add.at(forces, i_c, fvec)
-    np.add.at(forces, j_c, -fvec)
+    accumulate_pair_forces(forces, i_c, j_c, fvec)
     return energy
 
 

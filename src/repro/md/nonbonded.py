@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.md.constants import COULOMB_CONSTANT
 from repro.md.cells import candidate_pairs
+from repro.md.scatter import accumulate_pair_forces
 from repro.md.system import MolecularSystem
 from repro.util.pbc import minimum_image
 
@@ -219,8 +220,7 @@ def compute_nonbonded(
             e_lj, e_el, fvec = pair_interactions(delta, r2, eps_ij, rmin_ij, qq, options)
             e_lj_total += float(e_lj.sum())
             e_el_total += float(e_el.sum())
-            np.add.at(forces, i_c, fvec)
-            np.add.at(forces, j_c, -fvec)
+            accumulate_pair_forces(forces, i_c, j_c, fvec)
 
     # scaled 1-4 pairs (always computed, with the plain (unswitched at short
     # range, but the switching/shift factors still apply) kernel)
@@ -239,8 +239,7 @@ def compute_nonbonded(
             )
             e_lj_total += float(e_lj.sum())
             e_el_total += float(e_el.sum())
-            np.add.at(forces, i14, fvec)
-            np.add.at(forces, j14, -fvec)
+            accumulate_pair_forces(forces, i14, j14, fvec)
             n_pairs += len(i14)
 
     return NonbondedResult(e_lj_total, e_el_total, forces, n_pairs)

@@ -43,13 +43,23 @@ class VerletPairList:
         self.skin = float(skin)
         self._pairs: tuple[np.ndarray, np.ndarray] | None = None
         self._ref_positions: np.ndarray | None = None
+        self._ref_box: np.ndarray | None = None
         self.n_builds = 0
         self.n_reuses = 0
 
     # ------------------------------------------------------------------ #
     def needs_rebuild(self, positions: np.ndarray, box: np.ndarray) -> bool:
-        """True when any atom moved more than ``skin/2`` since the build."""
+        """True when the box changed or any atom moved more than ``skin/2``.
+
+        The box comparison matters for builder-resized systems: a cached
+        list enumerated in the old box is geometrically meaningless in the
+        new one, even if no atom "moved" in fractional terms.
+        """
         if self._pairs is None or self._ref_positions is None:
+            return True
+        if self._ref_box is None or not np.array_equal(
+            np.asarray(box, dtype=np.float64), self._ref_box
+        ):
             return True
         if len(positions) != len(self._ref_positions):
             return True
@@ -64,11 +74,16 @@ class VerletPairList:
 
         Rebuilds from the cell grid when stale, otherwise returns the cached
         list (callers still distance-filter, exactly as with fresh
-        enumeration).
+        enumeration).  The returned arrays are read-only views of the cache;
+        a caller that needs to mutate them must copy.
         """
         if self.needs_rebuild(positions, box):
-            self._pairs = candidate_pairs(positions, box, self.cutoff + self.skin)
+            i_idx, j_idx = candidate_pairs(positions, box, self.cutoff + self.skin)
+            i_idx.flags.writeable = False
+            j_idx.flags.writeable = False
+            self._pairs = (i_idx, j_idx)
             self._ref_positions = positions.copy()
+            self._ref_box = np.asarray(box, dtype=np.float64).copy()
             self.n_builds += 1
         else:
             self.n_reuses += 1
@@ -78,6 +93,7 @@ class VerletPairList:
         """Drop the cached list (e.g. after atom insertion/deletion)."""
         self._pairs = None
         self._ref_positions = None
+        self._ref_box = None
 
     @property
     def reuse_fraction(self) -> float:

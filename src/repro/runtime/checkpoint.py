@@ -128,6 +128,10 @@ class BackendState:
         backend.forces[:] = self.forces
         backend.energy_by_step.clear()
         backend.energy_by_step.update(copy.deepcopy(self.energy_by_step))
+        # positions jumped back to the cut: any Verlet-style candidate cache
+        # keyed to post-cut reference positions is now meaningless
+        if hasattr(backend, "invalidate_pair_caches"):
+            backend.invalidate_pair_caches()
 
 
 @dataclass

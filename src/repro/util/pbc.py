@@ -5,6 +5,13 @@ All routines operate on an orthorhombic box described by a length-3 array
 each axis after wrapping.  The minimum-image convention is valid whenever the
 interaction cutoff is at most half the smallest box edge, which the patch
 decomposition in :mod:`repro.core.decomposition` enforces.
+
+Contract: callers may hold positions arbitrarily far outside the primary
+cell (e.g. unwrapped trajectories); consumers that index spatial structures
+must fold them with :func:`wrap_positions` first — clamping is never correct,
+because a coordinate just below ``0`` belongs near ``L``, not near ``0``.
+:meth:`repro.md.cells.CellGrid.build` applies this wrap itself, so cell
+assignment is image-invariant.
 """
 
 from __future__ import annotations

@@ -27,7 +27,22 @@ class TestCommands:
         assert main(["md", "--waters", "27", "--steps", "3", "--cutoff", "5"]) == 0
         out = capsys.readouterr().out
         assert "kinetic" in out
+        # header + 3 steps + pairlist summary
+        assert len(out.strip().splitlines()) == 5
+        assert "pairlist:" in out
+
+    def test_md_pairlist_disabled(self, capsys):
+        assert main(
+            ["md", "--waters", "27", "--steps", "3", "--cutoff", "5",
+             "--pairlist-skin", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pairlist:" not in out
         assert len(out.strip().splitlines()) == 4
+
+    def test_md_rejects_negative_skin(self):
+        with pytest.raises(SystemExit):
+            main(["md", "--waters", "27", "--steps", "1", "--pairlist-skin", "-1"])
 
     def test_scaling_mini(self, capsys):
         assert main(["scaling", "--system", "mini", "--procs", "1,4"]) == 0

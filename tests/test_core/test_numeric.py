@@ -110,3 +110,48 @@ class TestTrajectoryEquivalence:
         e2 = ParallelSimulation(assembly, split).run().final.backend.energies(0)
         for key in ("lj", "elec", "bonded"):
             assert e1[key] == pytest.approx(e2[key], rel=1e-9)
+
+
+class TestComputePairCache:
+    """Per-compute Verlet candidate caches in the numeric backend."""
+
+    def _backends(self, skin):
+        from repro.core.numeric import NumericBackend
+
+        w = small_water_box(64, seed=5)
+        return NumericBackend(w, NonbondedOptions(cutoff=6.0), pairlist_skin=skin)
+
+    def test_cached_energies_match_uncached_over_drift(self):
+        cached = self._backends(1.5)
+        uncached = self._backends(0.0)
+        atoms = np.arange(cached.system.n_atoms)
+        rng = np.random.default_rng(2)
+        for step in range(4):
+            cached.nonbonded(step, atoms, None, 0, 1, cache_key="self")
+            uncached.nonbonded(step, atoms, None, 0, 1, cache_key="self")
+            assert cached.energies(step) == uncached.energies(step)
+            np.testing.assert_array_equal(cached.forces, uncached.forces)
+            cached.forces[:] = 0.0
+            uncached.forces[:] = 0.0
+            drift = 0.05 * rng.normal(size=cached.positions.shape)
+            cached.positions += drift
+            uncached.positions += drift
+        assert cached.pairlist_reuses > 0
+        assert uncached.pairlist_builds == 0  # skin 0 disables the cache
+
+    def test_large_motion_triggers_rebuild(self):
+        backend = self._backends(1.0)
+        atoms = np.arange(backend.system.n_atoms)
+        backend.nonbonded(0, atoms, None, 0, 1, cache_key="self")
+        assert backend.pairlist_builds == 1
+        backend.positions[0] += 0.8  # beyond skin/2
+        backend.nonbonded(1, atoms, None, 0, 1, cache_key="self")
+        assert backend.pairlist_builds == 2
+
+    def test_invalidate_pair_caches(self):
+        backend = self._backends(1.5)
+        atoms = np.arange(backend.system.n_atoms)
+        backend.nonbonded(0, atoms, None, 0, 1, cache_key="self")
+        assert backend._pair_cache
+        backend.invalidate_pair_caches()
+        assert not backend._pair_cache

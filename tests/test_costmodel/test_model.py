@@ -74,6 +74,22 @@ class TestCountWork:
         brute = count_interacting_pairs(water64.positions, None, water64.box, 6.0)
         assert w.nonbonded_pairs == brute
 
+    def test_grid_count_identical_to_blocked_reference(self, assembly, water64):
+        """The grid-based count_work must reproduce the former per-block
+        implementation exactly (same WorkCounts, field for field)."""
+        from repro.costmodel.model import _count_work_blocked
+
+        for system, cutoff, dims in (
+            (assembly, 12.0, None),
+            (water64, 6.0, (2, 2, 2)),
+        ):
+            d = (
+                SpatialDecomposition(system, cutoff=cutoff)
+                if dims is None
+                else SpatialDecomposition(system, cutoff=cutoff, dims=dims)
+            )
+            assert count_work(system, d) == _count_work_blocked(system, d)
+
     def test_counts_agree_with_descriptor_sums(self, assembly):
         from repro.core.computes import GrainsizeConfig, build_nonbonded_computes
         from repro.core.simulation import DEFAULT_COST_MODEL

@@ -56,3 +56,47 @@ class TestEngine:
         reports = eng.run(10)
         assert len(reports) == 10
         assert np.isfinite(reports[-1].total)
+
+    def test_pairlist_default_and_opt_out(self, water64):
+        from repro.md.pairlist import VerletPairList
+
+        auto = SequentialEngine(water64.copy(), NonbondedOptions(cutoff=6.0))
+        assert isinstance(auto.pairlist, VerletPairList)
+        assert auto.pairlist.cutoff == 6.0
+        off = SequentialEngine(
+            water64.copy(), NonbondedOptions(cutoff=6.0), pairlist=None
+        )
+        assert off.pairlist is None
+        with pytest.raises(ValueError):
+            SequentialEngine(water64.copy(), pairlist="bogus")
+
+
+class CopyingVerlet(VelocityVerlet):
+    """Velocity Verlet that drifts into a *fresh* array.
+
+    ``force_fn`` receives an array that does not alias the engine's
+    ``system.positions`` — the regression case for the engine's former
+    habit of ignoring the positions argument entirely.
+    """
+
+    def step(self, positions, velocities, forces_old, masses, force_fn):
+        self.half_kick(velocities, forces_old, masses)
+        new_positions = positions + self.dt * velocities  # fresh array
+        forces_new = force_fn(new_positions)
+        self.half_kick(velocities, forces_new, masses)
+        return forces_new
+
+
+class TestForceFnHonorsPositions:
+    def test_non_inplace_integrator_matches_inplace(self, water64):
+        a = water64.copy()
+        a.assign_velocities(300.0, seed=2)
+        b = a.copy()
+        opts = NonbondedOptions(cutoff=5.0, switch_dist=4.0)
+        e_ref = SequentialEngine(a, opts, VelocityVerlet(dt=0.5), pairlist=None)
+        e_copy = SequentialEngine(b, opts, CopyingVerlet(dt=0.5), pairlist=None)
+        for _ in range(5):
+            r_ref = e_ref.step()
+            r_copy = e_copy.step()
+            assert r_copy.total == pytest.approx(r_ref.total, rel=1e-9)
+        np.testing.assert_allclose(a.positions, b.positions, atol=1e-9)

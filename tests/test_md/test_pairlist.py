@@ -50,6 +50,31 @@ class TestBasics:
         pl.pairs(water64.positions, water64.box)
         assert pl.needs_rebuild(water64.positions[:-3], water64.box)
 
+    def test_box_change_triggers_rebuild(self, water64):
+        # regression: a resized box invalidates the cached list even though
+        # no atom moved (the old implementation never compared the box)
+        pl = VerletPairList(cutoff=6.0, skin=1.0)
+        pos = water64.positions.copy()
+        pl.pairs(pos, water64.box)
+        grown = water64.box * 1.25
+        assert pl.needs_rebuild(pos, grown)
+        pl.pairs(pos, grown)
+        assert pl.n_builds == 2
+        # and the rebuilt list is anchored to the new box
+        assert not pl.needs_rebuild(pos, grown)
+        assert pl.needs_rebuild(pos, water64.box)
+
+    def test_pairs_are_read_only(self, water64):
+        pl = VerletPairList(cutoff=6.0, skin=1.0)
+        i_idx, j_idx = pl.pairs(water64.positions, water64.box)
+        with pytest.raises(ValueError):
+            i_idx[0] = 0
+        with pytest.raises(ValueError):
+            j_idx[0] = 0
+        # cache not corrupted: a reuse returns the same (intact) arrays
+        i2, j2 = pl.pairs(water64.positions, water64.box)
+        assert i2 is i_idx and j2 is j_idx
+
 
 class TestCorrectness:
     def test_energy_identical_with_and_without(self, water64):
