@@ -81,40 +81,66 @@ def cmd_info(_args) -> int:
 
 
 def cmd_md(args) -> int:
-    """Run sequential MD on a water box and print the energy ledger."""
+    """Run MD on a water box and print the energy ledger."""
     from repro.builder import small_water_box
-    from repro.md.engine import SequentialEngine
+    from repro.md.engine import SequentialEngine, make_engine
     from repro.md.integrator import VelocityVerlet
     from repro.md.nonbonded import NonbondedOptions
     from repro.md.pairlist import VerletPairList
 
     if args.pairlist_skin < 0:
         raise SystemExit("--pairlist-skin must be >= 0")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0 (0 = one per CPU)")
     system = small_water_box(args.waters, seed=args.seed)
     system.assign_velocities(args.temperature, seed=args.seed)
-    pairlist = (
-        VerletPairList(args.cutoff, skin=args.pairlist_skin)
-        if args.pairlist_skin > 0
-        else None
-    )
-    engine = SequentialEngine(
-        system,
-        NonbondedOptions(cutoff=args.cutoff),
-        VelocityVerlet(dt=args.dt),
-        pairlist=pairlist,
-    )
-    print(f"{'step':>5} {'kinetic':>10} {'potential':>12} {'total':>12} {'T':>7}")
-    for rep in engine.run(args.steps):
-        print(
-            f"{rep.step:>5} {rep.kinetic:>10.2f} {rep.potential:>12.2f} "
-            f"{rep.total:>12.4f} {system.temperature():>7.1f}"
+    if args.workers == 1:
+        pairlist = (
+            VerletPairList(args.cutoff, skin=args.pairlist_skin)
+            if args.pairlist_skin > 0
+            else None
         )
-    if pairlist is not None:
-        print(
-            f"pairlist: {pairlist.n_builds} builds, "
-            f"reuse fraction {pairlist.reuse_fraction:.2f} "
-            f"(skin {pairlist.skin:.1f} A)"
+        engine = SequentialEngine(
+            system,
+            NonbondedOptions(cutoff=args.cutoff),
+            VelocityVerlet(dt=args.dt),
+            pairlist=pairlist,
         )
+    else:
+        pairlist = None
+        engine = make_engine(
+            system,
+            NonbondedOptions(cutoff=args.cutoff),
+            VelocityVerlet(dt=args.dt),
+            workers=args.workers,
+            skin=args.pairlist_skin,
+        )
+        print(
+            f"parallel engine: {engine.workers} worker processes"
+            if engine.parallel
+            else "parallel pool unavailable; running sequentially"
+        )
+    with engine:
+        print(
+            f"{'step':>5} {'kinetic':>10} {'potential':>12} {'total':>12} {'T':>7}"
+        )
+        for rep in engine.run(args.steps):
+            print(
+                f"{rep.step:>5} {rep.kinetic:>10.2f} {rep.potential:>12.2f} "
+                f"{rep.total:>12.4f} {system.temperature():>7.1f}"
+            )
+        if pairlist is not None:
+            print(
+                f"pairlist: {pairlist.n_builds} builds, "
+                f"reuse fraction {pairlist.reuse_fraction:.2f} "
+                f"(skin {pairlist.skin:.1f} A)"
+            )
+        elif getattr(engine, "parallel", False):
+            nb = engine._nb
+            print(
+                f"pairlist: {nb.n_rebuilds} rebuilds, {nb.n_reuses} reuses "
+                f"across {nb.n_workers} workers (skin {nb.skin:.1f} A)"
+            )
     return 0
 
 
@@ -233,7 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of regenerated artifacts",
     )
 
-    p_md = sub.add_parser("md", help="run sequential MD on a water box")
+    p_md = sub.add_parser("md", help="run MD on a water box")
     p_md.add_argument("--waters", type=int, default=216)
     p_md.add_argument("--steps", type=int, default=20)
     p_md.add_argument("--dt", type=float, default=1.0)
@@ -244,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--pairlist-skin", type=float, default=1.5, metavar="ANGSTROM",
         help="Verlet pairlist skin; 0 disables list reuse and re-enumerates "
              "candidate pairs from the cell grid every step",
+    )
+    p_md.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the non-bonded forces (1 = sequential "
+             "engine, 0 = one worker per CPU); see README 'Running in "
+             "parallel'",
     )
 
     p_sc = sub.add_parser("scaling", help="scaling table for one system")

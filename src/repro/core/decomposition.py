@@ -27,7 +27,12 @@ import numpy as np
 from repro.md.cells import HALF_SHELL_OFFSETS
 from repro.md.system import MolecularSystem
 
-__all__ = ["SpatialDecomposition", "BondedAssignment", "PATCH_SIZE_FACTOR"]
+__all__ = [
+    "SpatialDecomposition",
+    "BondedAssignment",
+    "PATCH_SIZE_FACTOR",
+    "bin_atoms",
+]
 
 #: Patch edge = cutoff * this factor (minimum); 15.5/12 reproduces ApoA-I's
 #: published 245-patch grid.
@@ -44,6 +49,38 @@ UPSTREAM_OFFSETS = np.array(
     ],
     dtype=np.int64,
 )
+
+
+def bin_atoms(
+    positions: np.ndarray, box: np.ndarray, dims: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Bucket atoms into a fixed periodic patch grid.
+
+    ``positions`` must already be wrapped into the primary cell (coordinates
+    marginally outside — e.g. from floating-point wrap edge cases — are
+    clamped onto the boundary patches).  Returns ``(idx3, flat, buckets)``:
+    per-atom 3-D patch coordinates, flat patch indices, and one atom-index
+    array per patch in stable (input) order.
+
+    This is the shared binning primitive: :class:`SpatialDecomposition` uses
+    it at construction, and the real-parallel engine's workers
+    (:mod:`repro.md.parallel`) re-bucket atoms into their *fixed* task grid
+    with it on every pairlist rebuild, so driver and workers always agree on
+    patch membership.
+    """
+    dims = np.asarray(dims, dtype=np.int64)
+    box = np.asarray(box, dtype=np.float64)
+    edge = box / dims
+    idx3 = np.minimum((positions / edge).astype(np.int64), dims - 1)
+    idx3 = np.maximum(idx3, 0)
+    flat = (idx3[:, 0] * dims[1] + idx3[:, 1]) * dims[2] + idx3[:, 2]
+    n_patches = int(np.prod(dims))
+    order = np.argsort(flat, kind="stable")
+    counts = np.bincount(flat, minlength=n_patches)
+    starts = np.zeros(n_patches + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    buckets = [order[starts[p] : starts[p + 1]] for p in range(n_patches)]
+    return idx3, flat, buckets
 
 
 @dataclass
@@ -97,23 +134,10 @@ class SpatialDecomposition:
         self.dims = dims_arr
         self.patch_edge = edge
 
-        pos = system.positions
-        frac = pos / edge
-        idx3 = np.minimum(frac.astype(np.int64), dims_arr - 1)
-        idx3 = np.maximum(idx3, 0)
+        idx3, flat, buckets = bin_atoms(system.positions, box, dims_arr)
         self.patch_coords_of_atom = idx3
-        self.patch_of_atom = (
-            idx3[:, 0] * dims_arr[1] + idx3[:, 1]
-        ) * dims_arr[2] + idx3[:, 2]
-
-        n_patches = int(np.prod(dims_arr))
-        order = np.argsort(self.patch_of_atom, kind="stable")
-        counts = np.bincount(self.patch_of_atom, minlength=n_patches)
-        starts = np.zeros(n_patches + 1, dtype=np.int64)
-        np.cumsum(counts, out=starts[1:])
-        self.patch_atoms: list[np.ndarray] = [
-            order[starts[p] : starts[p + 1]] for p in range(n_patches)
-        ]
+        self.patch_of_atom = flat
+        self.patch_atoms: list[np.ndarray] = buckets
         self._neighbor_pairs: list[tuple[int, int]] | None = None
 
     # ------------------------------------------------------------------ #

@@ -28,7 +28,13 @@ from repro.md.cells import count_pairs_within
 from repro.md.nonbonded import count_interacting_pairs
 from repro.md.system import MolecularSystem
 
-__all__ = ["WorkCounts", "CostModel", "count_work", "PAPER_APOA1_SECONDS"]
+__all__ = [
+    "WorkCounts",
+    "CostModel",
+    "count_work",
+    "estimate_block_costs",
+    "PAPER_APOA1_SECONDS",
+]
 
 #: Table 1 "Ideal" single-processor decomposition for ApoA-I (seconds/step).
 PAPER_APOA1_SECONDS = {"nonbonded": 52.44, "bonded": 3.16, "integration": 1.44}
@@ -162,6 +168,48 @@ class CostModel:
             )
             + self.integration_cost(counts.atoms)
         )
+
+
+def estimate_block_costs(
+    positions: np.ndarray,
+    box: np.ndarray,
+    cutoff: float,
+    buckets: list[np.ndarray],
+    tasks,
+    model: CostModel | None = None,
+) -> np.ndarray:
+    """Measured relative cost of each self/pair compute block.
+
+    ``tasks`` is a sequence of ``(a, b)`` bucket indices (``a == b`` marks a
+    self block); ``buckets`` maps bucket index to atom indices.  Each task's
+    cost combines its exact in-cutoff pair count — the measurement-based
+    seeding of the paper's load balancing (§2.2) — with its candidate-check
+    count at the model's pair/candidate cost ratio.  With no ``model`` the
+    unit is one in-cutoff pair.
+
+    The real-parallel engine (:mod:`repro.md.parallel`) uses these estimates
+    for its static block assignment: contiguous runs of tasks with near-equal
+    summed cost, one per worker.
+    """
+    if model is not None:
+        t_pair, t_cand = model.t_pair, model.t_candidate
+    else:
+        t_pair, t_cand = 1.0, 1.0 / _CANDIDATE_RATIO
+    costs = np.zeros(len(tasks), dtype=np.float64)
+    for t, (a, b) in enumerate(tasks):
+        atoms_a = buckets[a]
+        if a == b:
+            m = len(atoms_a)
+            n_cand = m * (m - 1) // 2
+            n_pairs = count_interacting_pairs(positions[atoms_a], None, box, cutoff)
+        else:
+            atoms_b = buckets[b]
+            n_cand = len(atoms_a) * len(atoms_b)
+            n_pairs = count_interacting_pairs(
+                positions[atoms_a], positions[atoms_b], box, cutoff
+            )
+        costs[t] = t_pair * n_pairs + t_cand * n_cand
+    return costs
 
 
 def _count_pairs_blocked(

@@ -28,7 +28,8 @@ from repro.md.forcefield import (
 )
 from repro.md.topology import Topology, Exclusions
 from repro.md.system import MolecularSystem
-from repro.md.engine import SequentialEngine, StepReport
+from repro.md.engine import SequentialEngine, StepReport, make_engine
+from repro.md.parallel import ParallelEngine, ParallelNonbonded
 
 __all__ = [
     "ACC_CONVERSION",
@@ -47,4 +48,7 @@ __all__ = [
     "MolecularSystem",
     "SequentialEngine",
     "StepReport",
+    "make_engine",
+    "ParallelEngine",
+    "ParallelNonbonded",
 ]

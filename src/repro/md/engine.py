@@ -22,7 +22,7 @@ from repro.md.nonbonded import NonbondedOptions, compute_nonbonded
 from repro.md.pairlist import VerletPairList
 from repro.md.system import MolecularSystem
 
-__all__ = ["SequentialEngine", "StepReport"]
+__all__ = ["SequentialEngine", "StepReport", "make_engine"]
 
 
 @dataclass
@@ -139,3 +139,38 @@ class SequentialEngine:
     def current_step(self) -> int:
         """Number of completed timesteps."""
         return self._step
+
+    def close(self) -> None:
+        """Release engine resources.  No-op here; the parallel engine
+        overrides this to stop its worker pool, so callers can treat any
+        engine uniformly (``with make_engine(...) as eng``)."""
+
+    def __enter__(self) -> "SequentialEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_engine(
+    system: MolecularSystem,
+    options: NonbondedOptions | None = None,
+    integrator: VelocityVerlet | None = None,
+    workers: int = 1,
+    **parallel_kwargs,
+) -> SequentialEngine:
+    """Engine factory: sequential for ``workers <= 1``, parallel otherwise.
+
+    ``workers == 0`` requests one worker per CPU.  Extra keyword arguments
+    (``skin``, ``timeout``, ``cost_model``) go to
+    :class:`repro.md.parallel.ParallelEngine`.  Both returned engines share
+    the :class:`SequentialEngine` interface and work as context managers, so
+    callers need no engine-specific cleanup logic.
+    """
+    if workers == 1:
+        return SequentialEngine(system, options, integrator)
+    from repro.md.parallel import ParallelEngine
+
+    return ParallelEngine(
+        system, options, integrator, workers=workers, **parallel_kwargs
+    )

@@ -24,6 +24,7 @@ force differentiation.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,7 +35,13 @@ from repro.md.scatter import accumulate_pair_forces
 from repro.md.system import MolecularSystem
 from repro.util.pbc import minimum_image
 
-__all__ = ["EwaldOptions", "EwaldResult", "compute_ewald"]
+__all__ = [
+    "EwaldOptions",
+    "EwaldResult",
+    "compute_ewald",
+    "clear_kspace_cache",
+    "kspace_cache_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -113,14 +120,45 @@ def _real_space(
     return energy
 
 
-def _reciprocal_space(
-    system: MolecularSystem, alpha: float, kmax: int, forces: np.ndarray
-) -> float:
-    pos = system.positions
-    box = system.box
-    q = system.charges
-    volume = float(np.prod(box))
+# k-space tables depend only on (box, kmax, alpha) — between box changes
+# every step rebuilds identical meshgrids, so memoize them.  Bounded LRU;
+# entries are marked read-only because callers share the cached arrays.
+_KSPACE_CACHE: OrderedDict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = (
+    OrderedDict()
+)
+_KSPACE_CACHE_MAX = 8
+_KSPACE_STATS = {"builds": 0, "hits": 0}
 
+
+def clear_kspace_cache() -> None:
+    """Drop all memoized k-space tables and reset the hit/build counters."""
+    _KSPACE_CACHE.clear()
+    _KSPACE_STATS["builds"] = 0
+    _KSPACE_STATS["hits"] = 0
+
+
+def kspace_cache_stats() -> dict[str, int]:
+    """Copy of the k-space cache counters (``builds``, ``hits``)."""
+    return dict(_KSPACE_STATS)
+
+
+def _kspace_tables(
+    box: np.ndarray, kmax: int, alpha: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(k, k2, ak)`` reciprocal-space tables for one (box, kmax, alpha).
+
+    ``k`` are the nonzero reciprocal vectors with ``|m| <= kmax`` per axis,
+    ``k2`` their squared norms, ``ak`` the ``exp(-k2/4a^2)/k2`` prefactors.
+    Cached: a box change (or different kmax/alpha) misses and rebuilds,
+    identical parameters hit and share the same read-only arrays.
+    """
+    key = (float(box[0]), float(box[1]), float(box[2]), int(kmax), float(alpha))
+    cached = _KSPACE_CACHE.get(key)
+    if cached is not None:
+        _KSPACE_STATS["hits"] += 1
+        _KSPACE_CACHE.move_to_end(key)
+        return cached
+    _KSPACE_STATS["builds"] += 1
     mx, my, mz = np.meshgrid(
         np.arange(-kmax, kmax + 1),
         np.arange(-kmax, kmax + 1),
@@ -129,9 +167,26 @@ def _reciprocal_space(
     )
     m = np.stack([mx.ravel(), my.ravel(), mz.ravel()], axis=1).astype(np.float64)
     m = m[np.any(m != 0, axis=1)]
-    k = 2.0 * np.pi * m / box[None, :]
+    k = 2.0 * np.pi * m / np.asarray(box, dtype=np.float64)[None, :]
     k2 = np.einsum("ij,ij->i", k, k)
     ak = np.exp(-k2 / (4.0 * alpha * alpha)) / k2  # (nk,)
+    for arr in (k, k2, ak):
+        arr.setflags(write=False)
+    _KSPACE_CACHE[key] = (k, k2, ak)
+    while len(_KSPACE_CACHE) > _KSPACE_CACHE_MAX:
+        _KSPACE_CACHE.popitem(last=False)
+    return k, k2, ak
+
+
+def _reciprocal_space(
+    system: MolecularSystem, alpha: float, kmax: int, forces: np.ndarray
+) -> float:
+    pos = system.positions
+    box = system.box
+    q = system.charges
+    volume = float(np.prod(box))
+
+    k, k2, ak = _kspace_tables(box, kmax, alpha)
 
     phase = pos @ k.T  # (n, nk)
     cos_p = np.cos(phase)

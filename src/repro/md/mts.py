@@ -57,6 +57,14 @@ class MTSEngine:
         with split force evaluation).
     options:
         Non-bonded cutoff scheme.
+    nonbonded:
+        Optional evaluator for the slow forces — any object with the
+        :meth:`repro.md.parallel.ParallelNonbonded.compute` interface
+        (returns a :class:`~repro.md.nonbonded.NonbondedResult` at the
+        system's current positions).  Defaults to the in-process
+        :func:`~repro.md.nonbonded.compute_nonbonded`; pass a
+        ``ParallelNonbonded`` to evaluate the slow impulse on a worker
+        pool.  The engine adopts it: :meth:`close` shuts it down.
     """
 
     def __init__(
@@ -65,6 +73,7 @@ class MTSEngine:
         dt: float = 1.0,
         n_inner: int = 2,
         options: NonbondedOptions | None = None,
+        nonbonded=None,
     ) -> None:
         if n_inner < 1:
             raise ValueError("n_inner must be >= 1")
@@ -74,6 +83,7 @@ class MTSEngine:
         self.dt = float(dt)
         self.n_inner = int(n_inner)
         self.options = options or NonbondedOptions()
+        self.nonbonded = nonbonded
         self._outer = 0
         self._slow_forces: np.ndarray | None = None
         self._last: MTSReport | None = None
@@ -85,7 +95,10 @@ class MTSEngine:
 
     def _slow(self) -> tuple[float, float, np.ndarray]:
         self.system.wrap()
-        res = compute_nonbonded(self.system, self.options)
+        if self.nonbonded is not None:
+            res = self.nonbonded.compute()
+        else:
+            res = compute_nonbonded(self.system, self.options)
         return res.energy_lj, res.energy_elec, res.forces
 
     def _kick(self, forces: np.ndarray, dt: float) -> None:
@@ -134,3 +147,15 @@ class MTSEngine:
     def nonbonded_evaluations_saved(self) -> float:
         """Fraction of non-bonded evaluations avoided vs single stepping."""
         return 1.0 - 1.0 / self.n_inner
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the adopted non-bonded evaluator (worker pool), if any."""
+        if self.nonbonded is not None and hasattr(self.nonbonded, "close"):
+            self.nonbonded.close()
+
+    def __enter__(self) -> "MTSEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -34,6 +34,9 @@ __all__ = [
     "NonbondedResult",
     "switching_function",
     "pair_interactions",
+    "filter_candidates",
+    "nonbonded_kernel",
+    "nonbonded_14",
     "compute_nonbonded",
     "count_interacting_pairs",
 ]
@@ -166,6 +169,120 @@ def _combined_params(
     return eps_ij, rmin_ij, qq
 
 
+def filter_candidates(
+    system: MolecularSystem,
+    i_cand: np.ndarray,
+    j_cand: np.ndarray,
+    cutoff: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce candidate pairs to those within ``cutoff``, minus exclusions.
+
+    Applies exactly the filters of the main loop of :func:`nonbonded_kernel`
+    (distance, 1-2/1-3 exclusions, 1-4 removal) but returns only the
+    surviving index arrays.  The parallel engine uses this at pairlist-build
+    time — with ``cutoff + skin`` — so the per-step hot loop touches only
+    pairs that can actually interact during the list's lifetime.
+    """
+    excl = system.exclusions
+    pos = system.positions
+    if len(i_cand) == 0:
+        return i_cand[:0].copy(), j_cand[:0].copy()
+    delta = minimum_image(pos[j_cand] - pos[i_cand], system.box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    within = r2 < cutoff * cutoff
+    i_c, j_c = i_cand[within], j_cand[within]
+    mask = ~excl.is_excluded(i_c, j_c)
+    if len(excl.pairs14):
+        keys14 = np.sort(excl.pair_key(excl.pairs14[:, 0], excl.pairs14[:, 1]))
+        keys = excl.pair_key(i_c, j_c)
+        pos14 = np.minimum(np.searchsorted(keys14, keys), len(keys14) - 1)
+        mask &= keys14[pos14] != keys
+    return np.ascontiguousarray(i_c[mask]), np.ascontiguousarray(j_c[mask])
+
+
+def nonbonded_kernel(
+    system: MolecularSystem,
+    i_cand: np.ndarray,
+    j_cand: np.ndarray,
+    options: NonbondedOptions,
+    forces: np.ndarray,
+    prefiltered: bool = False,
+) -> tuple[float, float, int]:
+    """Main-loop LJ + electrostatics over candidate pairs.
+
+    Distance-filters ``(i_cand, j_cand)`` to the cutoff, removes excluded
+    (1-2/1-3) and modified (1-4) pairs, evaluates the switched/shifted
+    kernel, and scatters the pair forces into ``forces`` (in place).
+    Returns ``(e_lj, e_elec, n_pairs)``.
+
+    ``prefiltered=True`` declares that exclusions and 1-4 pairs were already
+    removed from the candidate arrays (see :func:`filter_candidates`), so
+    only the distance test remains — the per-step path of the parallel
+    engine's per-worker Verlet lists.  The per-pair arithmetic is identical
+    either way, which is what keeps sequential and parallel energies within
+    mutual rounding error.
+    """
+    excl = system.exclusions
+    pos = system.positions
+    box = system.box
+    if len(i_cand) == 0:
+        return 0.0, 0.0, 0
+    delta = minimum_image(pos[j_cand] - pos[i_cand], box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    within = r2 < options.cutoff**2
+    i_c, j_c, delta, r2 = i_cand[within], j_cand[within], delta[within], r2[within]
+    if not prefiltered:
+        # remove excluded (1-2, 1-3) and modified (1-4) pairs from main loop
+        mask = ~excl.is_excluded(i_c, j_c)
+        if len(excl.pairs14):
+            keys14 = excl.pair_key(excl.pairs14[:, 0], excl.pairs14[:, 1])
+            keys14 = np.sort(keys14)
+            keys = excl.pair_key(i_c, j_c)
+            pos14 = np.searchsorted(keys14, keys)
+            pos14 = np.minimum(pos14, len(keys14) - 1)
+            mask &= keys14[pos14] != keys
+        i_c, j_c, delta, r2 = i_c[mask], j_c[mask], delta[mask], r2[mask]
+    n_pairs = len(i_c)
+    if n_pairs == 0:
+        return 0.0, 0.0, 0
+    eps_ij, rmin_ij, qq = _combined_params(system, i_c, j_c)
+    e_lj, e_el, fvec = pair_interactions(delta, r2, eps_ij, rmin_ij, qq, options)
+    accumulate_pair_forces(forces, i_c, j_c, fvec)
+    return float(e_lj.sum()), float(e_el.sum()), n_pairs
+
+
+def nonbonded_14(
+    system: MolecularSystem,
+    options: NonbondedOptions,
+    forces: np.ndarray,
+) -> tuple[float, float, int]:
+    """Scaled 1-4 pass: modified pairs with the ``scale14_*`` factors.
+
+    Always computed with the plain (unswitched at short range, but the
+    switching/shift factors still apply) kernel; scatters into ``forces``
+    in place and returns ``(e_lj, e_elec, n_pairs_14)``.
+    """
+    excl = system.exclusions
+    ff = system.forcefield
+    if not len(excl.pairs14) or (ff.scale14_lj == 0.0 and ff.scale14_elec == 0.0):
+        return 0.0, 0.0, 0
+    pos = system.positions
+    i14 = excl.pairs14[:, 0]
+    j14 = excl.pairs14[:, 1]
+    delta = minimum_image(pos[j14] - pos[i14], system.box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    within = r2 < options.cutoff**2
+    i14, j14, delta, r2 = i14[within], j14[within], delta[within], r2[within]
+    if len(i14) == 0:
+        return 0.0, 0.0, 0
+    eps_ij, rmin_ij, qq = _combined_params(system, i14, j14)
+    e_lj, e_el, fvec = pair_interactions(
+        delta, r2, eps_ij * ff.scale14_lj, rmin_ij, qq * ff.scale14_elec, options
+    )
+    accumulate_pair_forces(forces, i14, j14, fvec)
+    return float(e_lj.sum()), float(e_el.sum()), len(i14)
+
+
 def compute_nonbonded(
     system: MolecularSystem,
     options: NonbondedOptions | None = None,
@@ -188,7 +305,6 @@ def compute_nonbonded(
     if n < 2:
         return NonbondedResult(0.0, 0.0, forces, 0)
 
-    excl = system.exclusions
     pos = system.positions
     box = system.box
 
@@ -196,53 +312,13 @@ def compute_nonbonded(
         i_cand, j_cand = pairlist.pairs(pos, box)
     else:
         i_cand, j_cand = candidate_pairs(pos, box, options.cutoff)
-    e_lj_total = 0.0
-    e_el_total = 0.0
-    n_pairs = 0
-    if len(i_cand):
-        delta = minimum_image(pos[j_cand] - pos[i_cand], box)
-        r2 = np.einsum("ij,ij->i", delta, delta)
-        within = r2 < options.cutoff**2
-        i_c, j_c, delta, r2 = i_cand[within], j_cand[within], delta[within], r2[within]
-        # remove excluded (1-2, 1-3) and modified (1-4) pairs from main loop
-        mask = ~excl.is_excluded(i_c, j_c)
-        if len(excl.pairs14):
-            keys14 = excl.pair_key(excl.pairs14[:, 0], excl.pairs14[:, 1])
-            keys14 = np.sort(keys14)
-            keys = excl.pair_key(i_c, j_c)
-            pos14 = np.searchsorted(keys14, keys)
-            pos14 = np.minimum(pos14, len(keys14) - 1)
-            mask &= keys14[pos14] != keys
-        i_c, j_c, delta, r2 = i_c[mask], j_c[mask], delta[mask], r2[mask]
-        n_pairs = len(i_c)
-        if n_pairs:
-            eps_ij, rmin_ij, qq = _combined_params(system, i_c, j_c)
-            e_lj, e_el, fvec = pair_interactions(delta, r2, eps_ij, rmin_ij, qq, options)
-            e_lj_total += float(e_lj.sum())
-            e_el_total += float(e_el.sum())
-            accumulate_pair_forces(forces, i_c, j_c, fvec)
-
-    # scaled 1-4 pairs (always computed, with the plain (unswitched at short
-    # range, but the switching/shift factors still apply) kernel)
-    ff = system.forcefield
-    if len(excl.pairs14) and (ff.scale14_lj != 0.0 or ff.scale14_elec != 0.0):
-        i14 = excl.pairs14[:, 0]
-        j14 = excl.pairs14[:, 1]
-        delta = minimum_image(pos[j14] - pos[i14], box)
-        r2 = np.einsum("ij,ij->i", delta, delta)
-        within = r2 < options.cutoff**2
-        i14, j14, delta, r2 = i14[within], j14[within], delta[within], r2[within]
-        if len(i14):
-            eps_ij, rmin_ij, qq = _combined_params(system, i14, j14)
-            e_lj, e_el, fvec = pair_interactions(
-                delta, r2, eps_ij * ff.scale14_lj, rmin_ij, qq * ff.scale14_elec, options
-            )
-            e_lj_total += float(e_lj.sum())
-            e_el_total += float(e_el.sum())
-            accumulate_pair_forces(forces, i14, j14, fvec)
-            n_pairs += len(i14)
-
-    return NonbondedResult(e_lj_total, e_el_total, forces, n_pairs)
+    e_lj_total, e_el_total, n_pairs = nonbonded_kernel(
+        system, i_cand, j_cand, options, forces
+    )
+    e_lj14, e_el14, n14 = nonbonded_14(system, options, forces)
+    return NonbondedResult(
+        e_lj_total + e_lj14, e_el_total + e_el14, forces, n_pairs + n14
+    )
 
 
 def count_interacting_pairs(

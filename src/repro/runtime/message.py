@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import IntEnum
 
-__all__ = ["Message", "Priority"]
+__all__ = ["Message", "MulticastPayload", "Priority"]
 
 
 class Priority(IntEnum):
@@ -49,3 +49,32 @@ class Message:
     def sort_key(self) -> tuple[int, int]:
         """Queue ordering: priority first, then FIFO by sequence number."""
         return (self.priority, self.seq)
+
+
+@dataclass
+class MulticastPayload:
+    """One multicast body, packed once and shared by every destination.
+
+    The paper's §4.2.3 optimization: the runtime serializes the multicast
+    data a single time, then fans out lightweight per-destination envelopes
+    that all reference this payload.  :meth:`envelope` mints one such
+    envelope — a plain :class:`Message` whose ``data`` *is* this payload's
+    dict (shared identity, never copied).
+    """
+
+    method: str
+    data: dict = field(default_factory=dict)
+    size_bytes: float = 64.0
+    priority: int = Priority.NORMAL
+    src_object: int = -1
+
+    def envelope(self, dest_object: int) -> Message:
+        """A per-destination envelope referencing the shared payload."""
+        return Message(
+            dest_object=dest_object,
+            method=self.method,
+            data=self.data,
+            size_bytes=self.size_bytes,
+            priority=self.priority,
+            src_object=self.src_object,
+        )

@@ -35,8 +35,8 @@ import numpy as np
 from repro.runtime.chare import Chare
 from repro.runtime.faults import FaultPlan
 from repro.runtime.machine import MachineModel
-from repro.runtime.message import Message, Priority
-from repro.runtime.stats import LBDatabase
+from repro.runtime.message import Message, MulticastPayload, Priority
+from repro.runtime.stats import LBDatabase, MulticastStats
 from repro.runtime.trace import TraceLog
 
 __all__ = ["Scheduler"]
@@ -104,6 +104,7 @@ class Scheduler:
                 raise ValueError("proc_speed_factors must be positive, one per proc")
         self.trace = TraceLog(n_procs, full=trace_full)
         self.lb_db = LBDatabase()
+        self.multicast_stats = MulticastStats()
 
         self._objects: dict[int, Chare] = {}
         self._location: dict[int, int] = {}
@@ -138,7 +139,9 @@ class Scheduler:
         # set during an entry-method execution
         self._current: Chare | None = None
         self._current_sends: list[tuple[Message, int]] = []  # (msg, dest_proc)
-        self._current_multicasts: list[tuple[list[tuple[Message, int]], float]] = []
+        # (shared payload, destination object ids); envelopes are minted at
+        # delivery time so the body exists exactly once per multicast
+        self._current_multicasts: list[tuple[MulticastPayload, list[int]]] = []
         self._current_controls: list[object] = []
         self._control_handler: Callable[[float, object], None] | None = None
 
@@ -231,18 +234,14 @@ class Scheduler:
         size_bytes: float,
         priority: int = Priority.NORMAL,
     ) -> None:
-        batch = []
-        for dest in dest_objects:
-            msg = Message(
-                dest_object=dest,
-                method=method,
-                data=data,
-                size_bytes=size_bytes,
-                priority=priority,
-                src_object=src_object,
-            )
-            batch.append((msg, self._location[dest]))
-        self._current_multicasts.append((batch, size_bytes))
+        payload = MulticastPayload(
+            method=method,
+            data=data,
+            size_bytes=size_bytes,
+            priority=priority,
+            src_object=src_object,
+        )
+        self._current_multicasts.append((payload, list(dest_objects)))
 
     def post_control(self, payload: object) -> None:
         """Zero-cost notification delivered to the driver at completion time.
@@ -485,18 +484,28 @@ class Scheduler:
                 cpu += m.local_send_overhead_s
             outgoing.append((msg, dest_proc, remote))
 
-        for batch, size_bytes in self._current_multicasts:
-            remote_count = sum(1 for _msg, dp in batch if dp != proc)
-            local_count = len(batch) - remote_count
+        for payload, dests in self._current_multicasts:
+            dest_procs = [self._location[d] for d in dests]
+            remote_count = sum(1 for dp in dest_procs if dp != proc)
+            local_count = len(dests) - remote_count
+            self.multicast_stats.multicasts += 1
             if self.optimized_multicast:
                 if remote_count:
-                    cpu += m.pack_time(size_bytes)  # pack the body once
+                    cpu += m.pack_time(payload.size_bytes)  # pack the body once
                     cpu += remote_count * m.send_overhead_s
+                    self.multicast_stats.packs += 1
             else:
-                cpu += remote_count * (m.send_overhead_s + m.pack_time(size_bytes))
+                cpu += remote_count * (
+                    m.send_overhead_s + m.pack_time(payload.size_bytes)
+                )
+                self.multicast_stats.packs += remote_count
             cpu += local_count * m.local_send_overhead_s
-            for msg, dest_proc in batch:
-                outgoing.append((msg, dest_proc, dest_proc != proc))
+            # fan out lightweight envelopes, all referencing the one payload
+            for dest, dest_proc in zip(dests, dest_procs):
+                outgoing.append(
+                    (payload.envelope(dest), dest_proc, dest_proc != proc)
+                )
+                self.multicast_stats.envelopes += 1
         return cpu, outgoing
 
     # ------------------------------------------------------------------ #

@@ -15,7 +15,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
-__all__ = ["ObjectStats", "CommEdge", "LBSnapshot", "LBDatabase"]
+__all__ = ["ObjectStats", "CommEdge", "LBSnapshot", "LBDatabase", "MulticastStats"]
 
 
 @dataclass
@@ -60,6 +60,27 @@ class LBSnapshot:
     def per_step(self, load: float) -> float:
         """Convert an accumulated load to a per-step load."""
         return load / max(self.measured_steps, 1)
+
+
+@dataclass
+class MulticastStats:
+    """Packing accounting for :meth:`Scheduler.post_multicast` (paper §4.2.3).
+
+    ``packs`` counts payload serializations actually performed; with the
+    optimized multicast that is exactly one per multicast that reaches at
+    least one remote destination, with the naive scheme it is one per remote
+    destination.  ``envelopes`` counts per-destination deliveries fanned out
+    (local and remote alike).
+    """
+
+    multicasts: int = 0
+    packs: int = 0
+    envelopes: int = 0
+
+    def reset(self) -> None:
+        self.multicasts = 0
+        self.packs = 0
+        self.envelopes = 0
 
 
 class LBDatabase:

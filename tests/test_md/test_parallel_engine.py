@@ -1,0 +1,198 @@
+"""The real shared-memory parallel engine.
+
+Cross-engine agreement (parallel == sequential within 1e-9 at every worker
+count), determinism (same worker count -> bit-identical trajectories), NVE
+energy conservation on the parallel path, and pool lifecycle (fallback,
+close, context manager).
+"""
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box
+from repro.md.engine import SequentialEngine, make_engine
+from repro.md.integrator import VelocityVerlet
+from repro.md.nonbonded import NonbondedOptions
+from repro.md.parallel import (
+    HAS_SHARED_MEMORY,
+    ParallelEngine,
+    ParallelNonbonded,
+    _contiguous_partition,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAS_SHARED_MEMORY, reason="platform lacks multiprocessing.shared_memory"
+)
+
+OPTS = NonbondedOptions(cutoff=8.0)
+
+
+@pytest.fixture(scope="module")
+def water600():
+    """A 600-molecule water box (1800 atoms) — 2x2x2 task cells at 9.5 Å."""
+    return small_water_box(600, seed=7, relax=False)
+
+
+def sequential_reference(system, options=OPTS):
+    eng = SequentialEngine(system.copy(), options, pairlist=None)
+    forces = eng.compute_forces()
+    return forces, eng.report()
+
+
+class TestCrossEngineAgreement:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_water_box_forces_and_energies(self, water600, workers):
+        f_ref, rep_ref = sequential_reference(water600)
+        sys_par = water600.copy()
+        with ParallelEngine(sys_par, options=OPTS, workers=workers) as eng:
+            if workers > 1:
+                assert eng.parallel and eng.workers == workers
+            f_par = eng.compute_forces()
+            rep_par = eng.report()
+        scale = np.abs(f_ref).max()
+        assert np.allclose(f_par, f_ref, rtol=1e-9, atol=1e-9 * scale)
+        assert rep_par.lj == pytest.approx(rep_ref.lj, rel=1e-9)
+        assert rep_par.elec == pytest.approx(rep_ref.elec, rel=1e-9)
+        assert rep_par.n_pairs == rep_ref.n_pairs
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_protein_ion_assembly(self, assembly, workers):
+        f_ref, rep_ref = sequential_reference(assembly)
+        sys_par = assembly.copy()
+        with ParallelEngine(sys_par, options=OPTS, workers=workers) as eng:
+            assert eng.parallel
+            f_par = eng.compute_forces()
+            rep_par = eng.report()
+        scale = np.abs(f_ref).max()
+        assert np.allclose(f_par, f_ref, rtol=1e-9, atol=1e-9 * scale)
+        assert rep_par.lj == pytest.approx(rep_ref.lj, rel=1e-9)
+        assert rep_par.elec == pytest.approx(rep_ref.elec, rel=1e-9)
+        assert rep_par.n_pairs == rep_ref.n_pairs
+
+    def test_agreement_holds_across_steps(self, water600):
+        """Pairlist reuse and rebuilds on both paths stay in agreement."""
+        a = water600.copy()
+        b = water600.copy()
+        a.assign_velocities(300.0, seed=5)
+        b.assign_velocities(300.0, seed=5)
+        seq = SequentialEngine(a, OPTS, VelocityVerlet(dt=1.0), pairlist=None)
+        with ParallelEngine(b, OPTS, VelocityVerlet(dt=1.0), workers=2) as par:
+            assert par.parallel
+            for _ in range(5):
+                rs = seq.step()
+                rp = par.step()
+                assert rp.total == pytest.approx(rs.total, rel=1e-9)
+            assert par._nb.n_reuses > 0  # the Verlet lists actually amortize
+        assert np.allclose(a.positions, b.positions, rtol=0, atol=1e-9)
+
+
+class TestDeterminism:
+    def test_same_worker_count_bit_identical(self, water600):
+        trajectories = []
+        for _run in range(2):
+            s = water600.copy()
+            s.assign_velocities(300.0, seed=13)
+            with ParallelEngine(s, options=OPTS, workers=3) as eng:
+                assert eng.parallel
+                reports = eng.run(5)
+            trajectories.append(
+                (s.positions.copy(), s.velocities.copy(), reports[-1].total)
+            )
+        (p0, v0, e0), (p1, v1, e1) = trajectories
+        assert np.array_equal(p0, p1)
+        assert np.array_equal(v0, v1)
+        assert e0 == e1
+
+
+class TestEnergyConservation:
+    def test_nve_drift_bound_200_steps_parallel(self):
+        """Secular drift on the parallel path matches the sequential bound."""
+        system = small_water_box(100, seed=4)
+        system.assign_velocities(300.0, seed=11)
+        opts = NonbondedOptions(cutoff=5.0, switch_dist=4.0)
+        with ParallelEngine(
+            system, opts, VelocityVerlet(dt=0.5), workers=2, skin=1.0
+        ) as engine:
+            assert engine.parallel
+            e0 = engine.step().total
+            totals = [rep.total for rep in engine.run(200)]
+        rel_dev = np.abs(np.array(totals) - e0) / abs(e0)
+        assert rel_dev.max() < 5e-3, f"max relative drift {rel_dev.max():.2e}"
+        assert abs(totals[-1] - e0) / abs(e0) < 5e-3
+
+
+class TestLifecycle:
+    def test_workers_one_is_sequential(self, water600):
+        eng = ParallelEngine(water600.copy(), options=OPTS, workers=1)
+        assert not eng.parallel
+        assert eng.workers == 1
+        eng.close()  # no-op, must not raise
+
+    def test_small_box_falls_back(self):
+        # one task cell only -> nothing to distribute -> sequential fallback
+        s = small_water_box(50, seed=1, relax=False)
+        with ParallelEngine(s, options=OPTS, workers=4) as eng:
+            assert not eng.parallel
+            f = eng.compute_forces()
+        ref, _ = sequential_reference(s)
+        assert np.allclose(f, ref, rtol=1e-12, atol=1e-12)
+
+    def test_close_is_idempotent_and_degrades_gracefully(self, water600):
+        eng = ParallelEngine(water600.copy(), options=OPTS, workers=2)
+        assert eng.parallel
+        eng.close()
+        eng.close()
+        assert not eng.parallel
+        # the engine still works after close, on the sequential path
+        f = eng.compute_forces()
+        ref, _ = sequential_reference(water600)
+        assert np.allclose(f, ref, rtol=1e-9, atol=1e-9)
+
+    def test_evaluator_protocol_errors(self, water600):
+        nb = ParallelNonbonded(water600.copy(), OPTS, n_workers=2)
+        assert nb.active
+        try:
+            with pytest.raises(RuntimeError, match="without a dispatch"):
+                nb.collect()
+            nb.dispatch()
+            with pytest.raises(RuntimeError, match="outstanding"):
+                nb.dispatch()
+            nb.collect()
+        finally:
+            nb.close()
+        with pytest.raises(RuntimeError, match="not active"):
+            nb.dispatch()
+
+    def test_make_engine_factory(self, water600):
+        seq = make_engine(water600.copy(), OPTS, workers=1)
+        assert type(seq) is SequentialEngine
+        with make_engine(water600.copy(), OPTS, workers=2) as par:
+            assert isinstance(par, ParallelEngine)
+            assert par.parallel
+
+    def test_workers_clamped_to_task_count(self, water600):
+        # 2x2x2 grid -> far fewer tasks than 64 requested workers
+        with ParallelEngine(water600.copy(), options=OPTS, workers=64) as eng:
+            assert eng.parallel
+            assert 1 < eng.workers <= 64
+            f = eng.compute_forces()
+        ref, _ = sequential_reference(water600)
+        scale = np.abs(ref).max()
+        assert np.allclose(f, ref, rtol=1e-9, atol=1e-9 * scale)
+
+
+class TestPartition:
+    def test_balanced_and_contiguous(self):
+        costs = np.ones(12)
+        bounds = _contiguous_partition(costs, 4)
+        assert bounds.tolist() == [0, 3, 6, 9, 12]
+
+    def test_skewed_costs(self):
+        costs = np.array([100.0, 1.0, 1.0, 1.0])
+        bounds = _contiguous_partition(costs, 2)
+        assert bounds[0] == 0 and bounds[-1] == 4
+        assert np.all(np.diff(bounds) >= 0)
+
+    def test_zero_costs(self):
+        bounds = _contiguous_partition(np.zeros(8), 4)
+        assert bounds.tolist() == [0, 2, 4, 6, 8]

@@ -4,6 +4,7 @@ import pytest
 
 from repro.runtime.chare import Chare
 from repro.runtime.machine import MachineModel
+from repro.runtime.message import MulticastPayload
 from repro.runtime.scheduler import Scheduler
 
 MACHINE = MachineModel(
@@ -34,7 +35,9 @@ class Caster(Chare):
         return 0.0
 
 
-def run_multicast(optimized: bool, n_dest: int = 10, size: float = 100.0):
+def run_multicast(
+    optimized: bool, n_dest: int = 10, size: float = 100.0, n_casts: int = 1
+):
     sched = Scheduler(n_dest + 1, MACHINE, optimized_multicast=optimized)
     caster = Caster()
     oc = sched.register(caster, 0)
@@ -44,30 +47,31 @@ def run_multicast(optimized: bool, n_dest: int = 10, size: float = 100.0):
         sched.register(s, i + 1)
         sinks.append(s)
     dests = [s.object_id for s in sinks]
-    sched.inject(oc, "go", {"dests": dests, "size": size})
+    for _ in range(n_casts):
+        sched.inject(oc, "go", {"dests": dests, "size": size})
     sched.run()
     sender_busy = sched.trace.summary().busy_time_per_proc[0]
-    return sender_busy, sinks
+    return sender_busy, sinks, sched
 
 
 class TestMulticast:
     def test_optimized_packs_once(self):
-        busy, _ = run_multicast(optimized=True)
+        busy, _, _ = run_multicast(optimized=True)
         # 1 pack (100 B * 1 ms) + 10 send overheads
         assert busy == pytest.approx(0.1 + 10 * 0.01)
 
     def test_naive_packs_per_destination(self):
-        busy, _ = run_multicast(optimized=False)
+        busy, _, _ = run_multicast(optimized=False)
         assert busy == pytest.approx(10 * (0.1 + 0.01))
 
     def test_optimization_halves_or_better(self):
         """The paper reports the critical method shortening by half."""
-        naive, _ = run_multicast(optimized=False)
-        opt, _ = run_multicast(optimized=True)
+        naive, _, _ = run_multicast(optimized=False)
+        opt, _, _ = run_multicast(optimized=True)
         assert opt < naive / 2
 
     def test_all_destinations_receive(self):
-        _, sinks = run_multicast(optimized=True, n_dest=7)
+        _, sinks, _ = run_multicast(optimized=True, n_dest=7)
         assert all(len(s.arrivals) == 1 for s in sinks)
 
     def test_local_destinations_cheap_both_modes(self):
@@ -80,3 +84,44 @@ class TestMulticast:
         sched.run()
         # local sends only pay local_send_overhead (0 here): just delivery
         assert all(len(s.arrivals) == 1 for s in sinks)
+
+
+class TestMulticastStats:
+    """Pack accounting: the §4.2.3 claim, asserted on runtime counters."""
+
+    def test_optimized_packs_exactly_once_per_multicast(self):
+        _, _, sched = run_multicast(optimized=True, n_dest=10, n_casts=4)
+        st = sched.multicast_stats
+        assert st.multicasts == 4
+        assert st.packs == st.multicasts  # pack once per multicast
+        assert st.envelopes == 4 * 10
+
+    def test_naive_packs_once_per_remote_destination(self):
+        _, _, sched = run_multicast(optimized=False, n_dest=10, n_casts=3)
+        st = sched.multicast_stats
+        assert st.multicasts == 3
+        assert st.packs == 3 * 10
+        assert st.envelopes == 3 * 10
+
+    def test_all_local_multicast_never_packs(self):
+        sched = Scheduler(1, MACHINE, optimized_multicast=True)
+        caster = Caster()
+        oc = sched.register(caster, 0)
+        dests = [sched.register(Sink(), 0) for _ in range(5)]
+        sched.inject(oc, "go", {"dests": dests})
+        sched.run()
+        st = sched.multicast_stats
+        assert (st.multicasts, st.packs, st.envelopes) == (1, 0, 5)
+
+    def test_envelopes_share_one_payload(self):
+        payload = MulticastPayload(method="recv", data={"coords": [1, 2, 3]})
+        e1, e2 = payload.envelope(7), payload.envelope(8)
+        assert e1.data is payload.data
+        assert e2.data is payload.data
+        assert (e1.dest_object, e2.dest_object) == (7, 8)
+
+    def test_stats_reset(self):
+        _, _, sched = run_multicast(optimized=True)
+        sched.multicast_stats.reset()
+        st = sched.multicast_stats
+        assert (st.multicasts, st.packs, st.envelopes) == (0, 0, 0)
