@@ -14,11 +14,12 @@ from repro.analysis.grainsize import (
     histogram_from_descriptors,
     format_histogram,
 )
-from repro.analysis.timeline import render_timeline
+from repro.analysis.timeline import render_timeline, render_workdb_timeline
 from repro.analysis.speedup import ScalingRow, scaling_sweep, format_scaling_table
 from repro.analysis.utilization import (
     UtilizationProfile,
     utilization_profile,
+    workdb_utilization,
     format_utilization,
 )
 
@@ -29,10 +30,12 @@ __all__ = [
     "histogram_from_descriptors",
     "format_histogram",
     "render_timeline",
+    "render_workdb_timeline",
     "ScalingRow",
     "scaling_sweep",
     "format_scaling_table",
     "UtilizationProfile",
     "utilization_profile",
+    "workdb_utilization",
     "format_utilization",
 ]

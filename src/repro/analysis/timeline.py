@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.runtime.trace import TraceLog
 
-__all__ = ["render_timeline", "CATEGORY_CODES"]
+__all__ = ["render_timeline", "render_workdb_timeline", "CATEGORY_CODES"]
 
 CATEGORY_CODES = {
     "integration": "I",
@@ -68,4 +68,48 @@ def render_timeline(
             else:
                 row.append(CATEGORY_CODES[codes[int(np.argmax(occupancy[s]))]])
         lines.append(f"P{proc:<5}|{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def render_workdb_timeline(db, n_workers: int, width: int = 100) -> str:
+    """Upshot-style view of one modeled step from a real-engine WorkDB.
+
+    Works on a live :class:`repro.instrument.WorkDB` or one reloaded from a
+    ``--workdb-dump`` file.  One row per worker: its tasks' predicted
+    per-step durations laid end to end in task-id order, alternating
+    ``N``/``n`` so block boundaries stay visible, then ``.`` idle until the
+    slowest worker (the step barrier) finishes — the real-engine analogue
+    of the paper's Figure 3 timelines, with the idle tails showing exactly
+    the imbalance the measurement-based balancer removes.
+    """
+    scale = db._prior_scale()
+    per_worker: list[list[tuple[int, float]]] = [[] for _ in range(n_workers)]
+    for tid in sorted(db.tasks):
+        rec = db.tasks[tid]
+        if 0 <= rec.owner < n_workers:
+            per_worker[rec.owner].append((tid, db.load(tid, scale)))
+    makespan = max(
+        (sum(load for _, load in tasks) for tasks in per_worker), default=0.0
+    )
+    if makespan <= 0.0:
+        return "workdb timeline: no measured or estimated load"
+    slot = makespan / width
+    lines = [
+        f"workdb timeline, one step: makespan {makespan * 1e3:.2f} ms "
+        f"({slot * 1e6:.0f} us/char)  N/n=non-bonded tasks  .=idle at barrier"
+    ]
+    for w, tasks in enumerate(per_worker):
+        row = ["."] * width
+        t_now = 0.0
+        for k, (_, load) in enumerate(tasks):
+            lo = int(t_now / slot)
+            t_now += load
+            hi = min(int(np.ceil(t_now / slot)), width)
+            code = "N" if k % 2 == 0 else "n"
+            for s in range(lo, hi):
+                row[s] = code
+        busy = sum(load for _, load in tasks)
+        lines.append(
+            f"W{w:<5}|{''.join(row)}| {busy * 1e3:7.2f} ms, {len(tasks)} tasks"
+        )
     return "\n".join(lines)

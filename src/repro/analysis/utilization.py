@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.runtime.trace import SummaryProfile
 
-__all__ = ["UtilizationProfile", "utilization_profile", "format_utilization"]
+__all__ = [
+    "UtilizationProfile",
+    "utilization_profile",
+    "workdb_utilization",
+    "format_utilization",
+]
 
 
 @dataclass
@@ -56,6 +61,27 @@ def utilization_profile(
         raise ValueError("makespan must be positive")
     util = np.clip(summary.busy_time_per_proc / makespan, 0.0, 1.0)
     return UtilizationProfile(utilization=util, makespan=makespan)
+
+
+def workdb_utilization(db, n_workers: int) -> UtilizationProfile:
+    """Profile of one modeled step from a :class:`repro.instrument.WorkDB`.
+
+    The same chart the simulated runtime derives from its trace, but for the
+    real parallel engine's measurement database (live, or reloaded from a
+    ``--workdb-dump`` file with :meth:`WorkDB.load_file`): each worker's
+    busy time is the predicted per-step load of its tasks plus its
+    background load, and the makespan is the slowest worker — the barrier
+    every other worker waits on.
+    """
+    loads = db.owner_loads(n_workers) + db.background_array(n_workers)
+    makespan = float(loads.max()) if len(loads) else 0.0
+    if makespan <= 0.0:
+        return UtilizationProfile(
+            utilization=np.zeros(int(n_workers)), makespan=0.0
+        )
+    return UtilizationProfile(
+        utilization=np.clip(loads / makespan, 0.0, 1.0), makespan=makespan
+    )
 
 
 def format_utilization(

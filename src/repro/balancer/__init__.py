@@ -27,6 +27,7 @@ from repro.balancer.diffusion import diffusion_strategy
 from repro.balancer.phase_aware import phase_aware_strategy
 from repro.balancer.strategies import (
     STRATEGIES,
+    solve,
     keep_strategy,
     random_strategy,
     round_robin_strategy,
@@ -34,6 +35,7 @@ from repro.balancer.strategies import (
 )
 
 __all__ = [
+    "solve",
     "LBProblem",
     "ComputeItem",
     "placement_stats",

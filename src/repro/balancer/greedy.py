@@ -23,8 +23,6 @@ not a heuristic, and keeps the strategy fast at 2048 processors.
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 import numpy as np
 
 from repro.balancer.problem import LBProblem
@@ -48,11 +46,7 @@ def greedy_strategy(
 
     # patch availability: home patches + pre-existing proxies, extended as
     # assignments create proxies
-    procs_with_patch: dict[int, set[int]] = defaultdict(set)
-    for patch, proc in problem.patch_home.items():
-        procs_with_patch[patch].add(proc)
-    for patch, proc in problem.existing_proxies:
-        procs_with_patch[patch].add(proc)
+    procs_with_patch = problem.patch_locations()
 
     placement: dict[int, int] = {}
     for item in sorted(problem.computes, key=lambda c: -c.load):

@@ -9,6 +9,7 @@ of every patch, and which proxies already exist.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,6 +55,27 @@ class LBProblem:
     def patch_available(self, patch: int, proc: int) -> bool:
         """True when ``patch`` data is already on ``proc`` (home or proxy)."""
         return self.patch_home.get(patch) == proc or (patch, proc) in self.existing_proxies
+
+    def patch_locations(
+        self, include_compute_residency: bool = False
+    ) -> dict[int, set[int]]:
+        """Patch → processors that already hold its data (home + proxies).
+
+        ``include_compute_residency`` also counts processors where a compute
+        needing the patch currently runs — its proxy must already exist even
+        if the runtime didn't report it.  Both the greedy and refinement
+        strategies grow this map as their assignments create new proxies.
+        """
+        locations: dict[int, set[int]] = defaultdict(set)
+        for patch, proc in self.patch_home.items():
+            locations[patch].add(proc)
+        for patch, proc in self.existing_proxies:
+            locations[patch].add(proc)
+        if include_compute_residency:
+            for item in self.computes:
+                for patch in item.patches:
+                    locations[patch].add(item.proc)
+        return locations
 
     @property
     def n_live(self) -> int:

@@ -44,14 +44,7 @@ def refine_strategy(
     avg = problem.average_load()
     limit = avg * (1.0 + overload_threshold)
 
-    procs_with_patch: dict[int, set[int]] = defaultdict(set)
-    for patch, proc in problem.patch_home.items():
-        procs_with_patch[patch].add(proc)
-    for patch, proc in problem.existing_proxies:
-        procs_with_patch[patch].add(proc)
-    for item in problem.computes:
-        for patch in item.patches:
-            procs_with_patch[patch].add(item.proc)
+    procs_with_patch = problem.patch_locations(include_compute_residency=True)
 
     placement = {item.index: item.proc for item in problem.computes}
 
@@ -70,13 +63,17 @@ def refine_strategy(
             for dest in _underloaded(loads, avg):
                 if loads[dest] + item.load > limit:
                     continue
+                # a move's communication cost is the *new* proxies it forces:
+                # patches already on the destination — home OR existing proxy
+                # (procs_with_patch carries both) — are free.  Home hits only
+                # break ties among equally-proxied destinations.
+                avail_hits = sum(
+                    1 for patch in item.patches if dest in procs_with_patch[patch]
+                )
                 home_hits = sum(
                     1 for patch in item.patches if problem.patch_home.get(patch) == dest
                 )
-                new_proxies = sum(
-                    1 for patch in item.patches if dest not in procs_with_patch[patch]
-                )
-                key = (-home_hits, new_proxies, loads[dest])
+                key = (-avail_hits, -home_hits, loads[dest])
                 if best_key is None or key < best_key:
                     best_key = key
                     best_proc = dest

@@ -22,12 +22,13 @@ import numpy as np
 from repro.balancer.diffusion import diffusion_strategy
 from repro.balancer.greedy import greedy_strategy
 from repro.balancer.phase_aware import phase_aware_strategy
-from repro.balancer.problem import LBProblem
+from repro.balancer.problem import ComputeItem, LBProblem
 from repro.balancer.refine import refine_strategy
 from repro.util.rng import make_rng
 
 __all__ = [
     "STRATEGIES",
+    "solve",
     "keep_strategy",
     "random_strategy",
     "round_robin_strategy",
@@ -35,6 +36,41 @@ __all__ = [
 ]
 
 Strategy = Callable[[LBProblem], dict[int, int]]
+
+
+def solve(problem: LBProblem, schedule: str) -> dict[int, int]:
+    """Run one LB decision: a strategy name or a ``"+"``-combo.
+
+    The pure-function entry point both runtimes use — it depends only on the
+    :class:`LBProblem`, never on the simulated machine.  ``"greedy+refine"``
+    runs greedy then refines its output, exactly the paper's first LB cycle;
+    each stage sees the previous stage's placement as the current one.
+    Returns the full placement map (compute index → processor); ``problem``
+    is left unmodified.
+    """
+    placement = {item.index: item.proc for item in problem.computes}
+    parts = schedule.split("+")
+    for b in parts:
+        if b not in STRATEGIES:
+            raise ValueError(
+                f"unknown LB strategy {b!r}; choose from {sorted(STRATEGIES)}"
+            )
+    current = problem
+    for i, part in enumerate(parts):
+        placement.update(STRATEGIES[part](current))
+        if i + 1 < len(parts):
+            current = LBProblem(
+                n_procs=problem.n_procs,
+                computes=[
+                    ComputeItem(c.index, c.load, c.patches, placement[c.index])
+                    for c in problem.computes
+                ],
+                background=problem.background,
+                patch_home=problem.patch_home,
+                existing_proxies=problem.existing_proxies,
+                dead_procs=problem.dead_procs,
+            )
+    return placement
 
 
 def keep_strategy(problem: LBProblem) -> dict[int, int]:

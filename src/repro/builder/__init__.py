@@ -13,6 +13,7 @@ from repro.builder.benchmarks import (
     bc1_like,
     br_like,
     mini_assembly,
+    skewed_water_box,
     small_water_box,
     tiny_peptide,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "bc1_like",
     "br_like",
     "mini_assembly",
+    "skewed_water_box",
     "small_water_box",
     "tiny_peptide",
     "add_ions",

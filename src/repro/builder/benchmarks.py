@@ -27,7 +27,12 @@ from repro.builder.assembler import SystemAssembler
 from repro.builder.ions import add_ions
 from repro.builder.membrane import lipid_bilayer
 from repro.builder.protein import protein_chain
-from repro.builder.water import WATER_DENSITY_PER_A3, fill_water
+from repro.builder.water import (
+    WATER_DENSITY_PER_A3,
+    fill_water,
+    water_box_positions,
+    water_molecule,
+)
 from repro.md.minimize import minimize
 from repro.md.nonbonded import NonbondedOptions
 from repro.md.system import MolecularSystem
@@ -37,6 +42,7 @@ __all__ = [
     "BenchmarkSpec",
     "BENCHMARK_SPECS",
     "small_water_box",
+    "skewed_water_box",
     "tiny_peptide",
     "mini_assembly",
     "br_like",
@@ -125,6 +131,40 @@ def small_water_box(
     asm = SystemAssembler(np.full(3, edge))
     fill_water(asm, n_molecules, make_rng(seed))
     system = asm.finalize(name=f"water{n_molecules}")
+    if relax:
+        cutoff = min(6.0, 0.49 * edge)
+        minimize(system, NonbondedOptions(cutoff=cutoff))
+    return system
+
+
+def skewed_water_box(
+    n_molecules: int, seed: int = 0, skew: float = 2.0, relax: bool = True
+) -> MolecularSystem:
+    """A water box with a density step along x — the LB stress fixture.
+
+    The ``x < L/2`` half holds ``skew`` times as many waters as the other
+    half (the whole box averages liquid density), so cell tasks on the
+    dense side cost a multiple of those on the sparse side.  This is the
+    benchmark the real engine's measurement-based rebalancing is exercised
+    on: uniform boxes barely reward migration, a density step does.
+
+    ``skew`` is bounded by the minimum lattice spacing; the default 2x
+    keeps the dense half comfortably above it.
+    """
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    edge = (n_molecules / WATER_DENSITY_PER_A3) ** (1.0 / 3.0)
+    rng = make_rng(seed)
+    n_dense = int(round(n_molecules * skew / (skew + 1.0)))
+    half = np.array([edge / 2.0, edge, edge])
+    dense = water_box_positions(half, n_dense, rng)
+    sparse = water_box_positions(half, n_molecules - n_dense, rng)
+    sparse[:, 0] += edge / 2.0
+    asm = SystemAssembler(np.full(3, edge))
+    for site in np.concatenate([dense, sparse]):
+        pos, q, names, topo = water_molecule(site, rng)
+        asm.add_component(pos, q, names, topo, "WAT")
+    system = asm.finalize(name=f"skewed_water{n_molecules}")
     if relax:
         cutoff = min(6.0, 0.49 * edge)
         minimize(system, NonbondedOptions(cutoff=cutoff))

@@ -82,7 +82,7 @@ def cmd_info(_args) -> int:
 
 def cmd_md(args) -> int:
     """Run MD on a water box and print the energy ledger."""
-    from repro.builder import small_water_box
+    from repro.builder import skewed_water_box, small_water_box
     from repro.md.engine import SequentialEngine, make_engine
     from repro.md.integrator import VelocityVerlet
     from repro.md.nonbonded import NonbondedOptions
@@ -92,9 +92,19 @@ def cmd_md(args) -> int:
         raise SystemExit("--pairlist-skin must be >= 0")
     if args.workers < 0:
         raise SystemExit("--workers must be >= 0 (0 = one per CPU)")
-    system = small_water_box(args.waters, seed=args.seed)
+    if args.rebalance_every < 0:
+        raise SystemExit("--rebalance-every must be >= 0 (0 = static)")
+    if args.skew > 0:
+        system = skewed_water_box(args.waters, seed=args.seed, skew=args.skew)
+    else:
+        system = small_water_box(args.waters, seed=args.seed)
     system.assign_velocities(args.temperature, seed=args.seed)
     if args.workers == 1:
+        if args.rebalance_every or args.lb_strategy:
+            raise SystemExit(
+                "--rebalance-every/--lb-strategy need --workers > 1 "
+                "(load balancing happens on the worker pool)"
+            )
         pairlist = (
             VerletPairList(args.cutoff, skin=args.pairlist_skin)
             if args.pairlist_skin > 0
@@ -108,13 +118,18 @@ def cmd_md(args) -> int:
         )
     else:
         pairlist = None
-        engine = make_engine(
-            system,
-            NonbondedOptions(cutoff=args.cutoff),
-            VelocityVerlet(dt=args.dt),
-            workers=args.workers,
-            skin=args.pairlist_skin,
-        )
+        try:
+            engine = make_engine(
+                system,
+                NonbondedOptions(cutoff=args.cutoff),
+                VelocityVerlet(dt=args.dt),
+                workers=args.workers,
+                skin=args.pairlist_skin,
+                rebalance_every=args.rebalance_every,
+                lb_strategy=args.lb_strategy,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
         print(
             f"parallel engine: {engine.workers} worker processes"
             if engine.parallel
@@ -141,6 +156,31 @@ def cmd_md(args) -> int:
                 f"pairlist: {nb.n_rebuilds} rebuilds, {nb.n_reuses} reuses "
                 f"across {nb.n_workers} workers (skin {nb.skin:.1f} A)"
             )
+            for rec in engine.rebalance_log:
+                print(
+                    f"rebalance @step {rec['step']} ({rec['strategy']}): "
+                    f"moved {rec['moved']} tasks, predicted max load "
+                    f"{rec['max_load_before'] * 1e3:.2f} -> "
+                    f"{rec['max_load_after'] * 1e3:.2f} ms/step"
+                )
+            if args.rebalance_every:
+                from repro.analysis.timeline import render_workdb_timeline
+
+                print(
+                    render_workdb_timeline(
+                        engine.workdb, engine.workers, width=72
+                    )
+                )
+        if args.workdb_dump:
+            db = getattr(engine, "workdb", None)
+            if db is None or not db.tasks:
+                print(
+                    "no WorkDB to dump (measurements need --workers > 1)",
+                    file=sys.stderr,
+                )
+            else:
+                db.dump(args.workdb_dump)
+                print(f"WorkDB written to {args.workdb_dump}")
     return 0
 
 
@@ -276,6 +316,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the non-bonded forces (1 = sequential "
              "engine, 0 = one worker per CPU); see README 'Running in "
              "parallel'",
+    )
+    p_md.add_argument(
+        "--skew", type=float, default=0.0, metavar="RATIO",
+        help="build a skewed-density water box instead of a uniform one: "
+             "the left half holds RATIO times the waters of the right half "
+             "(0 = uniform); the load-balancing stress case",
+    )
+    p_md.add_argument(
+        "--rebalance-every", type=int, default=0, metavar="STEPS",
+        help="run a measurement-based load-balancing decision every N "
+             "steps on the worker pool (0 = keep the static assignment); "
+             "greedy seeds the first cycle, refine runs thereafter",
+    )
+    p_md.add_argument(
+        "--lb-strategy", default=None, metavar="NAME",
+        help="override the greedy-then-refine schedule with one strategy "
+             "(or '+'-combo) from repro.balancer.STRATEGIES for every "
+             "rebalance decision",
+    )
+    p_md.add_argument(
+        "--workdb-dump", default=None, metavar="PATH",
+        help="write the engine's measurement database (per-task timings, "
+             "affinity, owners) as JSON on exit; reload with "
+             "repro.instrument.WorkDB.load_file",
     )
 
     p_sc = sub.add_parser("scaling", help="scaling table for one system")

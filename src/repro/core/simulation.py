@@ -22,11 +22,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.balancer.greedy import greedy_strategy
-from repro.balancer.problem import ComputeItem, LBProblem, placement_stats
+from repro.balancer.problem import LBProblem, placement_stats
 from repro.balancer.rcb import recursive_coordinate_bisection
 from repro.balancer.refine import refine_strategy
-from repro.balancer.strategies import STRATEGIES
+from repro.balancer.strategies import STRATEGIES, solve
 from repro.core.chares import (
     BondedComputeChare,
     HomePatchChare,
@@ -877,24 +876,33 @@ class ParallelSimulation:
         measured_loads: dict[int, float],
         background: np.ndarray,
     ) -> LBProblem:
+        """The strategy-facing problem, routed through the shared
+        measurement layer: descriptor cost-model loads become WorkDB
+        *priors*, the phase's measured per-step loads become samples, and
+        :func:`repro.instrument.build_lb_problem` assembles the
+        :class:`LBProblem` exactly as it does for the real engine.
+        ``prior_blend_samples=1`` preserves the historical semantics — one
+        measured phase fully replaces the cost model."""
+        from repro.instrument import WorkDB, build_lb_problem
+
         cfg = self.config
         patch_proc = self._patch_proc_now
         use_measured = cfg.use_measured_loads and measured_loads
-        items = []
+        db = WorkDB(prior_blend_samples=1, calibrate_prior=False)
+        task_ids = []
         for d in self.descriptors:
             if not d.migratable:
                 continue
-            load = measured_loads.get(d.index) if use_measured else None
-            if load is None:
-                load = d.load * cfg.machine.cpu_factor
-            items.append(
-                ComputeItem(
-                    index=d.index,
-                    load=load,
-                    patches=d.patches,
-                    proc=int(placement.get(d.index, patch_proc[d.home_patch])),
-                )
+            task_ids.append(d.index)
+            proc = int(placement.get(d.index, patch_proc[d.home_patch]))
+            db.ensure_task(
+                d.index,
+                patches=d.patches,
+                prior=d.load * cfg.machine.cpu_factor,
+                owner=proc,
             )
+            if use_measured and d.index in measured_loads:
+                db.record(d.index, measured_loads[d.index])
         existing = set()
         for d in self.descriptors:
             if d.migratable:
@@ -903,13 +911,16 @@ class ParallelSimulation:
             for q in d.patches:
                 if int(patch_proc[q]) != proc:
                     existing.add((q, proc))
-        return LBProblem(
-            n_procs=cfg.n_procs,
-            computes=items,
-            background=background,
-            patch_home={p: int(patch_proc[p]) for p in range(self.decomposition.n_patches)},
+        return build_lb_problem(
+            db,
+            cfg.n_procs,
+            patch_home={
+                p: int(patch_proc[p]) for p in range(self.decomposition.n_patches)
+            },
             existing_proxies=existing,
+            background=background,
             dead_procs=frozenset(self._dead_procs),
+            task_ids=task_ids,
         )
 
     def _apply_strategy(self, name: str, phase: PhaseResult) -> dict[int, int]:
@@ -917,12 +928,5 @@ class ParallelSimulation:
             phase.placement, phase.measured_loads, phase.background_per_step
         )
         placement = dict(phase.placement)
-        for part in name.split("+"):
-            strategy = {"greedy": greedy_strategy, "refine": refine_strategy}.get(
-                part, STRATEGIES.get(part)
-            )
-            new_map = strategy(problem)
-            placement.update(new_map)
-            for item in problem.computes:
-                item.proc = placement[item.index]
+        placement.update(solve(problem, name))
         return placement

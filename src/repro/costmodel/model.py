@@ -32,6 +32,7 @@ __all__ = [
     "WorkCounts",
     "CostModel",
     "count_work",
+    "block_pair_counts",
     "estimate_block_costs",
     "PAPER_APOA1_SECONDS",
 ]
@@ -170,6 +171,34 @@ class CostModel:
         )
 
 
+def block_pair_counts(
+    positions: np.ndarray,
+    box: np.ndarray,
+    cutoff: float,
+    atoms_a: np.ndarray,
+    atoms_b: np.ndarray | None = None,
+) -> tuple[int, int]:
+    """``(in_cutoff_pairs, candidate_pairs)`` of one compute block.
+
+    The single pair-counting path every cost estimate routes through:
+    ``atoms_b=None`` means the self block of ``atoms_a`` (``m(m-1)/2``
+    candidates), otherwise the ``a``×``b`` cross block.  Keeping this in one
+    place is what guarantees :func:`estimate_block_costs` (the parallel
+    engine's WorkDB priors) and :func:`_count_work_blocked` (the audit-table
+    reference) can never disagree on what a block costs.
+    """
+    if atoms_b is None:
+        m = len(atoms_a)
+        n_cand = m * (m - 1) // 2
+        n_pairs = count_interacting_pairs(positions[atoms_a], None, box, cutoff)
+    else:
+        n_cand = len(atoms_a) * len(atoms_b)
+        n_pairs = count_interacting_pairs(
+            positions[atoms_a], positions[atoms_b], box, cutoff
+        )
+    return int(n_pairs), int(n_cand)
+
+
 def estimate_block_costs(
     positions: np.ndarray,
     box: np.ndarray,
@@ -197,17 +226,9 @@ def estimate_block_costs(
         t_pair, t_cand = 1.0, 1.0 / _CANDIDATE_RATIO
     costs = np.zeros(len(tasks), dtype=np.float64)
     for t, (a, b) in enumerate(tasks):
-        atoms_a = buckets[a]
-        if a == b:
-            m = len(atoms_a)
-            n_cand = m * (m - 1) // 2
-            n_pairs = count_interacting_pairs(positions[atoms_a], None, box, cutoff)
-        else:
-            atoms_b = buckets[b]
-            n_cand = len(atoms_a) * len(atoms_b)
-            n_pairs = count_interacting_pairs(
-                positions[atoms_a], positions[atoms_b], box, cutoff
-            )
+        n_pairs, n_cand = block_pair_counts(
+            positions, box, cutoff, buckets[a], None if a == b else buckets[b]
+        )
         costs[t] = t_pair * n_pairs + t_cand * n_cand
     return costs
 
@@ -231,15 +252,21 @@ def _count_work_blocked(system: MolecularSystem, decomposition) -> WorkCounts:
     n_pairs = 0
     n_candidates = 0
     for p in decomposition.self_patches():
-        atoms = decomposition.patch_atoms[p]
-        m = len(atoms)
-        n_candidates += m * (m - 1) // 2
-        n_pairs += count_interacting_pairs(pos[atoms], None, box, cutoff)
+        p_pairs, p_cand = block_pair_counts(
+            pos, box, cutoff, decomposition.patch_atoms[p]
+        )
+        n_pairs += p_pairs
+        n_candidates += p_cand
     for pa, pb in decomposition.neighbor_pairs():
-        atoms_a = decomposition.patch_atoms[pa]
-        atoms_b = decomposition.patch_atoms[pb]
-        n_candidates += len(atoms_a) * len(atoms_b)
-        n_pairs += count_interacting_pairs(pos[atoms_a], pos[atoms_b], box, cutoff)
+        p_pairs, p_cand = block_pair_counts(
+            pos,
+            box,
+            cutoff,
+            decomposition.patch_atoms[pa],
+            decomposition.patch_atoms[pb],
+        )
+        n_pairs += p_pairs
+        n_candidates += p_cand
     topo = system.topology
     return WorkCounts(
         atoms=system.n_atoms,

@@ -1,0 +1,24 @@
+"""Shared measurement layer (paper §2.2).
+
+"The framework automatically instruments all Charm++ objects, collects
+their timing and communication data at runtime (in a 'database'), and
+provides a standard interface to different load balancing strategies."
+
+Both runtimes in this repository feed the same database:
+
+* the **simulated** runtime (:mod:`repro.runtime.stats`,
+  :mod:`repro.core.simulation`) records modeled execution times, and
+* the **real** engine (:mod:`repro.md.parallel`) records
+  ``perf_counter_ns`` wall-clock samples per half-shell cell task.
+
+:class:`WorkDB` holds the samples (EWMA + last-K window), the cost-model
+prior used before the first measurement, task→patch affinity and ownership,
+and per-worker background load.  :func:`build_lb_problem` is the one
+adapter that turns a database into the strategy-facing
+:class:`~repro.balancer.problem.LBProblem`.
+"""
+
+from repro.instrument.adapter import build_lb_problem, derive_proxies
+from repro.instrument.workdb import TaskRecord, WorkDB
+
+__all__ = ["WorkDB", "TaskRecord", "build_lb_problem", "derive_proxies"]

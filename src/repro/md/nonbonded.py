@@ -174,7 +174,8 @@ def filter_candidates(
     i_cand: np.ndarray,
     j_cand: np.ndarray,
     cutoff: float,
-) -> tuple[np.ndarray, np.ndarray]:
+    return_kept: bool = False,
+):
     """Reduce candidate pairs to those within ``cutoff``, minus exclusions.
 
     Applies exactly the filters of the main loop of :func:`nonbonded_kernel`
@@ -182,11 +183,19 @@ def filter_candidates(
     surviving index arrays.  The parallel engine uses this at pairlist-build
     time — with ``cutoff + skin`` — so the per-step hot loop touches only
     pairs that can actually interact during the list's lifetime.
+
+    ``return_kept=True`` additionally returns the positions (into the input
+    candidate arrays) of the surviving pairs, so callers carrying parallel
+    per-pair metadata (e.g. the parallel engine's local scatter indices) can
+    subset it identically.
     """
     excl = system.exclusions
     pos = system.positions
     if len(i_cand) == 0:
-        return i_cand[:0].copy(), j_cand[:0].copy()
+        empty = i_cand[:0].copy(), j_cand[:0].copy()
+        if return_kept:
+            return (*empty, np.zeros(0, dtype=np.int64))
+        return empty
     delta = minimum_image(pos[j_cand] - pos[i_cand], system.box)
     r2 = np.einsum("ij,ij->i", delta, delta)
     within = r2 < cutoff * cutoff
@@ -197,7 +206,11 @@ def filter_candidates(
         keys = excl.pair_key(i_c, j_c)
         pos14 = np.minimum(np.searchsorted(keys14, keys), len(keys14) - 1)
         mask &= keys14[pos14] != keys
-    return np.ascontiguousarray(i_c[mask]), np.ascontiguousarray(j_c[mask])
+    out = np.ascontiguousarray(i_c[mask]), np.ascontiguousarray(j_c[mask])
+    if return_kept:
+        kept = np.flatnonzero(within)[mask]
+        return (*out, kept)
+    return out
 
 
 def nonbonded_kernel(
@@ -207,6 +220,8 @@ def nonbonded_kernel(
     options: NonbondedOptions,
     forces: np.ndarray,
     prefiltered: bool = False,
+    scatter_i: np.ndarray | None = None,
+    scatter_j: np.ndarray | None = None,
 ) -> tuple[float, float, int]:
     """Main-loop LJ + electrostatics over candidate pairs.
 
@@ -221,6 +236,12 @@ def nonbonded_kernel(
     engine's per-worker Verlet lists.  The per-pair arithmetic is identical
     either way, which is what keeps sequential and parallel energies within
     mutual rounding error.
+
+    ``scatter_i``/``scatter_j`` (parallel to the candidate arrays) redirect
+    the force scatter: positions and parameters are still read through the
+    global ``i_cand``/``j_cand`` indices, but forces accumulate at the
+    scatter indices instead.  The parallel engine passes per-task *local*
+    indices so each task writes a compact block of a shared buffer.
     """
     excl = system.exclusions
     pos = system.positions
@@ -231,6 +252,8 @@ def nonbonded_kernel(
     r2 = np.einsum("ij,ij->i", delta, delta)
     within = r2 < options.cutoff**2
     i_c, j_c, delta, r2 = i_cand[within], j_cand[within], delta[within], r2[within]
+    if scatter_i is not None:
+        s_i, s_j = scatter_i[within], scatter_j[within]
     if not prefiltered:
         # remove excluded (1-2, 1-3) and modified (1-4) pairs from main loop
         mask = ~excl.is_excluded(i_c, j_c)
@@ -242,12 +265,17 @@ def nonbonded_kernel(
             pos14 = np.minimum(pos14, len(keys14) - 1)
             mask &= keys14[pos14] != keys
         i_c, j_c, delta, r2 = i_c[mask], j_c[mask], delta[mask], r2[mask]
+        if scatter_i is not None:
+            s_i, s_j = s_i[mask], s_j[mask]
     n_pairs = len(i_c)
     if n_pairs == 0:
         return 0.0, 0.0, 0
     eps_ij, rmin_ij, qq = _combined_params(system, i_c, j_c)
     e_lj, e_el, fvec = pair_interactions(delta, r2, eps_ij, rmin_ij, qq, options)
-    accumulate_pair_forces(forces, i_c, j_c, fvec)
+    if scatter_i is not None:
+        accumulate_pair_forces(forces, s_i, s_j, fvec)
+    else:
+        accumulate_pair_forces(forces, i_c, j_c, fvec)
     return float(e_lj.sum()), float(e_el.sum()), n_pairs
 
 

@@ -14,38 +14,52 @@ Design, mirroring the paper's hybrid decomposition on real hardware:
   ``cutoff + skin``; the compute *tasks* are the per-cell self blocks and
   the 13-per-cell neighbour pair blocks, exactly the paper's "one compute
   object per cube and per neighbouring-cube pair" (§3).
-* **Static measurement-seeded assignment**: per-task costs come from exact
-  in-cutoff pair counts (:func:`repro.costmodel.model.estimate_block_costs`,
-  the measurement-based seeding of §2.2), and each worker owns a contiguous
-  run of tasks with near-equal summed cost.
+* **Measurement-based load balancing** (§2.2): every worker times each of
+  its tasks with ``perf_counter_ns`` and ships the samples back with the
+  force data; the driver records them in a shared
+  :class:`~repro.instrument.WorkDB` whose priors come from
+  :func:`repro.costmodel.model.estimate_block_costs` (the cost model used
+  "before the first measurement").  With ``rebalance_every > 0`` the driver
+  periodically builds an :class:`~repro.balancer.problem.LBProblem` from
+  the database and runs the paper's strategies — the ``greedy`` seed on the
+  first cycle, ``refine`` thereafter (or any registry schedule via
+  ``lb_strategy``) — and installs the new task→worker map at the next
+  pair-list rebuild.
 * **Pack-once multicast**: positions are packed once per step into a
   ``multiprocessing.shared_memory`` array that every worker maps — the
   §4.2.3 optimization realized by the operating system's shared pages
-  instead of per-destination message copies.  Per-worker force slabs live in
-  a second shared block, so the only per-step queue traffic is a tiny
-  command/result envelope per worker.
+  instead of per-destination message copies.
 * **Per-worker Verlet lists**: each worker keeps the pair list for *its*
   tasks, prefiltered at build time to ``r < cutoff + skin`` with exclusions
-  and 1-4 pairs already removed (:func:`repro.md.nonbonded.filter_candidates`);
-  between driver-coordinated rebuilds the hot loop is distance test + kernel
-  only.  Rebuilds re-bucket atoms into the fixed task grid with
-  :func:`repro.core.decomposition.bin_atoms`, in parallel, one worker's tasks
-  each.
-* **Deterministic reduction**: per-worker force slabs and energies are
-  reduced in ascending worker rank — which, because assignments are
-  contiguous, is ascending *task* order.  Repeated runs at a fixed worker
-  count are bit-identical; across worker counts (and against
-  :class:`SequentialEngine`) results agree to the reassociation level of
-  floating-point addition, far inside 1e-9.
+  and 1-4 pairs already removed (:func:`repro.md.nonbonded.filter_candidates`)
+  and with the Lorentz-Berthelot parameters pre-combined; between
+  driver-coordinated rebuilds the hot loop is distance test + kernel only.
+* **Assignment-independent deterministic reduction**: each task writes its
+  forces into a *compact per-task block* of a shared scratch buffer whose
+  layout (task-ordered, offsets from the deterministic atom binning) is
+  fixed at every rebuild.  The driver reduces with a task-ordered
+  segment-sum, so the bitwise result does not depend on which worker ran
+  which task — repeated runs are bit-identical *even while measured times
+  (and therefore rebalanced assignments) jitter*, and remaps never perturb
+  the trajectory.  Remap points themselves are step-indexed: a rebalance
+  decision at step ``k·rebalance_every`` always forces a rebuild at the
+  next evaluation, whether or not the placement changed.
 
 The driver overlaps its own work (bonded terms and the scaled 1-4 pass)
-with the workers' non-bonded evaluation, then adds the reduced slabs.
+with the workers' non-bonded evaluation, then adds the reduced blocks.
 
 Falls back to the sequential path when ``workers <= 1``, when the platform
 lacks POSIX shared memory, or when the pool cannot start; ``close()`` (also
 wired to a context manager, ``atexit``, and the finalizer) shuts the pool
 down so tests never leak processes.  A configurable ``timeout`` makes a hung
 worker fail fast instead of stalling the caller.
+
+For tests and experiments, ``slowdown`` injects an artificial per-worker
+CPU slowdown with the semantics of
+:class:`repro.runtime.faults.SlowdownWindow` (step-indexed windows during
+which the worker runs ``factor`` times slower, realized as a busy spin
+after each task so the slowdown is *measured* by the WorkDB like any real
+background load).
 """
 
 from __future__ import annotations
@@ -57,6 +71,7 @@ import queue as queue_module
 import time
 import traceback
 import warnings
+from collections import defaultdict
 
 import numpy as np
 
@@ -66,11 +81,14 @@ from repro.md.engine import SequentialEngine
 from repro.md.nonbonded import (
     NonbondedOptions,
     NonbondedResult,
+    _combined_params,
     filter_candidates,
     nonbonded_14,
-    nonbonded_kernel,
+    pair_interactions,
 )
 from repro.md.pairlist import VerletPairList
+from repro.md.scatter import accumulate_pair_forces
+from repro.util.pbc import minimum_image
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
     from multiprocessing import shared_memory as _shm
@@ -81,6 +99,95 @@ except ImportError:  # pragma: no cover
     HAS_SHARED_MEMORY = False
 
 __all__ = ["ParallelEngine", "ParallelNonbonded", "HAS_SHARED_MEMORY"]
+
+#: columns of the shared per-task stats array
+_STAT_E_LJ, _STAT_E_EL, _STAT_N_PAIRS, _STAT_TIME_NS = range(4)
+
+
+# --------------------------------------------------------------------------- #
+# task layout: shared between driver (reduction) and workers (block writes)
+# --------------------------------------------------------------------------- #
+def _task_layout(
+    buckets: list[np.ndarray], tasks: list[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Task-ordered block layout of the shared force scratch.
+
+    Block ``t`` holds the force rows of task ``t``'s atoms — cell ``a``'s
+    atoms first, then (for pair tasks) cell ``b``'s.  Returns ``(offsets,
+    gather)`` where ``offsets`` has ``n_tasks + 1`` entries and
+    ``gather[offsets[t]:offsets[t+1]]`` are the *global* atom indices of
+    block ``t``'s rows.  Both driver and workers derive this from the same
+    deterministic binning of the same published positions, so they agree
+    without communicating; because the layout (and the driver's
+    segment-sum over it) is in task order, the reduced forces are bitwise
+    independent of the task→worker assignment.
+    """
+    n_tasks = len(tasks)
+    sizes = np.zeros(n_tasks, dtype=np.int64)
+    for t, (a, b) in enumerate(tasks):
+        sizes[t] = len(buckets[a]) + (len(buckets[b]) if b != a else 0)
+    offsets = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    gather = np.empty(int(offsets[-1]), dtype=np.int64)
+    for t, (a, b) in enumerate(tasks):
+        lo = int(offsets[t])
+        atoms_a = buckets[a]
+        gather[lo : lo + len(atoms_a)] = atoms_a
+        if b != a:
+            atoms_b = buckets[b]
+            gather[lo + len(atoms_a) : lo + len(atoms_a) + len(atoms_b)] = atoms_b
+    return offsets, gather
+
+
+def _max_tasks_per_cell(tasks: list[tuple[int, int]], n_cells: int) -> int:
+    """Largest number of tasks any one cell participates in.
+
+    Fixed by the grid topology (<= 27), independent of where atoms sit, so
+    ``n_atoms * max_k`` bounds the scratch rows needed by any future layout.
+    """
+    k = np.zeros(n_cells, dtype=np.int64)
+    for a, b in tasks:
+        k[a] += 1
+        if b != a:
+            k[b] += 1
+    return int(k.max()) if n_cells else 1
+
+
+def _normalize_slowdown(slowdown) -> dict[int, list[tuple[float, float, float]]]:
+    """Per-worker slowdown windows ``(start_step, end_step, factor)``.
+
+    Accepts ``{worker: factor}`` (permanent slowdown) or an iterable of
+    :class:`repro.runtime.faults.SlowdownWindow`-like objects whose
+    ``start``/``end`` are *step* indices (1-based evaluation sequence).
+    """
+    windows: dict[int, list[tuple[float, float, float]]] = defaultdict(list)
+    if not slowdown:
+        return {}
+    if isinstance(slowdown, dict):
+        for proc, factor in slowdown.items():
+            if float(factor) <= 0:
+                raise ValueError("slowdown factor must be positive")
+            windows[int(proc)].append((0.0, float("inf"), float(factor)))
+    else:
+        for w in slowdown:
+            if w.factor <= 0:
+                raise ValueError("slowdown factor must be positive")
+            windows[int(w.proc)].append(
+                (float(w.start), float(w.end), float(w.factor))
+            )
+    return dict(windows)
+
+
+def _slowdown_factor(
+    windows: list[tuple[float, float, float]], step: int
+) -> float:
+    """Combined slowdown at ``step`` (mirrors ``FaultPlan.slowdown_factor``:
+    overlapping windows multiply)."""
+    factor = 1.0
+    for start, end, f in windows:
+        if start <= step < end:
+            factor *= f
+    return factor
 
 
 # --------------------------------------------------------------------------- #
@@ -99,38 +206,81 @@ def _attach_shared(name: str):
     return _shm.SharedMemory(name=name)
 
 
-def _build_task_pairlist(system, dims, tasks, r_list):
-    """This worker's Verlet list: candidate pairs of its task blocks,
-    prefiltered to ``r < r_list`` with exclusions/1-4 already removed."""
-    # deferred: repro.core.decomposition imports repro.md at module scope
-    from repro.core.decomposition import bin_atoms
+def _build_task_lists(system, tasks, my_tasks, buckets, r_list):
+    """Per-task prefiltered pair lists with local scatter indices.
 
-    _, _, buckets = bin_atoms(system.positions, system.box, dims)
+    For each owned task: global candidate index arrays filtered to
+    ``r < r_list`` minus exclusions/1-4, the matching *local* block-row
+    indices (cell ``a``'s atoms are rows ``0..na-1``, cell ``b``'s rows
+    ``na..``), and the pre-combined LJ/charge parameters (position-
+    independent, so combined once per rebuild instead of every step).
+    """
     triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    is_, js_ = [], []
-    for a, b in tasks:
+    lists: dict[int, tuple | None] = {}
+    for t in my_tasks:
+        a, b = tasks[t]
         atoms_a = buckets[a]
+        na = len(atoms_a)
         if a == b:
-            m = len(atoms_a)
-            if m < 2:
+            if na < 2:
+                lists[t] = None
                 continue
-            if m not in triu_cache:
-                triu_cache[m] = np.triu_indices(m, k=1)
-            iu, ju = triu_cache[m]
-            is_.append(atoms_a[iu])
-            js_.append(atoms_a[ju])
+            if na not in triu_cache:
+                triu_cache[na] = np.triu_indices(na, k=1)
+            si, sj = triu_cache[na]
+            i_g = atoms_a[si]
+            j_g = atoms_a[sj]
         else:
             atoms_b = buckets[b]
-            if len(atoms_a) == 0 or len(atoms_b) == 0:
+            nb = len(atoms_b)
+            if na == 0 or nb == 0:
+                lists[t] = None
                 continue
-            is_.append(np.repeat(atoms_a, len(atoms_b)))
-            js_.append(np.tile(atoms_b, len(atoms_a)))
-    if not is_:
-        empty = np.zeros(0, dtype=np.int32)
-        return empty, empty.copy()
-    i_cand = np.concatenate(is_).astype(np.int32)
-    j_cand = np.concatenate(js_).astype(np.int32)
-    return filter_candidates(system, i_cand, j_cand, r_list)
+            i_g = np.repeat(atoms_a, nb)
+            j_g = np.tile(atoms_b, na)
+            si = np.repeat(np.arange(na, dtype=np.int64), nb)
+            sj = np.tile(np.arange(nb, dtype=np.int64) + na, na)
+        i_f, j_f, kept = filter_candidates(
+            system, i_g.astype(np.int32), j_g.astype(np.int32), r_list,
+            return_kept=True,
+        )
+        if len(i_f) == 0:
+            lists[t] = None
+            continue
+        eps, rmin, qq = _combined_params(system, i_f, j_f)
+        lists[t] = (
+            i_f,
+            j_f,
+            np.ascontiguousarray(si[kept], dtype=np.int64),
+            np.ascontiguousarray(sj[kept], dtype=np.int64),
+            eps,
+            rmin,
+            qq,
+        )
+    return lists
+
+
+def _task_kernel(system, entry, options, block) -> tuple[float, float, int]:
+    """One task's switched LJ + shifted Coulomb into its compact block.
+
+    Identical per-pair arithmetic to :func:`repro.md.nonbonded.
+    nonbonded_kernel` (same :func:`pair_interactions`, same segment-sum
+    scatter), but over a prefiltered list with pre-combined parameters and
+    local scatter indices — the parallel hot loop.
+    """
+    i_g, j_g, si, sj, eps, rmin, qq = entry
+    pos = system.positions
+    delta = minimum_image(pos[j_g] - pos[i_g], system.box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    within = r2 < options.cutoff * options.cutoff
+    n_pairs = int(np.count_nonzero(within))
+    if n_pairs == 0:
+        return 0.0, 0.0, 0
+    e_lj, e_el, fvec = pair_interactions(
+        delta[within], r2[within], eps[within], rmin[within], qq[within], options
+    )
+    accumulate_pair_forces(block, si[within], sj[within], fvec)
+    return float(e_lj.sum()), float(e_el.sum()), n_pairs
 
 
 def _worker_main(
@@ -139,50 +289,91 @@ def _worker_main(
     cmd_q,
     res_q,
     pos_name,
-    slab_name,
+    scratch_name,
+    stats_name,
     system,
     options,
     dims,
     tasks,
     r_list,
+    assignment,
+    slow_windows,
 ):
     """Worker loop: attach shared arrays, then serve step/rebuild commands."""
+    from repro.core.decomposition import bin_atoms
+
     pos_seg = _attach_shared(pos_name)
-    slab_seg = _attach_shared(slab_name)
+    scratch_seg = _attach_shared(scratch_name)
+    stats_seg = _attach_shared(stats_name)
     n = system.n_atoms
+    n_tasks = len(tasks)
     positions = np.ndarray((n, 3), dtype=np.float64, buffer=pos_seg.buf)
-    slab = np.ndarray((n_workers, n, 3), dtype=np.float64, buffer=slab_seg.buf)[
-        worker_id
-    ]
+    scratch = np.ndarray(
+        (scratch_seg.size // 24, 3), dtype=np.float64, buffer=scratch_seg.buf
+    )
+    stats = np.ndarray((n_tasks, 4), dtype=np.float64, buffer=stats_seg.buf)
     # the worker's system aliases the shared positions; the driver owns the
     # contents and guarantees they are wrapped before each command
     system.positions = positions
     dims = np.asarray(dims, dtype=np.int64)
-    i_list = j_list = None
+    assignment = np.asarray(assignment, dtype=np.int64)
+    my_tasks: list[int] = []
+    offsets = None
+    lists: dict[int, tuple | None] = {}
+    perf = time.perf_counter_ns
     try:
         while True:
             cmd = cmd_q.get()
             if cmd[0] == "stop":
                 break
             try:
-                _, seq, rebuild, box = cmd
+                _, seq, rebuild, box, new_assignment = cmd
                 system.box = np.asarray(box, dtype=np.float64)
-                if rebuild or i_list is None:
-                    i_list, j_list = _build_task_pairlist(
-                        system, dims, tasks, r_list
+                if new_assignment is not None:
+                    assignment = np.asarray(new_assignment, dtype=np.int64)
+                if rebuild or offsets is None:
+                    _, _, buckets = bin_atoms(
+                        system.positions, system.box, dims
                     )
-                slab[...] = 0.0
-                e_lj, e_el, n_pairs = nonbonded_kernel(
-                    system, i_list, j_list, options, slab, prefiltered=True
-                )
-                res_q.put(("ok", worker_id, seq, e_lj, e_el, n_pairs))
+                    offsets, _ = _task_layout(buckets, tasks)
+                    my_tasks = np.flatnonzero(assignment == worker_id).tolist()
+                    lists = _build_task_lists(
+                        system, tasks, my_tasks, buckets, r_list
+                    )
+                factor = _slowdown_factor(slow_windows, seq)
+                for t in my_tasks:
+                    t0 = perf()
+                    block = scratch[offsets[t] : offsets[t + 1]]
+                    block[...] = 0.0
+                    entry = lists[t]
+                    if entry is None:
+                        e_lj = e_el = 0.0
+                        n_pairs = 0
+                    else:
+                        e_lj, e_el, n_pairs = _task_kernel(
+                            system, entry, options, block
+                        )
+                    elapsed = perf() - t0
+                    if factor > 1.0:
+                        # busy-spin: the CPU "runs factor times slower", so
+                        # the extra time is real, measurable load
+                        target = t0 + elapsed * factor
+                        while perf() < target:
+                            pass
+                        elapsed = perf() - t0
+                    stats[t, _STAT_E_LJ] = e_lj
+                    stats[t, _STAT_E_EL] = e_el
+                    stats[t, _STAT_N_PAIRS] = n_pairs
+                    stats[t, _STAT_TIME_NS] = elapsed
+                res_q.put(("ok", worker_id, seq))
             except Exception:
                 res_q.put(("error", worker_id, traceback.format_exc()))
     finally:
-        del positions, slab, system.positions
+        del positions, scratch, stats, system.positions
         system.positions = np.zeros((0, 3))
         pos_seg.close()
-        slab_seg.close()
+        scratch_seg.close()
+        stats_seg.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -218,6 +409,11 @@ class ParallelNonbonded:
     let the caller overlap its own work — the engine computes bonded terms
     while the workers run — or use :meth:`compute` for the one-shot form.
 
+    Every evaluation feeds per-task ``perf_counter_ns`` samples into
+    :attr:`workdb`; with ``rebalance_every > 0`` the driver re-runs the
+    paper's balancers on that database (see the module docstring) and
+    installs new task→worker maps at step-indexed pair-list rebuilds.
+
     Falls back to an in-process Verlet-pairlist evaluation when
     ``n_workers <= 1``, shared memory is unavailable, or pool startup fails;
     :attr:`active` tells which mode is live.
@@ -232,32 +428,67 @@ class ParallelNonbonded:
         timeout: float = 120.0,
         cost_model=None,
         start_method: str | None = None,
+        rebalance_every: int = 0,
+        lb_strategy: str | None = None,
+        slowdown=None,
     ) -> None:
         """``n_workers <= 0`` means "one per CPU"; ``timeout`` (seconds)
-        bounds every wait on the pool so a hung worker fails fast."""
+        bounds every wait on the pool so a hung worker fails fast.
+
+        ``rebalance_every=N`` runs a load-balancing decision every N
+        evaluations (0 disables); ``lb_strategy`` overrides the default
+        greedy-seed-then-refine schedule with any
+        :data:`repro.balancer.strategies.STRATEGIES` name or ``"+"``-combo;
+        ``slowdown`` injects per-worker artificial slowdowns (dict
+        ``{worker: factor}`` or step-indexed ``SlowdownWindow`` iterable).
+        """
+        from repro.balancer.strategies import STRATEGIES
+        from repro.instrument import WorkDB
+
         if skin < 0:
             raise ValueError("skin must be non-negative")
         if timeout <= 0:
             raise ValueError("timeout must be positive")
+        if rebalance_every < 0:
+            raise ValueError("rebalance_every must be >= 0")
+        if lb_strategy is not None:
+            for part in lb_strategy.split("+"):
+                if part not in STRATEGIES:
+                    raise ValueError(
+                        f"unknown LB strategy {part!r}; "
+                        f"choose from {sorted(STRATEGIES)}"
+                    )
         self.system = system
         self.options = options or NonbondedOptions()
         self.skin = float(skin)
         self.timeout = float(timeout)
+        self.rebalance_every = int(rebalance_every)
+        self.lb_strategy = lb_strategy
+        self._slow_windows = _normalize_slowdown(slowdown)
+        self.workdb = WorkDB()
         self.n_workers = 1
         self.task_bounds: np.ndarray | None = None
         self.n_rebuilds = 0
         self.n_reuses = 0
+        self.n_rebalances = 0
+        self.remap_steps: list[int] = []
+        self.rebalance_log: list[dict] = []
         self._seq = 0
         self._pending: int | None = None
+        self._pending_assignment: np.ndarray | None = None
         self._ref_positions: np.ndarray | None = None
         self._ref_box: np.ndarray | None = None
         self._procs: list = []
         self._cmd_qs: list = []
         self._res_q = None
         self._pos_seg = None
-        self._slab_seg = None
+        self._scratch_seg = None
+        self._stats_seg = None
         self._positions_view: np.ndarray | None = None
-        self._slabs_view: np.ndarray | None = None
+        self._scratch_view: np.ndarray | None = None
+        self._stats_view: np.ndarray | None = None
+        self._offsets: np.ndarray | None = None
+        self._gather: np.ndarray | None = None
         self._fallback_pairlist: VerletPairList | None = None
         self._closed = False
 
@@ -296,8 +527,9 @@ class ParallelNonbonded:
             self.n_workers = 1
             return
 
-        # static, measurement-seeded block assignment (paper §2.2): exact
-        # in-cutoff pair counts per task, contiguous near-equal-cost runs
+        # static, cost-model-seeded block assignment: exact in-cutoff pair
+        # counts per task become the WorkDB priors (the paper's "before the
+        # first measurement" rule), then contiguous near-equal-cost runs
         from repro.core.decomposition import bin_atoms
         from repro.costmodel.model import estimate_block_costs
 
@@ -311,6 +543,17 @@ class ParallelNonbonded:
             model=cost_model,
         )
         bounds = _contiguous_partition(costs, n_workers)
+        assignment = np.repeat(
+            np.arange(n_workers, dtype=np.int64), np.diff(bounds)
+        )
+        self._tasks = tasks
+        self._n_cells = int(np.prod(self._dims))
+        self._self_task_of = {a: t for t, (a, b) in enumerate(tasks) if a == b}
+        for t, (a, b) in enumerate(tasks):
+            patches = (a,) if a == b else (a, b)
+            self.workdb.ensure_task(
+                t, patches, prior=float(costs[t]), owner=int(assignment[t])
+            )
 
         if start_method is None:
             start_method = (
@@ -318,13 +561,22 @@ class ParallelNonbonded:
             )
         ctx = mp.get_context(start_method)
         n = system.n_atoms
+        n_tasks = len(tasks)
+        max_k = _max_tasks_per_cell(tasks, self._n_cells)
+        scratch_rows = max(n * max_k, 1)
         self._pos_seg = _shm.SharedMemory(create=True, size=n * 3 * 8)
-        self._slab_seg = _shm.SharedMemory(create=True, size=n_workers * n * 3 * 8)
+        self._scratch_seg = _shm.SharedMemory(
+            create=True, size=scratch_rows * 3 * 8
+        )
+        self._stats_seg = _shm.SharedMemory(create=True, size=n_tasks * 4 * 8)
         self._positions_view = np.ndarray(
             (n, 3), dtype=np.float64, buffer=self._pos_seg.buf
         )
-        self._slabs_view = np.ndarray(
-            (n_workers, n, 3), dtype=np.float64, buffer=self._slab_seg.buf
+        self._scratch_view = np.ndarray(
+            (scratch_rows, 3), dtype=np.float64, buffer=self._scratch_seg.buf
+        )
+        self._stats_view = np.ndarray(
+            (n_tasks, 4), dtype=np.float64, buffer=self._stats_seg.buf
         )
         self._res_q = ctx.Queue()
         for w in range(n_workers):
@@ -337,12 +589,15 @@ class ParallelNonbonded:
                     cmd_q,
                     self._res_q,
                     self._pos_seg.name,
-                    self._slab_seg.name,
+                    self._scratch_seg.name,
+                    self._stats_seg.name,
                     system,
                     self.options,
                     tuple(int(d) for d in self._dims),
-                    tasks[int(bounds[w]) : int(bounds[w + 1])],
+                    tasks,
                     r_list,
+                    assignment,
+                    self._slow_windows.get(w, []),
                 ),
                 daemon=True,
                 name=f"repro-nb-worker-{w}",
@@ -352,6 +607,7 @@ class ParallelNonbonded:
             self._cmd_qs.append(cmd_q)
         self.n_workers = n_workers
         self.task_bounds = bounds
+        self._assignment = assignment
         atexit.register(self.close)
 
     # ------------------------------------------------------------------ #
@@ -377,8 +633,6 @@ class ParallelNonbonded:
                 "atom count changed under a live worker pool; "
                 "recreate the parallel engine"
             )
-        from repro.util.pbc import minimum_image
-
         delta = minimum_image(pos - self._ref_positions, box)
         max_disp2 = float(np.einsum("ij,ij->i", delta, delta).max())
         return max_disp2 > (0.5 * self.skin) ** 2
@@ -393,21 +647,37 @@ class ParallelNonbonded:
             raise RuntimeError("worker pool is not active")
         if self._pending is not None:
             raise RuntimeError("dispatch() called with a collect() outstanding")
-        rebuild = self._needs_rebuild()
+        rebuild = self._needs_rebuild() or self._pending_assignment is not None
         pos = self.system.positions
         self._positions_view[...] = pos  # pack once; every worker maps it
+        self._seq += 1
+        assignment_payload = None
         if rebuild:
             self._ref_positions = pos.copy()
             self._ref_box = np.asarray(self.system.box, dtype=np.float64).copy()
             self.n_rebuilds += 1
+            if self._pending_assignment is not None:
+                if not np.array_equal(self._pending_assignment, self._assignment):
+                    self.remap_steps.append(self._seq)
+                self._assignment = self._pending_assignment
+                self._pending_assignment = None
+            # the driver's reduction layout must match the workers' blocks:
+            # both bin the same published positions
+            from repro.core.decomposition import bin_atoms
+
+            _, _, buckets = bin_atoms(
+                pos, np.asarray(self.system.box, dtype=np.float64), self._dims
+            )
+            self._offsets, self._gather = _task_layout(buckets, self._tasks)
+            assignment_payload = self._assignment
         else:
             self.n_reuses += 1
-        self._seq += 1
         cmd = (
             "step",
             self._seq,
             rebuild,
             tuple(float(x) for x in self.system.box),
+            assignment_payload,
         )
         for cmd_q in self._cmd_qs:
             cmd_q.put(cmd)
@@ -422,9 +692,9 @@ class ParallelNonbonded:
         # overlap with the workers: the scaled 1-4 pass runs on the driver
         e_lj14, e_el14, n14 = nonbonded_14(self.system, self.options, forces)
 
-        results: dict[int, tuple[float, float, int]] = {}
+        acked: set[int] = set()
         deadline = time.monotonic() + self.timeout
-        while len(results) < self.n_workers:
+        while len(acked) < self.n_workers:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 self._fail(f"worker pool timed out after {self.timeout:.0f}s")
@@ -437,25 +707,37 @@ class ParallelNonbonded:
                 continue
             if msg[0] == "error":
                 self._fail(f"worker {msg[1]} raised:\n{msg[2]}")
-            _, wid, seq, e_lj, e_el, n_pairs = msg
+            _, wid, seq = msg
             if seq != self._pending:  # pragma: no cover - protocol guard
                 self._fail(
                     f"worker {wid} answered step {seq}, "
                     f"expected {self._pending}"
                 )
-            results[wid] = (e_lj, e_el, n_pairs)
+            acked.add(wid)
         self._pending = None
 
-        # fixed reduction order: ascending worker rank == ascending task order
-        forces += self._slabs_view.sum(axis=0)
-        e_lj = 0.0
-        e_el = 0.0
-        n_pairs = 0
-        for wid in range(self.n_workers):
-            w_lj, w_el, w_np = results[wid]
-            e_lj += w_lj
-            e_el += w_el
-            n_pairs += w_np
+        # task-ordered segment-sum reduction: bitwise independent of the
+        # task→worker assignment (see module docstring)
+        used = int(self._offsets[-1])
+        scratch = self._scratch_view[:used]
+        for k in range(3):
+            forces[:, k] += np.bincount(
+                self._gather, weights=scratch[:, k], minlength=n
+            )
+        stats = self._stats_view
+        e_lj = float(stats[:, _STAT_E_LJ].sum())
+        e_el = float(stats[:, _STAT_E_EL].sum())
+        n_pairs = int(round(float(stats[:, _STAT_N_PAIRS].sum())))
+
+        # feed the measurement database and run the LB schedule
+        self.workdb.record_many(
+            range(len(self._tasks)),
+            stats[:, _STAT_TIME_NS] * 1e-9,
+            self._assignment,
+        )
+        self.workdb.mark_step()
+        if self.rebalance_every > 0 and self._seq % self.rebalance_every == 0:
+            self._plan_rebalance()
         return NonbondedResult(
             e_lj + e_lj14, e_el + e_el14, forces, n_pairs + n14
         )
@@ -474,6 +756,67 @@ class ParallelNonbonded:
             )
         self.dispatch()
         return self.collect()
+
+    # ------------------------------------------------------------------ #
+    # measurement-based load balancing
+    # ------------------------------------------------------------------ #
+    def build_lb_problem(self):
+        """The strategy-facing problem at the current measurement state."""
+        from repro.instrument import build_lb_problem
+
+        patch_home = {
+            c: int(self._assignment[t]) for c, t in self._self_task_of.items()
+        }
+        return build_lb_problem(
+            self.workdb,
+            self.n_workers,
+            patch_home,
+            background=np.zeros(self.n_workers),
+        )
+
+    def _plan_rebalance(self) -> None:
+        """One LB decision: build the problem, run the schedule, stage the map.
+
+        The staged assignment is installed at the next dispatch (which it
+        forces to rebuild), so remap points are step-indexed: every run with
+        the same configuration remaps at the same steps even though the
+        *content* of the map depends on noisy wall-clock measurements —
+        and the assignment-independent reduction keeps forces bit-identical
+        regardless of that content.
+        """
+        from repro.balancer.problem import placement_stats
+        from repro.balancer.strategies import solve
+
+        problem = self.build_lb_problem()
+        schedule = self.lb_strategy or (
+            "greedy" if self.n_rebalances == 0 else "refine"
+        )
+        placement = solve(problem, schedule)
+        new_assignment = self._assignment.copy()
+        for tid, proc in placement.items():
+            new_assignment[tid] = proc
+        current = {c.index: c.proc for c in problem.computes}
+        before = placement_stats(problem, current)
+        after = placement_stats(problem, placement)
+        self.rebalance_log.append(
+            {
+                "step": self._seq,
+                "strategy": schedule,
+                "moved": int(np.count_nonzero(new_assignment != self._assignment)),
+                "max_load_before": before["max_load"],
+                "max_load_after": after["max_load"],
+                "imbalance_ratio_before": before["imbalance_ratio"],
+                "imbalance_ratio_after": after["imbalance_ratio"],
+            }
+        )
+        self.n_rebalances += 1
+        self._pending_assignment = new_assignment
+
+    def worker_loads(self) -> np.ndarray:
+        """Predicted per-worker load (seconds/step) under the current map."""
+        if not self.active:
+            return np.zeros(1)
+        return self.workdb.owner_loads(self.n_workers)
 
     # ------------------------------------------------------------------ #
     def _fail(self, message: str):
@@ -506,8 +849,9 @@ class ParallelNonbonded:
         self._res_q = None
         # numpy views must drop their buffer exports before the mmap closes
         self._positions_view = None
-        self._slabs_view = None
-        for seg in (self._pos_seg, self._slab_seg):
+        self._scratch_view = None
+        self._stats_view = None
+        for seg in (self._pos_seg, self._scratch_seg, self._stats_seg):
             if seg is None:
                 continue
             try:
@@ -518,7 +862,8 @@ class ParallelNonbonded:
             except Exception:  # pragma: no cover
                 pass
         self._pos_seg = None
-        self._slab_seg = None
+        self._scratch_seg = None
+        self._stats_seg = None
 
     def close(self) -> None:
         """Stop the workers and release shared memory (idempotent)."""
@@ -550,8 +895,9 @@ class ParallelEngine(SequentialEngine):
     Construction, stepping, reports, and the integrator contract are those
     of :class:`~repro.md.engine.SequentialEngine`; only the non-bonded
     evaluation differs — it runs on a persistent ``workers``-process pool
-    with shared-memory positions and per-worker force slabs (see the module
-    docstring for the decomposition and determinism guarantees).
+    with shared-memory positions and per-task force blocks (see the module
+    docstring for the decomposition, measurement, and determinism
+    guarantees).
 
     With ``workers <= 1`` (or when the platform cannot start the pool) the
     engine *is* the sequential engine: :meth:`compute_forces` falls through
@@ -569,10 +915,15 @@ class ParallelEngine(SequentialEngine):
         skin: float = 1.5,
         timeout: float = 120.0,
         cost_model=None,
+        rebalance_every: int = 0,
+        lb_strategy: str | None = None,
+        slowdown=None,
     ) -> None:
         """``workers <= 0`` means one worker per CPU; ``skin`` is the Verlet
         margin of the per-worker pair lists (and of the sequential fallback's
-        list); ``timeout`` bounds every wait on the pool."""
+        list); ``timeout`` bounds every wait on the pool.  ``rebalance_every``,
+        ``lb_strategy`` and ``slowdown`` configure measurement-based load
+        balancing and fault injection (see :class:`ParallelNonbonded`)."""
         super().__init__(
             system, options, integrator, pairlist=VerletPairList(
                 (options or NonbondedOptions()).cutoff, skin=skin
@@ -585,6 +936,9 @@ class ParallelEngine(SequentialEngine):
             skin=skin,
             timeout=timeout,
             cost_model=cost_model,
+            rebalance_every=rebalance_every,
+            lb_strategy=lb_strategy,
+            slowdown=slowdown,
         )
 
     # ------------------------------------------------------------------ #
@@ -597,6 +951,21 @@ class ParallelEngine(SequentialEngine):
     def parallel(self) -> bool:
         """True when forces are evaluated on the worker pool."""
         return self._nb.active
+
+    @property
+    def workdb(self):
+        """The engine's measurement database (:class:`repro.instrument.WorkDB`)."""
+        return self._nb.workdb
+
+    @property
+    def remap_steps(self) -> list[int]:
+        """Evaluation indices at which a changed task→worker map took effect."""
+        return self._nb.remap_steps
+
+    @property
+    def rebalance_log(self) -> list[dict]:
+        """One record per LB decision: strategy, moves, predicted loads."""
+        return self._nb.rebalance_log
 
     def compute_forces(self) -> np.ndarray:
         """Evaluate the force field; non-bonded terms on the worker pool."""

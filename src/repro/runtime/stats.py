@@ -8,12 +8,21 @@ The scheduler feeds this database on every entry-method execution and every
 send; strategies (:mod:`repro.balancer`) read a :class:`LBSnapshot` — they
 never touch the live runtime, mirroring the strategy/framework split the
 paper emphasizes.
+
+Since the measurement layer was unified, the per-object timing state lives
+in a shared :class:`repro.instrument.WorkDB` (the same class the real
+``ParallelEngine`` records into); :class:`LBDatabase` keeps its historical
+interface — ``record_execution``/``snapshot``/``reset`` and the
+communication graph, which is simulated-runtime-specific — as a thin client
+of that database, exposed as :attr:`LBDatabase.workdb`.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+
+from repro.instrument import WorkDB
 
 __all__ = ["ObjectStats", "CommEdge", "LBSnapshot", "LBDatabase", "MulticastStats"]
 
@@ -84,28 +93,33 @@ class MulticastStats:
 
 
 class LBDatabase:
-    """Accumulates object loads and the communication graph."""
+    """Accumulates object loads and the communication graph.
 
-    def __init__(self) -> None:
-        self._objects: dict[int, ObjectStats] = {}
+    Timing state is held in :attr:`workdb` (one
+    :class:`~repro.instrument.WorkDB`, the measurement layer shared with the
+    real parallel engine); this class adds the communication graph and the
+    :class:`LBSnapshot` view the simulated runtime's strategies consume.
+    ``prior_blend_samples=1`` keeps the simulated runtime's historical
+    semantics: one measured phase fully replaces the cost-model prior.
+    """
+
+    def __init__(self, workdb: WorkDB | None = None) -> None:
+        self.workdb = workdb or WorkDB(
+            prior_blend_samples=1, calibrate_prior=False
+        )
         self._edges: dict[tuple[int, int], list[float]] = defaultdict(lambda: [0, 0.0])
-        self._background: dict[int, float] = defaultdict(float)
-        self.measured_steps = 0
+
+    @property
+    def measured_steps(self) -> int:
+        """Steps recorded since the last reset (lives in the WorkDB)."""
+        return self.workdb.measured_steps
 
     def record_execution(
         self, object_id: int, migratable: bool, proc: int, duration: float
     ) -> None:
-        stats = self._objects.get(object_id)
-        if stats is None:
-            stats = self._objects[object_id] = ObjectStats(
-                object_id, migratable=migratable
-            )
-        stats.load += duration
-        stats.invocations += 1
-        stats.migratable = migratable
-        stats.proc = proc
-        if not migratable:
-            self._background[proc] += duration
+        self.workdb.record(
+            object_id, duration, owner=proc, migratable=migratable
+        )
 
     def record_send(self, src: int, dst: int, size_bytes: float) -> None:
         cell = self._edges[(src, dst)]
@@ -114,25 +128,25 @@ class LBDatabase:
 
     def mark_step(self) -> None:
         """Note that one simulation step's worth of data has been recorded."""
-        self.measured_steps += 1
+        self.workdb.mark_step()
 
     def reset(self) -> None:
-        self._objects.clear()
+        self.workdb.reset()
         self._edges.clear()
-        self._background.clear()
-        self.measured_steps = 0
 
     def snapshot(self) -> LBSnapshot:
         """The copy a centralized strategy receives on processor 0."""
         return LBSnapshot(
             objects={
-                oid: ObjectStats(oid, s.load, s.invocations, s.migratable, s.proc)
-                for oid, s in self._objects.items()
+                oid: ObjectStats(
+                    oid, rec.total, rec.n_samples, rec.migratable, rec.owner
+                )
+                for oid, rec in self.workdb.tasks.items()
             },
             edges=[
                 CommEdge(src, dst, int(cnt), float(byt))
                 for (src, dst), (cnt, byt) in self._edges.items()
             ],
-            background_load=dict(self._background),
-            measured_steps=self.measured_steps,
+            background_load=self.workdb.background_totals(),
+            measured_steps=self.workdb.measured_steps,
         )

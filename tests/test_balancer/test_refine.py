@@ -65,3 +65,39 @@ class TestRefine:
         # nothing should have been moved onto the (initially) overloaded proc
         moved_to_0 = [it for it in p.computes if it.proc != 0 and placement[it.index] == 0]
         assert moved_to_0 == []
+
+    def test_existing_proxy_destination_wins(self):
+        """Regression: a destination already holding a proxy of the object's
+        patch must beat a less-loaded destination without one — the move is
+        communication-free there (paper §3.2: refinement tolerates new
+        proxies but reuses existing ones first)."""
+        items = [ComputeItem(i, 0.5, (0,), proc=0) for i in range(6)]
+        p = LBProblem(
+            n_procs=3,
+            computes=items,
+            # proc 1 is busier than proc 2, so load alone would pick proc 2
+            background=np.array([0.0, 0.2, 0.0]),
+            patch_home={0: 0},
+            existing_proxies={(0, 1)},
+        )
+        placement = refine_strategy(p)
+        moved = [it.index for it in items if placement[it.index] != 0]
+        assert moved, "overloaded proc 0 must shed objects"
+        # the first (largest-first order) migrant reuses proc 1's proxy
+        assert placement[moved[0]] == 1
+
+    def test_home_processor_breaks_proxy_ties(self):
+        """Between two destinations that both hold the patch (one as home,
+        one as proxy), the home processor wins the tie."""
+        items = [ComputeItem(i, 0.5, (1,), proc=0) for i in range(6)]
+        p = LBProblem(
+            n_procs=3,
+            computes=items,
+            background=np.zeros(3),
+            patch_home={1: 2},
+            existing_proxies={(1, 1)},
+        )
+        placement = refine_strategy(p)
+        moved = [it.index for it in items if placement[it.index] != 0]
+        assert moved
+        assert placement[moved[0]] == 2

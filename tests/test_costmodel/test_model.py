@@ -90,6 +90,61 @@ class TestCountWork:
             )
             assert count_work(system, d) == _count_work_blocked(system, d)
 
+    def test_block_pair_counts_matches_direct_counting(self, water64):
+        """The shared helper must equal a direct count_interacting_pairs
+        call for both self and cross blocks, candidates included."""
+        from repro.costmodel.model import block_pair_counts
+        from repro.md.nonbonded import count_interacting_pairs
+
+        pos, box = water64.positions, water64.box
+        rng = np.random.default_rng(0)
+        a = rng.choice(water64.n_atoms, size=40, replace=False)
+        b = np.setdiff1d(np.arange(water64.n_atoms), a)[:50]
+
+        n_pairs, n_cand = block_pair_counts(pos, box, 6.0, a)
+        assert n_cand == len(a) * (len(a) - 1) // 2
+        assert n_pairs == count_interacting_pairs(pos[a], None, box, 6.0)
+
+        n_pairs, n_cand = block_pair_counts(pos, box, 6.0, a, b)
+        assert n_cand == len(a) * len(b)
+        assert n_pairs == count_interacting_pairs(pos[a], pos[b], box, 6.0)
+
+    def test_estimate_block_costs_routes_through_shared_helper(self, water64):
+        """estimate_block_costs (WorkDB priors) and the blocked work count
+        (audit reference) must agree on every block's pair count: summed over
+        the half-shell task list they reproduce the global count."""
+        from repro.core.decomposition import bin_atoms
+        from repro.costmodel.model import block_pair_counts, estimate_block_costs
+        from repro.md.cells import CellGrid
+        from repro.md.nonbonded import count_interacting_pairs
+
+        pos, box = water64.positions, water64.box
+        cutoff = 6.0
+        grid = CellGrid.build(pos, box, cutoff)
+        _, _, buckets = bin_atoms(pos, box, grid.dims)
+        a_arr, b_arr = grid.neighbor_cell_pair_arrays()
+        tasks = list(zip(a_arr.tolist(), b_arr.tolist()))
+
+        per_block = [
+            block_pair_counts(
+                pos, box, cutoff, buckets[a], None if a == b else buckets[b]
+            )
+            for a, b in tasks
+        ]
+        total_pairs = sum(p for p, _ in per_block)
+        assert total_pairs == count_interacting_pairs(pos, None, box, cutoff)
+
+        # unit cost model: cost == n_pairs + n_cand, block for block
+        costs = estimate_block_costs(
+            pos, box, cutoff, buckets, tasks, model=CostModel(
+                t_pair=1.0, t_candidate=1.0, t_bonded_unit=0.0,
+                t_atom_integration=0.0,
+            )
+        )
+        np.testing.assert_allclose(
+            costs, [p + c for p, c in per_block], rtol=0, atol=0
+        )
+
     def test_counts_agree_with_descriptor_sums(self, assembly):
         from repro.core.computes import GrainsizeConfig, build_nonbonded_computes
         from repro.core.simulation import DEFAULT_COST_MODEL

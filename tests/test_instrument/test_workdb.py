@@ -1,0 +1,238 @@
+"""WorkDB: EWMA convergence, prior handoff, serialization, adapter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.balancer.problem import LBProblem
+from repro.instrument import WorkDB, build_lb_problem, derive_proxies
+
+
+class TestRecording:
+    def test_first_sample_sets_ewma_exactly(self):
+        db = WorkDB()
+        db.record(0, 2.5)
+        assert db.tasks[0].ewma == 2.5
+        assert db.tasks[0].last == 2.5
+        assert db.tasks[0].n_samples == 1
+
+    def test_ewma_converges_on_noisy_samples(self):
+        """With stationary noisy samples the EWMA settles near the true mean,
+        far closer than single samples scatter."""
+        rng = np.random.default_rng(42)
+        true_mean, noise = 2.0e-3, 0.5e-3
+        db = WorkDB(ewma_alpha=0.3)
+        samples = rng.normal(true_mean, noise, size=400)
+        for s in samples:
+            db.record(7, float(s))
+        # steady-state EWMA std is noise * sqrt(a / (2 - a)) ~= 0.42 * noise;
+        # 3 sigma of that is well inside 40% of the mean
+        assert db.tasks[7].ewma == pytest.approx(true_mean, rel=0.4)
+        assert db.tasks[7].window_mean() == pytest.approx(
+            np.mean(samples[-8:]), rel=1e-12
+        )
+        assert db.tasks[7].total == pytest.approx(samples.sum())
+
+    def test_ewma_tracks_a_load_shift(self):
+        db = WorkDB(ewma_alpha=0.3)
+        for _ in range(20):
+            db.record(0, 1.0)
+        for _ in range(20):
+            db.record(0, 3.0)
+        # (1 - 0.3)^20 of the old level is ~0.08%: the shift has been absorbed
+        assert db.tasks[0].ewma == pytest.approx(3.0, rel=1e-2)
+
+    def test_window_keeps_last_k_only(self):
+        db = WorkDB(window=4)
+        for s in range(10):
+            db.record(0, float(s))
+        assert list(db.tasks[0].window) == [6.0, 7.0, 8.0, 9.0]
+
+    def test_record_many_with_owners(self):
+        db = WorkDB()
+        db.record_many([0, 1, 2], [0.1, 0.2, 0.3], owners=[1, 1, 0])
+        assert db.tasks[0].owner == 1
+        assert db.tasks[2].owner == 0
+        loads = db.owner_loads(2)
+        assert loads[0] == pytest.approx(0.3)
+        assert loads[1] == pytest.approx(0.1 + 0.2)
+
+    def test_background_ewma_and_totals(self):
+        db = WorkDB(ewma_alpha=0.5)
+        db.record_background(1, 2.0)
+        db.record_background(1, 4.0)
+        assert db.background_array(2)[1] == pytest.approx(3.0)  # 2 + 0.5*(4-2)
+        assert db.background_totals() == {1: pytest.approx(6.0)}
+        assert db.background_array(2, per_step=False)[1] == pytest.approx(6.0)
+
+
+class TestPriorHandoff:
+    def test_prior_used_before_first_measurement(self):
+        db = WorkDB(calibrate_prior=False)
+        db.ensure_task(0, prior=5.0)
+        assert db.load(0) == 5.0
+
+    def test_blend_weight_grows_linearly_to_one(self):
+        """The cost-model prior hands off to measurement over K samples."""
+        db = WorkDB(window=8, prior_blend_samples=8, calibrate_prior=False)
+        db.ensure_task(0, prior=5.0)
+        db.record(0, 1.0)
+        # one of eight samples: 1/8 measurement + 7/8 prior
+        assert db.load(0) == pytest.approx(1.0 / 8 + 5.0 * 7 / 8)
+        for _ in range(7):
+            db.record(0, 1.0)
+        # after K samples the prior's weight is exactly zero
+        assert db.load(0) == pytest.approx(1.0)
+
+    def test_blend_samples_one_replaces_prior_immediately(self):
+        """The simulated runtime's semantics: one measured phase fully
+        replaces the cost model."""
+        db = WorkDB(prior_blend_samples=1, calibrate_prior=False)
+        db.ensure_task(0, prior=5.0)
+        db.record(0, 1.25)
+        assert db.load(0) == 1.25
+
+    def test_prior_calibration_rescales_unmeasured_tasks(self):
+        """Cost-model units mix with seconds: unmeasured priors are rescaled
+        by the measured/prior ratio of the measured tasks."""
+        db = WorkDB()
+        db.ensure_task(0, prior=1.0)
+        db.ensure_task(1, prior=3.0)
+        for _ in range(db.prior_blend_samples):
+            db.record(0, 0.5)  # measured at half its prior
+        assert db.load(0) == pytest.approx(0.5)
+        assert db.load(1) == pytest.approx(3.0 * 0.5)
+
+    def test_measurements_dominate_priors_in_loads_array(self):
+        db = WorkDB(window=4, prior_blend_samples=4, calibrate_prior=False)
+        db.ensure_task(0, prior=10.0)
+        db.ensure_task(1, prior=10.0)
+        for _ in range(4):
+            db.record(0, 1.0)
+        loads = db.loads()
+        assert loads[0] == pytest.approx(1.0)
+        assert loads[1] == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkDB(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            WorkDB(window=0)
+        with pytest.raises(ValueError):
+            WorkDB(prior_blend_samples=0)
+
+
+class TestSerialization:
+    def _populated(self):
+        db = WorkDB(ewma_alpha=0.25, window=5, prior_blend_samples=3)
+        rng = np.random.default_rng(1)
+        for tid in range(6):
+            db.ensure_task(
+                tid, patches=(tid, (tid + 1) % 6), prior=0.5 + tid, owner=tid % 2
+            )
+        for _ in range(9):
+            db.record_many(
+                range(6), rng.uniform(1e-4, 5e-4, size=6), owners=[0, 0, 1, 1, 0, 1]
+            )
+            db.record_background(0, float(rng.uniform(1e-5, 2e-5)))
+            db.mark_step()
+        db.ensure_task(99, prior=2.0, migratable=False)
+        return db
+
+    def test_round_trip_preserves_everything(self):
+        db = self._populated()
+        clone = WorkDB.from_dict(json.loads(json.dumps(db.to_dict())))
+        assert clone.ewma_alpha == db.ewma_alpha
+        assert clone.window == db.window
+        assert clone.prior_blend_samples == db.prior_blend_samples
+        assert clone.measured_steps == db.measured_steps
+        assert set(clone.tasks) == set(db.tasks)
+        for tid, rec in db.tasks.items():
+            got = clone.tasks[tid]
+            assert got.patches == rec.patches
+            assert got.owner == rec.owner
+            assert got.prior == rec.prior
+            assert got.migratable == rec.migratable
+            assert got.ewma == rec.ewma
+            assert got.n_samples == rec.n_samples
+            assert got.total == rec.total
+            assert list(got.window) == list(rec.window)
+        np.testing.assert_array_equal(clone.loads(), db.loads())
+        np.testing.assert_array_equal(clone.owner_loads(2), db.owner_loads(2))
+        np.testing.assert_array_equal(
+            clone.background_array(2), db.background_array(2)
+        )
+
+    def test_dump_and_load_file(self, tmp_path):
+        db = self._populated()
+        path = tmp_path / "workdb.json"
+        db.dump(path)
+        clone = WorkDB.load_file(path)
+        np.testing.assert_array_equal(clone.loads(), db.loads())
+        assert clone.measured_steps == db.measured_steps
+
+    def test_reloaded_window_respects_maxlen(self, tmp_path):
+        db = self._populated()
+        path = tmp_path / "workdb.json"
+        db.dump(path)
+        clone = WorkDB.load_file(path)
+        clone.record(0, 1.0)
+        assert len(clone.tasks[0].window) == clone.window
+
+    def test_reset_clears_state(self):
+        db = self._populated()
+        db.reset()
+        assert not db.tasks
+        assert db.measured_steps == 0
+        assert db.background_totals() == {}
+
+
+class TestAdapter:
+    def _db(self):
+        db = WorkDB(calibrate_prior=False)
+        db.ensure_task(0, patches=(0,), prior=1.0, owner=0)
+        db.ensure_task(1, patches=(0, 1), prior=2.0, owner=1)
+        db.ensure_task(2, patches=(1,), prior=3.0, owner=1)
+        db.ensure_task(3, patches=(2,), prior=4.0, owner=0, migratable=False)
+        return db
+
+    def test_derive_proxies_from_ownership(self):
+        db = self._db()
+        patch_home = {0: 0, 1: 1, 2: 0}
+        # task 1 runs patch 0 on proc 1, away from its home: implied proxy
+        assert derive_proxies(db, patch_home) == {(0, 1)}
+
+    def test_build_problem_fields(self):
+        db = self._db()
+        patch_home = {0: 0, 1: 1, 2: 0}
+        problem = build_lb_problem(db, 2, patch_home)
+        assert isinstance(problem, LBProblem)
+        assert problem.n_procs == 2
+        # non-migratable task 3 is not a strategy-visible compute
+        assert [c.index for c in problem.computes] == [0, 1, 2]
+        assert [c.load for c in problem.computes] == [1.0, 2.0, 3.0]
+        assert [c.proc for c in problem.computes] == [0, 1, 1]
+        assert problem.patch_home == patch_home
+        assert problem.existing_proxies == {(0, 1)}
+
+    def test_build_problem_uses_measured_loads(self):
+        db = self._db()
+        for _ in range(db.prior_blend_samples):
+            db.record(0, 0.25)
+        problem = build_lb_problem(db, 2, {0: 0, 1: 1, 2: 0})
+        assert problem.computes[0].load == pytest.approx(0.25)
+
+    def test_explicit_proxies_and_background_pass_through(self):
+        db = self._db()
+        bg = np.array([0.5, 0.25])
+        problem = build_lb_problem(
+            db, 2, {0: 0, 1: 1}, existing_proxies={(5, 1)}, background=bg
+        )
+        assert problem.existing_proxies == {(5, 1)}
+        np.testing.assert_array_equal(problem.background, bg)
+
+    def test_task_ids_restrict_and_order(self):
+        db = self._db()
+        problem = build_lb_problem(db, 2, {0: 0, 1: 1}, task_ids=[2, 0])
+        assert [c.index for c in problem.computes] == [2, 0]
