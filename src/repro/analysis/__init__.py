@@ -12,6 +12,7 @@ from repro.analysis.audit import PerformanceAudit, performance_audit
 from repro.analysis.grainsize import (
     grainsize_histogram,
     histogram_from_descriptors,
+    histogram_from_workdb,
     format_histogram,
 )
 from repro.analysis.timeline import render_timeline, render_workdb_timeline
@@ -28,6 +29,7 @@ __all__ = [
     "performance_audit",
     "grainsize_histogram",
     "histogram_from_descriptors",
+    "histogram_from_workdb",
     "format_histogram",
     "render_timeline",
     "render_workdb_timeline",

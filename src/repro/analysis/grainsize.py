@@ -5,11 +5,14 @@ indicated by its x-coordinate.  (Thus there were about 880 tasks of
 grainsize 9 ms, or more precisely, of grainsize between 8 and 10 ms, during
 an average timestep.)"
 
-Two sources are supported: execution durations from a full trace (what
-Projections measured) and modeled loads straight from the compute
-descriptors (available without running the machine at all).  Both show the
-paper's signature: a bimodal distribution with a ~40 ms tail before pair
-splitting, collapsing below the target grainsize after.
+Three sources are supported: execution durations from a full trace (what
+Projections measured), modeled loads straight from the compute descriptors
+(available without running the machine at all), and *measured wall-clock
+task times* from a real engine's :class:`~repro.instrument.WorkDB` — the
+Figure 1→2 reproduction on real processes, before and after
+``grainsize_ms`` splitting.  All show the paper's signature: a bimodal
+distribution with a long tail before splitting, collapsing below the
+target grainsize after.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ __all__ = [
     "GrainsizeHistogram",
     "grainsize_histogram",
     "histogram_from_descriptors",
+    "histogram_from_workdb",
     "format_histogram",
 ]
 
@@ -70,6 +74,33 @@ def histogram_from_descriptors(
         [d.load * cpu_factor for d in descriptors if d.kind in kinds], dtype=float
     )
     return _histogram(loads * 1e3, 1, bin_ms)
+
+
+def histogram_from_workdb(
+    db,
+    bin_ms: float = 2.0,
+    measured_only: bool = True,
+) -> GrainsizeHistogram:
+    """Histogram of the real engine's measured per-task wall-clock times.
+
+    Each measured task contributes its last-K window mean (in ms); with
+    ``measured_only=False`` unmeasured tasks contribute their prior
+    (cost-model seconds — only meaningful when the engine ran with a real
+    cost model).  Comparing the histogram of a ``grainsize_ms=0`` run with
+    a split run is the paper's Figure 1 → Figure 2 on real processes.
+    """
+    durations = [
+        rec.window_mean() * 1e3
+        for rec in db.tasks.values()
+        if rec.n_samples > 0
+    ]
+    if not measured_only:
+        durations += [
+            rec.prior * 1e3
+            for rec in db.tasks.values()
+            if rec.n_samples == 0
+        ]
+    return _histogram(np.asarray(durations, dtype=float), 1, bin_ms)
 
 
 def _histogram(durations_ms: np.ndarray, n_steps: int, bin_ms: float) -> GrainsizeHistogram:

@@ -94,16 +94,18 @@ def cmd_md(args) -> int:
         raise SystemExit("--workers must be >= 0 (0 = one per CPU)")
     if args.rebalance_every < 0:
         raise SystemExit("--rebalance-every must be >= 0 (0 = static)")
+    if args.grainsize_ms < 0:
+        raise SystemExit("--grainsize-ms must be >= 0 (0 = no splitting)")
     if args.skew > 0:
         system = skewed_water_box(args.waters, seed=args.seed, skew=args.skew)
     else:
         system = small_water_box(args.waters, seed=args.seed)
     system.assign_velocities(args.temperature, seed=args.seed)
     if args.workers == 1:
-        if args.rebalance_every or args.lb_strategy:
+        if args.rebalance_every or args.lb_strategy or args.grainsize_ms:
             raise SystemExit(
-                "--rebalance-every/--lb-strategy need --workers > 1 "
-                "(load balancing happens on the worker pool)"
+                "--rebalance-every/--lb-strategy/--grainsize-ms need "
+                "--workers > 1 (load balancing happens on the worker pool)"
             )
         pairlist = (
             VerletPairList(args.cutoff, skin=args.pairlist_skin)
@@ -127,6 +129,7 @@ def cmd_md(args) -> int:
                 skin=args.pairlist_skin,
                 rebalance_every=args.rebalance_every,
                 lb_strategy=args.lb_strategy,
+                grainsize_ms=args.grainsize_ms,
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
@@ -135,6 +138,15 @@ def cmd_md(args) -> int:
             if engine.parallel
             else "parallel pool unavailable; running sequentially"
         )
+        if engine.parallel and args.grainsize_ms:
+            rep = engine._nb.split_report()
+            print(
+                f"grainsize {args.grainsize_ms:g} ms: "
+                f"{rep['n_parent_tasks']} cell tasks -> "
+                f"{rep['n_subtasks']} sub-tasks "
+                f"({rep['n_split_parents']} split, "
+                f"largest {rep['max_parts']} parts)"
+            )
     with engine:
         print(
             f"{'step':>5} {'kinetic':>10} {'potential':>12} {'total':>12} {'T':>7}"
@@ -334,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the greedy-then-refine schedule with one strategy "
              "(or '+'-combo) from repro.balancer.STRATEGIES for every "
              "rebalance decision",
+    )
+    p_md.add_argument(
+        "--grainsize-ms", type=float, default=0.0, metavar="MS",
+        help="grainsize target for the worker pool in cost-model "
+             "milliseconds: cell tasks whose prior time exceeds MS are "
+             "split into row-stripe sub-tasks before load balancing "
+             "(0 = whole-cell tasks; the paper suggests ~5 ms)",
     )
     p_md.add_argument(
         "--workdb-dump", default=None, metavar="PATH",

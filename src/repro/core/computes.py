@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.decomposition import BondedAssignment, SpatialDecomposition
+from repro.core.grainsize import GrainsizeConfig, split_counts
 from repro.costmodel.model import CostModel
 
 __all__ = [
@@ -32,29 +33,6 @@ __all__ = [
     "build_nonbonded_computes",
     "build_bonded_computes",
 ]
-
-
-@dataclass(frozen=True)
-class GrainsizeConfig:
-    """Grainsize-control switches (§4.2.1 and §5 lesson 2).
-
-    ``target_load_s`` is the desired maximum object execution time in
-    reference seconds; the paper recommends "around 5 ms" of computation per
-    message.  ``split_self``/``split_pairs`` correspond to the two stages of
-    the paper's optimization: Figure 1 was measured with self splitting only,
-    Figure 2 with pair splitting added.
-    """
-
-    target_load_s: float = 0.005
-    split_self: bool = True
-    split_pairs: bool = True
-    max_parts: int = 64
-
-    def parts_for(self, load: float, enabled: bool) -> int:
-        """Number of grainsize slices for an object of ``load`` seconds."""
-        if not enabled or load <= self.target_load_s:
-            return 1
-        return min(int(np.ceil(load / self.target_load_s)), self.max_parts)
 
 
 @dataclass
@@ -94,13 +72,9 @@ class ComputeDescriptor:
         return f"{self.kind}({p}){part}"
 
 
-def _split_counts(row_counts: np.ndarray, n_parts: int) -> list[tuple[int, int]]:
-    """Per-part ``(pairs, rows)`` when rows are striped ``part::n_parts``."""
-    out = []
-    for part in range(n_parts):
-        rows = row_counts[part::n_parts]
-        out.append((int(rows.sum()), len(rows)))
-    return out
+#: retained alias — the split arithmetic lives in :mod:`repro.core.grainsize`
+#: so the real engine (:mod:`repro.md.parallel`) shares it
+_split_counts = split_counts
 
 
 def build_nonbonded_computes(

@@ -40,7 +40,14 @@ DEFAULT_WINDOW = 8
 
 @dataclass
 class TaskRecord:
-    """Measurement state of one schedulable task."""
+    """Measurement state of one schedulable task.
+
+    Grainsize sub-tasks (paper §4.2.1–2) carry their identity here:
+    ``parent`` is the index of the unsplit cell task the slice came from
+    (``-1`` for a task that is not a slice), ``part``/``n_parts`` the slice
+    coordinates.  The ``prior`` of a slice is the parent's prior inherited
+    pro-rata by candidate count.
+    """
 
     task_id: int
     patches: tuple[int, ...] = ()
@@ -51,6 +58,9 @@ class TaskRecord:
     n_samples: int = 0
     total: float = 0.0
     window: deque = field(default_factory=lambda: deque(maxlen=DEFAULT_WINDOW))
+    parent: int = -1
+    part: int = 0
+    n_parts: int = 1
 
     @property
     def last(self) -> float:
@@ -106,8 +116,15 @@ class WorkDB:
         prior: float = 0.0,
         owner: int = -1,
         migratable: bool = True,
+        parent: int = -1,
+        part: int = 0,
+        n_parts: int = 1,
     ) -> TaskRecord:
-        """Declare a task (idempotent); updates affinity/prior if given."""
+        """Declare a task (idempotent); updates affinity/prior if given.
+
+        ``parent``/``part``/``n_parts`` declare a grainsize slice (see
+        :class:`TaskRecord`); they default to "not a slice".
+        """
         rec = self.tasks.get(task_id)
         if rec is None:
             rec = self.tasks[task_id] = TaskRecord(
@@ -117,6 +134,9 @@ class WorkDB:
                 float(prior),
                 migratable,
                 window=deque(maxlen=self.window),
+                parent=int(parent),
+                part=int(part),
+                n_parts=int(n_parts),
             )
         else:
             if patches:
@@ -125,6 +145,10 @@ class WorkDB:
                 rec.prior = float(prior)
             if owner >= 0:
                 rec.owner = int(owner)
+            if parent >= 0:
+                rec.parent = int(parent)
+                rec.part = int(part)
+                rec.n_parts = int(n_parts)
         return rec
 
     def record(
@@ -281,6 +305,9 @@ class WorkDB:
                     "n_samples": rec.n_samples,
                     "total": rec.total,
                     "window": list(rec.window),
+                    "parent": rec.parent,
+                    "part": rec.part,
+                    "n_parts": rec.n_parts,
                 }
                 for rec in self.tasks.values()
             ],
@@ -318,6 +345,9 @@ class WorkDB:
                 deque(
                     (float(x) for x in t["window"]), maxlen=db.window
                 ),
+                parent=int(t.get("parent", -1)),
+                part=int(t.get("part", 0)),
+                n_parts=int(t.get("n_parts", 1)),
             )
             db.tasks[rec.task_id] = rec
         return db

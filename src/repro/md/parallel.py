@@ -34,6 +34,21 @@ Design, mirroring the paper's hybrid decomposition on real hardware:
   and 1-4 pairs already removed (:func:`repro.md.nonbonded.filter_candidates`)
   and with the Lorentz-Berthelot parameters pre-combined; between
   driver-coordinated rebuilds the hot loop is distance test + kernel only.
+* **Grainsize control** (§4.2.1–2, Figures 1→2): with ``grainsize_ms > 0``
+  any cell task whose cost-model-prior execution time exceeds the target is
+  split into *sub-block tasks* — row stripes of the task's first cell, the
+  same :mod:`repro.core.grainsize` arithmetic the simulated layer uses — so
+  no single dense cell pair caps the achievable load balance.  Sub-tasks
+  are real schedulable units: the static partition, the WorkDB (sub-task
+  identity = parent task + slice index, priors inherited pro-rata by
+  candidate count), and every LB decision operate on them.  The split
+  structure is decided *once, at construction, from the deterministic
+  cost-model prior* — never from noisy wall-clock measurements — because
+  the scratch layout (and therefore the floating-point reduction order)
+  follows the task list: a measurement-driven split would make repeat runs
+  bitwise diverge.  Measured sub-task times still drive *placement*, and
+  :func:`repro.analysis.grainsize.histogram_from_workdb` turns them into
+  the Figure 1→2 histograms on real processes.
 * **Assignment-independent deterministic reduction**: each task writes its
   forces into a *compact per-task block* of a shared scratch buffer whose
   layout (task-ordered, offsets from the deterministic atom binning) is
@@ -88,7 +103,8 @@ from repro.md.nonbonded import (
 )
 from repro.md.pairlist import VerletPairList
 from repro.md.scatter import accumulate_pair_forces
-from repro.util.pbc import minimum_image
+from repro.core.grainsize import GrainsizeConfig, stripe_candidate_counts
+from repro.util.pbc import minimum_image, wrap_positions
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
     from multiprocessing import shared_memory as _shm
@@ -103,18 +119,27 @@ __all__ = ["ParallelEngine", "ParallelNonbonded", "HAS_SHARED_MEMORY"]
 #: columns of the shared per-task stats array
 _STAT_E_LJ, _STAT_E_EL, _STAT_N_PAIRS, _STAT_TIME_NS = range(4)
 
+#: hard cap on grainsize slices per cell task in the real engine — real
+#: sub-tasks carry per-part list/scatter overhead the simulated layer's
+#: descriptors do not, so the engine caps lower than GrainsizeConfig's 64
+_MAX_SPLIT_PARTS = 16
+
 
 # --------------------------------------------------------------------------- #
 # task layout: shared between driver (reduction) and workers (block writes)
 # --------------------------------------------------------------------------- #
 def _task_layout(
-    buckets: list[np.ndarray], tasks: list[tuple[int, int]]
+    buckets: list[np.ndarray], tasks: list[tuple[int, int, int, int]]
 ) -> tuple[np.ndarray, np.ndarray]:
     """Task-ordered block layout of the shared force scratch.
 
-    Block ``t`` holds the force rows of task ``t``'s atoms — cell ``a``'s
-    atoms first, then (for pair tasks) cell ``b``'s.  Returns ``(offsets,
-    gather)`` where ``offsets`` has ``n_tasks + 1`` entries and
+    Tasks are grainsize sub-blocks ``(a, b, part, n_parts)`` — the unsplit
+    case is ``(a, b, 0, 1)``.  Block ``t`` holds the force rows its kernel
+    can touch: for a *self* sub-task every row of cell ``a`` (a stripe's
+    pairs ``(i, j)``, ``i`` in the stripe, scatter onto arbitrary ``j``);
+    for a *pair* sub-task the stripe ``part::n_parts`` of cell ``a``'s rows
+    followed by all of cell ``b``'s.  Returns ``(offsets, gather)`` where
+    ``offsets`` has ``n_tasks + 1`` entries and
     ``gather[offsets[t]:offsets[t+1]]`` are the *global* atom indices of
     block ``t``'s rows.  Both driver and workers derive this from the same
     deterministic binning of the same published positions, so they agree
@@ -124,33 +149,52 @@ def _task_layout(
     """
     n_tasks = len(tasks)
     sizes = np.zeros(n_tasks, dtype=np.int64)
-    for t, (a, b) in enumerate(tasks):
-        sizes[t] = len(buckets[a]) + (len(buckets[b]) if b != a else 0)
+    for t, (a, b, part, n_parts) in enumerate(tasks):
+        na = len(buckets[a])
+        if b == a:
+            sizes[t] = na
+        else:
+            sizes[t] = len(buckets[a][part::n_parts]) + len(buckets[b])
     offsets = np.zeros(n_tasks + 1, dtype=np.int64)
     np.cumsum(sizes, out=offsets[1:])
     gather = np.empty(int(offsets[-1]), dtype=np.int64)
-    for t, (a, b) in enumerate(tasks):
+    for t, (a, b, part, n_parts) in enumerate(tasks):
         lo = int(offsets[t])
-        atoms_a = buckets[a]
-        gather[lo : lo + len(atoms_a)] = atoms_a
-        if b != a:
+        if b == a:
+            atoms_a = buckets[a]
+            gather[lo : lo + len(atoms_a)] = atoms_a
+        else:
+            rows_a = buckets[a][part::n_parts]
             atoms_b = buckets[b]
-            gather[lo + len(atoms_a) : lo + len(atoms_a) + len(atoms_b)] = atoms_b
+            gather[lo : lo + len(rows_a)] = rows_a
+            gather[lo + len(rows_a) : lo + len(rows_a) + len(atoms_b)] = atoms_b
     return offsets, gather
 
 
-def _max_tasks_per_cell(tasks: list[tuple[int, int]], n_cells: int) -> int:
-    """Largest number of tasks any one cell participates in.
+def _scratch_rows_bound(
+    tasks: list[tuple[int, int, int, int]], n_cells: int, n_atoms: int
+) -> int:
+    """Upper bound on scratch rows any future layout of ``tasks`` can need.
 
-    Fixed by the grid topology (<= 27), independent of where atoms sit, so
-    ``n_atoms * max_k`` bounds the scratch rows needed by any future layout.
+    Counts, per cell, how many block rows it can contribute: a self parent
+    split ``n`` ways keeps *all* of cell ``a``'s rows in each slice
+    (``n`` full blocks); a pair parent contributes cell ``a`` once (its
+    stripes partition the rows exactly) and cell ``b`` once per slice.
+    The bound is topology-only — independent of where atoms sit — so the
+    shared segment sized at construction stays valid across rebuilds.
     """
-    k = np.zeros(n_cells, dtype=np.int64)
-    for a, b in tasks:
-        k[a] += 1
-        if b != a:
-            k[b] += 1
-    return int(k.max()) if n_cells else 1
+    if not n_cells:
+        return 1
+    mult = np.zeros(n_cells, dtype=np.int64)
+    for a, b, part, n_parts in tasks:
+        if part != 0:  # count each parent task once
+            continue
+        if b == a:
+            mult[a] += n_parts
+        else:
+            mult[a] += 1
+            mult[b] += n_parts
+    return max(n_atoms * int(mult.max()), 1)
 
 
 def _normalize_slowdown(slowdown) -> dict[int, list[tuple[float, float, float]]]:
@@ -209,16 +253,21 @@ def _attach_shared(name: str):
 def _build_task_lists(system, tasks, my_tasks, buckets, r_list):
     """Per-task prefiltered pair lists with local scatter indices.
 
-    For each owned task: global candidate index arrays filtered to
-    ``r < r_list`` minus exclusions/1-4, the matching *local* block-row
-    indices (cell ``a``'s atoms are rows ``0..na-1``, cell ``b``'s rows
-    ``na..``), and the pre-combined LJ/charge parameters (position-
-    independent, so combined once per rebuild instead of every step).
+    For each owned sub-task ``(a, b, part, n_parts)``: global candidate
+    index arrays filtered to ``r < r_list`` minus exclusions/1-4, the
+    matching *local* block-row indices, and the pre-combined LJ/charge
+    parameters (position-independent, so combined once per rebuild instead
+    of every step).  A self sub-task keeps the triu pairs whose row ``i``
+    lands in the stripe (rows ``0..na-1`` of the block, so all slices of
+    one self cell share scatter indexing); a pair sub-task enumerates its
+    stripe's rows (block rows ``0..ns-1``) against all of cell ``b``
+    (rows ``ns..``).  The slices are an exact partition of the parent
+    task's candidate set.
     """
     triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     lists: dict[int, tuple | None] = {}
     for t in my_tasks:
-        a, b = tasks[t]
+        a, b, part, n_parts = tasks[t]
         atoms_a = buckets[a]
         na = len(atoms_a)
         if a == b:
@@ -228,18 +277,27 @@ def _build_task_lists(system, tasks, my_tasks, buckets, r_list):
             if na not in triu_cache:
                 triu_cache[na] = np.triu_indices(na, k=1)
             si, sj = triu_cache[na]
+            if n_parts > 1:
+                keep = si % n_parts == part
+                si = np.ascontiguousarray(si[keep])
+                sj = np.ascontiguousarray(sj[keep])
+                if len(si) == 0:
+                    lists[t] = None
+                    continue
             i_g = atoms_a[si]
             j_g = atoms_a[sj]
         else:
             atoms_b = buckets[b]
             nb = len(atoms_b)
-            if na == 0 or nb == 0:
+            rows_a = np.arange(part, na, n_parts, dtype=np.int64)
+            ns = len(rows_a)
+            if ns == 0 or nb == 0:
                 lists[t] = None
                 continue
-            i_g = np.repeat(atoms_a, nb)
-            j_g = np.tile(atoms_b, na)
-            si = np.repeat(np.arange(na, dtype=np.int64), nb)
-            sj = np.tile(np.arange(nb, dtype=np.int64) + na, na)
+            i_g = np.repeat(atoms_a[rows_a], nb)
+            j_g = np.tile(atoms_b, ns)
+            si = np.repeat(np.arange(ns, dtype=np.int64), nb)
+            sj = np.tile(np.arange(nb, dtype=np.int64) + ns, ns)
         i_f, j_f, kept = filter_candidates(
             system, i_g.astype(np.int32), j_g.astype(np.int32), r_list,
             return_kept=True,
@@ -386,8 +444,19 @@ def _contiguous_partition(costs: np.ndarray, n_parts: int) -> np.ndarray:
     ``bounds[0] == 0`` and ``bounds[-1] == len(costs)``; part ``k`` owns
     tasks ``bounds[k]:bounds[k+1]``.  Deterministic (prefix-sum splitting at
     equal cost targets).
+
+    Guarantees beyond the raw prefix cuts: whenever ``n_tasks >= n_parts``
+    every part is nonempty (a single dominant task, or ``searchsorted``
+    landing before a run of zero-cost tasks, would otherwise collapse
+    several cuts onto one index and starve the trailing parts), and with
+    ``n_parts > n_tasks`` the first ``n_tasks`` parts get one task each.
+    The clamp moves a collapsed cut to the nearest admissible index, which
+    never raises the maximum part cost: the part that previously held the
+    dominant prefix only sheds tasks to its (previously empty) successors.
     """
     n_tasks = len(costs)
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
     prefix = np.concatenate([[0.0], np.cumsum(costs)])
     total = float(prefix[-1])
     if total <= 0.0:
@@ -396,8 +465,15 @@ def _contiguous_partition(costs: np.ndarray, n_parts: int) -> np.ndarray:
         targets = total * np.arange(1, n_parts) / n_parts
         cuts = np.searchsorted(prefix, targets, side="left")
         bounds = np.concatenate([[0], cuts, [n_tasks]]).astype(np.int64)
-    bounds = np.maximum.accumulate(np.clip(bounds, 0, n_tasks))
-    return bounds
+    # force strictly increasing bounds while tasks last: in the shifted
+    # coordinate d[k] = bounds[k] - k, "every part nonempty" is plain
+    # monotonicity, so one maximum.accumulate plus a clip to the feasible
+    # band [0, n_tasks - n_parts] repairs collapsed cuts with the minimal
+    # moves (and pins bounds[0] = 0, bounds[-1] = n_tasks)
+    k = np.arange(n_parts + 1, dtype=np.int64)
+    d = np.maximum.accumulate(np.clip(bounds, 0, n_tasks) - k)
+    d = np.clip(d, 0, max(n_tasks - n_parts, 0))
+    return np.minimum(d + k, n_tasks)
 
 
 class ParallelNonbonded:
@@ -431,6 +507,7 @@ class ParallelNonbonded:
         rebalance_every: int = 0,
         lb_strategy: str | None = None,
         slowdown=None,
+        grainsize_ms: float = 0.0,
     ) -> None:
         """``n_workers <= 0`` means "one per CPU"; ``timeout`` (seconds)
         bounds every wait on the pool so a hung worker fails fast.
@@ -440,7 +517,12 @@ class ParallelNonbonded:
         greedy-seed-then-refine schedule with any
         :data:`repro.balancer.strategies.STRATEGIES` name or ``"+"``-combo;
         ``slowdown`` injects per-worker artificial slowdowns (dict
-        ``{worker: factor}`` or step-indexed ``SlowdownWindow`` iterable).
+        ``{worker: factor}`` or step-indexed ``SlowdownWindow`` iterable);
+        ``grainsize_ms > 0`` enables grainsize control — cell tasks whose
+        cost-model-prior time exceeds the target (in *cost-model*
+        milliseconds, :data:`repro.core.simulation.DEFAULT_COST_MODEL`
+        unless ``cost_model`` overrides it) are split into row-stripe
+        sub-tasks before the static partition and every LB decision.
         """
         from repro.balancer.strategies import STRATEGIES
         from repro.instrument import WorkDB
@@ -451,6 +533,8 @@ class ParallelNonbonded:
             raise ValueError("timeout must be positive")
         if rebalance_every < 0:
             raise ValueError("rebalance_every must be >= 0")
+        if grainsize_ms < 0:
+            raise ValueError("grainsize_ms must be >= 0")
         if lb_strategy is not None:
             for part in lb_strategy.split("+"):
                 if part not in STRATEGIES:
@@ -464,6 +548,7 @@ class ParallelNonbonded:
         self.timeout = float(timeout)
         self.rebalance_every = int(rebalance_every)
         self.lb_strategy = lb_strategy
+        self.grainsize_ms = float(grainsize_ms)
         self._slow_windows = _normalize_slowdown(slowdown)
         self.workdb = WorkDB()
         self.n_workers = 1
@@ -490,6 +575,7 @@ class ParallelNonbonded:
         self._offsets: np.ndarray | None = None
         self._gather: np.ndarray | None = None
         self._fallback_pairlist: VerletPairList | None = None
+        self._deadline: float | None = None
         self._closed = False
 
         requested = int(n_workers) if n_workers else (os.cpu_count() or 1)
@@ -514,18 +600,18 @@ class ParallelNonbonded:
 
     def _start_pool(self, requested, cost_model, start_method) -> None:
         system = self.system
-        system.wrap()
         system.exclusions  # build once, before workers copy the system
         r_list = self.options.cutoff + self.skin
-        grid = CellGrid.build(system.positions, system.box, r_list)
+        # construction must not mutate the caller's system (the sequential
+        # engine's does not): the grid build and cost model see a wrapped
+        # *copy*; the engines wrap before every dispatch as usual
+        box = np.asarray(system.box, dtype=np.float64)
+        wrapped = wrap_positions(system.positions, box)
+        grid = CellGrid.build(wrapped, box, r_list)
         self._dims = grid.dims.copy()
-        self._init_box = np.asarray(system.box, dtype=np.float64).copy()
+        self._init_box = box.copy()
         ca, cb = grid.neighbor_cell_pair_arrays()
-        tasks = list(zip(ca.tolist(), cb.tolist()))
-        n_workers = min(requested, len(tasks))
-        if n_workers <= 1:
-            self.n_workers = 1
-            return
+        parents = list(zip(ca.tolist(), cb.tolist()))
 
         # static, cost-model-seeded block assignment: exact in-cutoff pair
         # counts per task become the WorkDB priors (the paper's "before the
@@ -533,26 +619,82 @@ class ParallelNonbonded:
         from repro.core.decomposition import bin_atoms
         from repro.costmodel.model import estimate_block_costs
 
-        _, _, buckets = bin_atoms(system.positions, system.box, self._dims)
+        _, _, buckets = bin_atoms(wrapped, box, self._dims)
+        model = cost_model
+        if model is None and self.grainsize_ms > 0:
+            # grainsize_ms is a physical target: need real (reference-
+            # machine) seconds, not the unitless pair-count default
+            from repro.core.simulation import DEFAULT_COST_MODEL
+
+            model = DEFAULT_COST_MODEL
         costs = estimate_block_costs(
-            system.positions,
-            system.box,
+            wrapped,
+            box,
             self.options.cutoff,
             buckets,
-            tasks,
-            model=cost_model,
+            parents,
+            model=model,
         )
-        bounds = _contiguous_partition(costs, n_workers)
+
+        # grainsize control (§4.2.1–2): split oversized parents into row
+        # stripes — structure decided here, once, from the deterministic
+        # prior (never from noisy measurements: the scratch layout follows
+        # the task list, so a measurement-driven split would break bitwise
+        # repeatability).  Priors are handed down pro-rata by stripe
+        # candidate count.
+        cfg = GrainsizeConfig(
+            target_load_s=self.grainsize_ms * 1e-3, max_parts=_MAX_SPLIT_PARTS
+        )
+        tasks: list[tuple[int, int, int, int]] = []
+        sub_costs: list[float] = []
+        sub_parents: list[int] = []
+        for pt, (a, b) in enumerate(parents):
+            na = len(buckets[a])
+            if self.grainsize_ms > 0:
+                enabled = cfg.split_self if a == b else cfg.split_pairs
+                n_parts = min(
+                    cfg.parts_for(float(costs[pt]), enabled), max(na, 1)
+                )
+            else:
+                n_parts = 1
+            weights = stripe_candidate_counts(
+                na, None if a == b else len(buckets[b]), n_parts
+            )
+            wsum = float(weights.sum())
+            for part in range(n_parts):
+                frac = float(weights[part]) / wsum if wsum > 0 else 1.0 / n_parts
+                tasks.append((a, b, part, n_parts))
+                sub_costs.append(float(costs[pt]) * frac)
+                sub_parents.append(pt)
+        sub_cost_arr = np.asarray(sub_costs, dtype=np.float64)
+
+        n_workers = min(requested, len(tasks))
+        if n_workers <= 1:
+            self.n_workers = 1
+            return
+
+        bounds = _contiguous_partition(sub_cost_arr, n_workers)
         assignment = np.repeat(
             np.arange(n_workers, dtype=np.int64), np.diff(bounds)
         )
         self._tasks = tasks
+        self._parents = parents
         self._n_cells = int(np.prod(self._dims))
-        self._self_task_of = {a: t for t, (a, b) in enumerate(tasks) if a == b}
-        for t, (a, b) in enumerate(tasks):
+        self._self_task_of = {
+            a: t
+            for t, (a, b, part, _np) in enumerate(tasks)
+            if a == b and part == 0
+        }
+        for t, (a, b, part, n_parts) in enumerate(tasks):
             patches = (a,) if a == b else (a, b)
             self.workdb.ensure_task(
-                t, patches, prior=float(costs[t]), owner=int(assignment[t])
+                t,
+                patches,
+                prior=float(sub_cost_arr[t]),
+                owner=int(assignment[t]),
+                parent=sub_parents[t],
+                part=part,
+                n_parts=n_parts,
             )
 
         if start_method is None:
@@ -562,8 +704,7 @@ class ParallelNonbonded:
         ctx = mp.get_context(start_method)
         n = system.n_atoms
         n_tasks = len(tasks)
-        max_k = _max_tasks_per_cell(tasks, self._n_cells)
-        scratch_rows = max(n * max_k, 1)
+        scratch_rows = _scratch_rows_bound(tasks, self._n_cells, n)
         self._pos_seg = _shm.SharedMemory(create=True, size=n * 3 * 8)
         self._scratch_seg = _shm.SharedMemory(
             create=True, size=scratch_rows * 3 * 8
@@ -682,6 +823,9 @@ class ParallelNonbonded:
         for cmd_q in self._cmd_qs:
             cmd_q.put(cmd)
         self._pending = self._seq
+        # the timeout budget starts when the workers do — collect() may run
+        # arbitrary driver-side work (the 1-4 pass) before it first waits
+        self._deadline = time.monotonic() + self.timeout
 
     def collect(self) -> NonbondedResult:
         """Finish the outstanding evaluation: 1-4 pass, gather, reduce."""
@@ -693,7 +837,9 @@ class ParallelNonbonded:
         e_lj14, e_el14, n14 = nonbonded_14(self.system, self.options, forces)
 
         acked: set[int] = set()
-        deadline = time.monotonic() + self.timeout
+        deadline = self._deadline
+        if deadline is None:  # pragma: no cover - dispatch() always sets it
+            deadline = time.monotonic() + self.timeout
         while len(acked) < self.n_workers:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
@@ -715,6 +861,7 @@ class ParallelNonbonded:
                 )
             acked.add(wid)
         self._pending = None
+        self._deadline = None
 
         # task-ordered segment-sum reduction: bitwise independent of the
         # task→worker assignment (see module docstring)
@@ -819,7 +966,44 @@ class ParallelNonbonded:
         return self.workdb.owner_loads(self.n_workers)
 
     # ------------------------------------------------------------------ #
+    # grainsize diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def n_parent_tasks(self) -> int:
+        """Half-shell cell tasks before grainsize splitting (0 = fallback)."""
+        return len(self._parents) if self.active else 0
+
+    @property
+    def n_subtasks(self) -> int:
+        """Schedulable sub-tasks after grainsize splitting (0 = fallback)."""
+        return len(self._tasks) if self.active else 0
+
+    def split_report(self) -> dict:
+        """Summary of the construction-time grainsize decision."""
+        if not self.active:
+            return {
+                "grainsize_ms": self.grainsize_ms,
+                "n_parent_tasks": 0,
+                "n_subtasks": 0,
+                "n_split_parents": 0,
+                "max_parts": 0,
+            }
+        n_parts_of = [n_parts for (_a, _b, part, n_parts) in self._tasks if part == 0]
+        return {
+            "grainsize_ms": self.grainsize_ms,
+            "n_parent_tasks": len(self._parents),
+            "n_subtasks": len(self._tasks),
+            "n_split_parents": sum(1 for p in n_parts_of if p > 1),
+            "max_parts": max(n_parts_of) if n_parts_of else 0,
+        }
+
+    # ------------------------------------------------------------------ #
     def _fail(self, message: str):
+        # drop the outstanding evaluation before closing: after the pool is
+        # gone `active` is False and compute() must route straight to the
+        # sequential fallback, not trip the dispatch/collect pairing guard
+        self._pending = None
+        self._deadline = None
         self.close()
         raise RuntimeError(f"parallel non-bonded evaluation failed: {message}")
 
@@ -918,12 +1102,14 @@ class ParallelEngine(SequentialEngine):
         rebalance_every: int = 0,
         lb_strategy: str | None = None,
         slowdown=None,
+        grainsize_ms: float = 0.0,
     ) -> None:
         """``workers <= 0`` means one worker per CPU; ``skin`` is the Verlet
         margin of the per-worker pair lists (and of the sequential fallback's
         list); ``timeout`` bounds every wait on the pool.  ``rebalance_every``,
-        ``lb_strategy`` and ``slowdown`` configure measurement-based load
-        balancing and fault injection (see :class:`ParallelNonbonded`)."""
+        ``lb_strategy``, ``slowdown`` and ``grainsize_ms`` configure
+        measurement-based load balancing, fault injection and grainsize
+        control (see :class:`ParallelNonbonded`)."""
         super().__init__(
             system, options, integrator, pairlist=VerletPairList(
                 (options or NonbondedOptions()).cutoff, skin=skin
@@ -939,6 +1125,7 @@ class ParallelEngine(SequentialEngine):
             rebalance_every=rebalance_every,
             lb_strategy=lb_strategy,
             slowdown=slowdown,
+            grainsize_ms=grainsize_ms,
         )
 
     # ------------------------------------------------------------------ #

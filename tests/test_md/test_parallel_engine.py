@@ -6,8 +6,12 @@ energy conservation on the parallel path, and pool lifecycle (fallback,
 close, context manager).
 """
 
+import time
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.builder import small_water_box
 from repro.md.engine import SequentialEngine, make_engine
@@ -196,3 +200,156 @@ class TestPartition:
     def test_zero_costs(self):
         bounds = _contiguous_partition(np.zeros(8), 4)
         assert bounds.tolist() == [0, 2, 4, 6, 8]
+
+    def test_dominant_task_keeps_parts_nonempty(self):
+        # all prefix targets land inside the huge last task: the raw cuts
+        # collapse onto the end and starve every part but the last
+        bounds = _contiguous_partition(np.array([1.0, 1.0, 1.0, 100.0]), 4)
+        assert bounds.tolist() == [0, 1, 2, 3, 4]
+
+    def test_leading_zero_costs_do_not_starve_parts(self):
+        # searchsorted(side="left") skips past the zero-cost prefix
+        bounds = _contiguous_partition(np.array([0.0, 0.0, 0.0, 1.0]), 2)
+        assert bounds[0] == 0 and bounds[-1] == 4
+        assert np.all(np.diff(bounds) >= 1)
+
+    def test_more_parts_than_tasks(self):
+        bounds = _contiguous_partition(np.ones(3), 5)
+        assert bounds.tolist() == [0, 1, 2, 3, 3, 3]
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        n_parts=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_partition_properties(self, costs, n_parts):
+        costs = np.asarray(costs, dtype=np.float64)
+        n_tasks = len(costs)
+        bounds = _contiguous_partition(costs, n_parts)
+        # shape, monotonicity, full coverage
+        assert len(bounds) == n_parts + 1
+        assert bounds[0] == 0 and bounds[-1] == n_tasks
+        assert np.all(np.diff(bounds) >= 0)
+        # no starved part while tasks last
+        if n_tasks >= n_parts:
+            assert np.all(np.diff(bounds) >= 1)
+        else:
+            assert np.all(np.diff(bounds)[:n_tasks] == 1)
+        part_costs = np.array(
+            [costs[bounds[k] : bounds[k + 1]].sum() for k in range(n_parts)]
+        )
+        total = float(costs.sum())
+        assert part_costs.max(initial=0.0) <= total + 1e-9 * max(total, 1.0)
+        # 2x-ideal quality bound whenever no single task exceeds the ideal
+        ideal = total / n_parts
+        if total > 0.0 and float(costs.max()) <= ideal:
+            assert part_costs.max() <= 2.0 * ideal + 1e-6 * total
+
+    @given(
+        costs=st.lists(
+            st.floats(min_value=0.5, max_value=1.0, allow_nan=False),
+            min_size=24,
+            max_size=48,
+        ),
+        n_parts=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_quality_near_uniform(self, costs, n_parts):
+        # near-uniform costs always satisfy the c_max <= ideal premise, so
+        # the 2x-ideal bound is exercised on every example
+        costs = np.asarray(costs, dtype=np.float64)
+        bounds = _contiguous_partition(costs, n_parts)
+        part_costs = np.array(
+            [costs[bounds[k] : bounds[k + 1]].sum() for k in range(n_parts)]
+        )
+        total = float(costs.sum())
+        ideal = total / n_parts
+        if float(costs.max()) <= ideal:
+            assert part_costs.max() <= 2.0 * ideal + 1e-6 * total
+
+
+class TestPoolFailure:
+    def test_timeout_budget_starts_at_dispatch(self, water600):
+        # regression: the deadline used to be computed inside collect(),
+        # *after* the driver's 1-4 pass silently ate into the budget
+        nb = ParallelNonbonded(water600.copy(), OPTS, n_workers=2, timeout=30.0)
+        assert nb.active
+        try:
+            t0 = time.monotonic()
+            nb.dispatch()
+            assert nb._deadline is not None
+            assert nb._deadline <= t0 + 30.0 + 1.0
+            nb.collect()
+            assert nb._deadline is None
+        finally:
+            nb.close()
+
+    def test_killed_worker_fails_fast_then_falls_back(self, water600):
+        nb = ParallelNonbonded(water600.copy(), OPTS, n_workers=2, timeout=60.0)
+        assert nb.active
+        first = nb.compute()
+        nb._procs[0].terminate()
+        nb._procs[0].join(timeout=5.0)
+        with pytest.raises(RuntimeError, match="died|timed out"):
+            nb.compute()
+        # the failure must leave a clean evaluator: no outstanding collect,
+        # pool closed, and the next compute() serves from the fallback
+        assert nb._pending is None
+        assert not nb.active
+        again = nb.compute()
+        scale = np.abs(first.forces).max()
+        assert np.allclose(again.forces, first.forces, rtol=1e-9, atol=1e-9 * scale)
+        assert again.energy_lj == pytest.approx(first.energy_lj, rel=1e-9)
+
+
+class NonInPlaceVerlet:
+    """Velocity Verlet that hands ``force_fn`` a *fresh* positions array
+    instead of mutating the one it was given — the integrator contract's
+    other allowed shape (md/engine.py ``force_fn``).  Same arithmetic as
+    :class:`repro.md.integrator.VelocityVerlet`."""
+
+    def __init__(self, dt: float = 1.0) -> None:
+        self.dt = dt
+
+    def step(self, positions, velocities, forces, masses, force_fn):
+        from repro.md.constants import ACC_CONVERSION
+
+        kick = 0.5 * self.dt * ACC_CONVERSION
+        v_half = velocities + kick * forces / masses[:, None]
+        new_pos = positions + self.dt * v_half
+        new_forces = force_fn(new_pos)
+        velocities[...] = v_half + kick * new_forces / masses[:, None]
+        return new_forces
+
+
+class TestWrapSemantics:
+    def test_construction_does_not_touch_positions(self):
+        # parallel-engine construction used to wrap (and rebind) the
+        # caller's positions; the sequential engine never did
+        s = small_water_box(600, seed=7, relax=False)
+        shifted = s.positions + np.asarray(s.box) * np.array([1.0, 0.0, 0.0])
+        s.positions = shifted
+        snapshot = shifted.copy()
+        with ParallelEngine(s, options=OPTS, workers=2) as eng:
+            assert eng.parallel
+            assert s.positions is shifted
+            assert np.array_equal(s.positions, snapshot)
+
+    def test_non_in_place_integrator_matches_sequential(self, water600):
+        def run(workers):
+            s = water600.copy()
+            s.assign_velocities(300.0, seed=5)
+            with make_engine(
+                s, OPTS, NonInPlaceVerlet(dt=1.0), workers=workers
+            ) as eng:
+                reports = eng.run(5)
+            return s.positions.copy(), reports[-1].total
+
+        p_seq, e_seq = run(1)
+        p_par, e_par = run(3)
+        assert np.allclose(p_par, p_seq, rtol=1e-9, atol=1e-9)
+        assert e_par == pytest.approx(e_seq, rel=1e-9)
