@@ -15,7 +15,11 @@ from repro.analysis.grainsize import (
     histogram_from_workdb,
     format_histogram,
 )
-from repro.analysis.timeline import render_timeline, render_workdb_timeline
+from repro.analysis.timeline import (
+    format_recovery_summary,
+    render_timeline,
+    render_workdb_timeline,
+)
 from repro.analysis.speedup import ScalingRow, scaling_sweep, format_scaling_table
 from repro.analysis.utilization import (
     UtilizationProfile,
@@ -33,6 +37,7 @@ __all__ = [
     "format_histogram",
     "render_timeline",
     "render_workdb_timeline",
+    "format_recovery_summary",
     "ScalingRow",
     "scaling_sweep",
     "format_scaling_table",

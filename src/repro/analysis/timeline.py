@@ -18,7 +18,12 @@ import numpy as np
 
 from repro.runtime.trace import TraceLog
 
-__all__ = ["render_timeline", "render_workdb_timeline", "CATEGORY_CODES"]
+__all__ = [
+    "render_timeline",
+    "render_workdb_timeline",
+    "format_recovery_summary",
+    "CATEGORY_CODES",
+]
 
 CATEGORY_CODES = {
     "integration": "I",
@@ -112,4 +117,25 @@ def render_workdb_timeline(db, n_workers: int, width: int = 100) -> str:
         lines.append(
             f"W{w:<5}|{''.join(row)}| {busy * 1e3:7.2f} ms, {len(tasks)} tasks"
         )
+    recovery = format_recovery_summary(db)
+    if recovery:
+        lines.append(recovery)
     return "\n".join(lines)
+
+
+def format_recovery_summary(db) -> str:
+    """One-line recovery accounting from a WorkDB, or ``""`` when clean.
+
+    The supervisor mirrors its event counters into ``WorkDB.recovery``
+    (kills, hangs, errors, respawns, reassigned tasks, degradations), so a
+    reloaded ``--workdb-dump`` still shows what the run survived.
+    """
+    recovery = getattr(db, "recovery", None)
+    if not recovery:
+        return ""
+    order = ["kills", "hangs", "errors", "respawns", "reassigned", "degraded"]
+    parts = [f"{k}={recovery[k]}" for k in order if recovery.get(k)]
+    parts += [
+        f"{k}={v}" for k, v in sorted(recovery.items()) if k not in order and v
+    ]
+    return "recovery: " + ", ".join(parts)

@@ -96,6 +96,25 @@ def cmd_md(args) -> int:
         raise SystemExit("--rebalance-every must be >= 0 (0 = static)")
     if args.grainsize_ms < 0:
         raise SystemExit("--grainsize-ms must be >= 0 (0 = no splitting)")
+    if args.checkpoint_every < 0:
+        raise SystemExit("--checkpoint-every must be >= 0 (0 = off)")
+    if args.checkpoint_every > 0 and not args.checkpoint_path:
+        raise SystemExit("--checkpoint-every needs --checkpoint-path")
+    if args.resume and not args.checkpoint_path:
+        raise SystemExit("--resume needs --checkpoint-path")
+    fault_plan = None
+    if args.fault_plan:
+        if args.workers == 1:
+            raise SystemExit(
+                "--fault-plan needs --workers > 1 (faults are injected "
+                "into live worker processes)"
+            )
+        from repro.md.resilience import WorkerFaultPlan
+
+        try:
+            fault_plan = WorkerFaultPlan.parse(args.fault_plan)
+        except ValueError as exc:
+            raise SystemExit(f"bad --fault-plan: {exc}")
     if args.skew > 0:
         system = skewed_water_box(args.waters, seed=args.seed, skew=args.skew)
     else:
@@ -117,6 +136,8 @@ def cmd_md(args) -> int:
             NonbondedOptions(cutoff=args.cutoff),
             VelocityVerlet(dt=args.dt),
             pairlist=pairlist,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint_path,
         )
     else:
         pairlist = None
@@ -130,6 +151,9 @@ def cmd_md(args) -> int:
                 rebalance_every=args.rebalance_every,
                 lb_strategy=args.lb_strategy,
                 grainsize_ms=args.grainsize_ms,
+                fault_plan=fault_plan,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_path=args.checkpoint_path,
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
@@ -148,6 +172,22 @@ def cmd_md(args) -> int:
                 f"largest {rep['max_parts']} parts)"
             )
     with engine:
+        if args.resume:
+            from repro.runtime.checkpoint import (
+                load_run_checkpoint,
+                restore_run_checkpoint,
+            )
+
+            try:
+                cp = load_run_checkpoint(args.checkpoint_path)
+            except FileNotFoundError:
+                raise SystemExit(
+                    f"--resume: no checkpoint at {args.checkpoint_path}"
+                )
+            except ValueError as exc:
+                raise SystemExit(f"--resume: {exc}")
+            restore_run_checkpoint(engine, cp)
+            print(f"resumed from checkpoint at step {cp.step}")
         print(
             f"{'step':>5} {'kinetic':>10} {'potential':>12} {'total':>12} {'T':>7}"
         )
@@ -183,6 +223,29 @@ def cmd_md(args) -> int:
                         engine.workdb, engine.workers, width=72
                     )
                 )
+        res = getattr(engine, "resilience", None)
+        if res is not None and (res.events or res.mode != "full"):
+            print(
+                f"resilience: mode {res.mode}; "
+                f"{res.kills_detected} killed, {res.hangs_detected} hung, "
+                f"{res.errors_detected} errored; {res.respawns} respawned, "
+                f"{res.tasks_reassigned} tasks reassigned, "
+                f"{res.degraded_steps} degraded steps, "
+                f"{res.recovery_time_s * 1e3:.1f} ms recovering"
+            )
+            for ev in res.events:
+                who = f"worker {ev.worker}" if ev.worker >= 0 else "pool"
+                print(
+                    f"  step {ev.step}: {who} {ev.kind} -> {ev.action} "
+                    f"(detected in {ev.detection_s * 1e3:.0f} ms"
+                    + (f", {ev.tasks_moved} tasks moved" if ev.tasks_moved else "")
+                    + ")"
+                )
+        if args.checkpoint_every:
+            print(
+                f"checkpoints: {engine.n_checkpoints} written to "
+                f"{args.checkpoint_path} (every {args.checkpoint_every} steps)"
+            )
         if args.workdb_dump:
             db = getattr(engine, "workdb", None)
             if db is None or not db.tasks:
@@ -359,6 +422,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the engine's measurement database (per-task timings, "
              "affinity, owners) as JSON on exit; reload with "
              "repro.instrument.WorkDB.load_file",
+    )
+    p_md.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="real-process fault injection on the worker pool, e.g. "
+             "'kill=1@3,hang=0@5x2,slow=1@2-6x8' (SIGKILL worker 1 at "
+             "step 3, SIGSTOP worker 0 for 2 s at step 5, slow worker 1 "
+             "8x over steps 2-6); needs --workers > 1 — the supervisor "
+             "recovers and the trajectory stays bit-identical",
+    )
+    p_md.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="STEPS",
+        help="write an atomic run checkpoint every N completed steps "
+             "(0 = off); needs --checkpoint-path",
+    )
+    p_md.add_argument(
+        "--checkpoint-path", default=None, metavar="PATH",
+        help="checkpoint file (.npz) for --checkpoint-every / --resume",
+    )
+    p_md.add_argument(
+        "--resume", action="store_true",
+        help="restore --checkpoint-path before stepping; the resumed "
+             "trajectory is bit-identical to the original run's "
+             "continuation",
     )
 
     p_sc = sub.add_parser("scaling", help="scaling table for one system")

@@ -105,6 +105,10 @@ class WorkDB:
         self._background_ewma: dict[int, float] = {}
         self._background_samples: dict[int, int] = {}
         self.measured_steps = 0
+        #: recovery accounting fed by the real engine's supervisor — event
+        #: counters keyed by kind ("kills", "hangs", "errors", "respawns",
+        #: "reassigned", "degraded", ...); empty on a fault-free run
+        self.recovery: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -210,6 +214,10 @@ class WorkDB:
         """Note that one simulation step's worth of data was recorded."""
         self.measured_steps += 1
 
+    def note_recovery(self, kind: str, n: int = 1) -> None:
+        """Count ``n`` recovery events of ``kind`` (kills, respawns, ...)."""
+        self.recovery[str(kind)] = self.recovery.get(str(kind), 0) + int(n)
+
     def reset(self) -> None:
         """Drop all measurements, priors, and background state."""
         self.tasks.clear()
@@ -217,6 +225,7 @@ class WorkDB:
         self._background_ewma.clear()
         self._background_samples.clear()
         self.measured_steps = 0
+        self.recovery.clear()
 
     # ------------------------------------------------------------------ #
     # predictive loads
@@ -285,6 +294,7 @@ class WorkDB:
             "prior_blend_samples": self.prior_blend_samples,
             "calibrate_prior": self.calibrate_prior,
             "measured_steps": self.measured_steps,
+            "recovery": dict(self.recovery),
             "background_total": {
                 str(k): v for k, v in self._background_total.items()
             },
@@ -323,6 +333,10 @@ class WorkDB:
             calibrate_prior=data["calibrate_prior"],
         )
         db.measured_steps = int(data["measured_steps"])
+        # dumps from before the resilience layer carry no recovery block
+        db.recovery = {
+            str(k): int(v) for k, v in data.get("recovery", {}).items()
+        }
         db._background_total = {
             int(k): float(v) for k, v in data["background_total"].items()
         }
@@ -353,10 +367,34 @@ class WorkDB:
         return db
 
     def dump(self, path) -> None:
-        """Write the database as JSON to ``path``."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        """Write the database as JSON to ``path`` atomically.
+
+        The write goes through a same-directory temp file + fsync +
+        ``os.replace`` (:func:`repro.util.atomic_write_text`), so a driver
+        killed mid-dump never leaves a truncated database behind — a reader
+        sees the previous complete dump or the new one, never a torn file.
+        """
+        from repro.util import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=2) + "\n")
 
     @classmethod
     def load_file(cls, path) -> "WorkDB":
-        """Read a database dumped with :meth:`dump`."""
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Read a database dumped with :meth:`dump`.
+
+        Raises ``ValueError`` (with the path in the message) on a corrupt or
+        truncated dump instead of leaking a bare ``JSONDecodeError``.
+        """
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"corrupt WorkDB dump {path}: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"corrupt WorkDB dump {path}: expected a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        return cls.from_dict(data)

@@ -67,12 +67,26 @@ class SequentialEngine:
         options: NonbondedOptions | None = None,
         integrator: VelocityVerlet | None = None,
         pairlist="auto",
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
     ) -> None:
         """``pairlist`` may be a :class:`repro.md.pairlist.VerletPairList`
         (built for this engine's cutoff) to amortize pair enumeration.  The
         default ``"auto"`` constructs one with the standard skin — Verlet
         reuse is the production path; pass ``None`` to re-enumerate from the
-        cell grid every step (reference behaviour for equivalence tests)."""
+        cell grid every step (reference behaviour for equivalence tests).
+
+        ``checkpoint_every=N`` (with ``checkpoint_path``) writes an atomic
+        run checkpoint every N completed steps; a run restarted with
+        :func:`repro.runtime.checkpoint.restore_run_checkpoint` continues
+        the original trajectory bit-identically (each checkpoint pins a
+        pair-list rebuild at the following evaluation, in the writing run
+        and the resumed run alike — see
+        :func:`~repro.runtime.checkpoint.save_run_checkpoint`)."""
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
         self.system = system
         self.options = options or NonbondedOptions()
         self.integrator = integrator or VelocityVerlet(dt=1.0)
@@ -81,6 +95,9 @@ class SequentialEngine:
                 raise ValueError(f"unknown pairlist mode {pairlist!r}")
             pairlist = VerletPairList(self.options.cutoff)
         self.pairlist = pairlist
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_path = checkpoint_path
+        self.n_checkpoints = 0
         self._step = 0
         self._forces: np.ndarray | None = None
         self._last_nonbonded = None
@@ -129,7 +146,31 @@ class SequentialEngine:
             sys.positions, sys.velocities, self._forces, sys.masses, force_fn
         )
         self._step += 1
+        self._maybe_checkpoint()
         return self.report()
+
+    # ------------------------------------------------------------------ #
+    def _checkpoint_invalidate(self) -> None:
+        """Pin a pair-list rebuild at the evaluation after a checkpoint.
+
+        The writing run and any run resumed from the checkpoint both pass
+        through this, so their rebuild schedules — and therefore their
+        trajectories — stay bit-identical.  The parallel engine overrides
+        this to force a rebuild on its worker pool as well.
+        """
+        if self.pairlist is not None:
+            self.pairlist.invalidate()
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint_every <= 0:
+            return
+        if self._step % self.checkpoint_every != 0:
+            return
+        from repro.runtime.checkpoint import save_run_checkpoint
+
+        self._checkpoint_invalidate()
+        save_run_checkpoint(self.checkpoint_path, self)
+        self.n_checkpoints += 1
 
     def run(self, n_steps: int) -> list[StepReport]:
         """Advance ``n_steps`` and return the per-step reports."""

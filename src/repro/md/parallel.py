@@ -75,14 +75,45 @@ CPU slowdown with the semantics of
 which the worker runs ``factor`` times slower, realized as a busy spin
 after each task so the slowdown is *measured* by the WorkDB like any real
 background load).
+
+**Self-healing supervision** (:mod:`repro.md.resilience`): the pool is
+supervised.  Worker results travel over per-worker pipes (a process killed
+mid-send can corrupt only its own channel, never a shared queue), and the
+driver waits on those pipes *and* the workers' process sentinels, so a
+SIGKILL'd worker is detected within milliseconds — not at the step
+timeout.  Detection triggers the recovery ladder of
+:class:`~repro.md.resilience.RecoveryPolicy`: respawn the worker (bounded
+retry, exponential backoff) and re-issue the in-flight evaluation to it,
+or — past the respawn budget — mark the slot permanently dead and reassign
+its tasks to survivors through the WorkDB → LBProblem path with
+``dead_procs`` marked, exactly like the simulated runtime.  Only when no
+workers survive (or recovery itself thrashes) does the pool degrade to the
+sequential path, and it does so by *serving the result*, not by raising.
+
+Recovery is **bit-identical** to an unfaulted run on the first two rungs
+of that ladder.  Two properties make this work: the scratch reduction is
+task-ordered and assignment-independent (who computed a block never
+matters), and workers always derive their binning and pair lists from the
+*reference* positions of the last rebuild — published in their own shared
+segment — never from the current positions.  A respawned or newly assigned
+worker therefore reconstructs exactly the lists the dead worker was using,
+and re-executes its tasks to the same bits, without perturbing the rebuild
+schedule.  (The final rung, sequential fallback, reduces in a different
+order and is equivalent only to ~1e-9, the same caveat PR 1 documents for
+the simulated recovery path.)
+
+Deterministic *real-process* fault injection rides on the same machinery:
+``fault_plan`` takes a :class:`~repro.md.resilience.WorkerFaultPlan`
+(SIGKILL / SIGSTOP-hang / slowdown, step-indexed) that the driver fires
+against its own children right after dispatching the scheduled step.
 """
 
 from __future__ import annotations
 
 import atexit
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import os
-import queue as queue_module
 import time
 import traceback
 import warnings
@@ -102,6 +133,13 @@ from repro.md.nonbonded import (
     pair_interactions,
 )
 from repro.md.pairlist import VerletPairList
+from repro.md.resilience import (
+    FaultInjector,
+    RecoveryEventLog,
+    RecoveryPolicy,
+    ResilienceStats,
+    WorkerFaultPlan,
+)
 from repro.md.scatter import accumulate_pair_forces
 from repro.core.grainsize import GrainsizeConfig, stripe_candidate_counts
 from repro.util.pbc import minimum_image, wrap_positions
@@ -344,9 +382,10 @@ def _task_kernel(system, entry, options, block) -> tuple[float, float, int]:
 def _worker_main(
     worker_id,
     n_workers,
-    cmd_q,
-    res_q,
+    cmd_conn,
+    res_conn,
     pos_name,
+    ref_name,
     scratch_name,
     stats_name,
     system,
@@ -357,15 +396,31 @@ def _worker_main(
     assignment,
     slow_windows,
 ):
-    """Worker loop: attach shared arrays, then serve step/rebuild commands."""
+    """Worker loop: attach shared arrays, then serve step/rebuild commands.
+
+    Commands and acks travel over per-worker pipes: ``("step", seq, epoch,
+    rebuild, box, assignment_or_None)`` in, ``("ok"|"error", worker_id,
+    seq, epoch[, traceback])`` out.  The epoch lets the driver re-issue an
+    evaluation to a respawned/reassigned worker and discard any stale ack
+    the previous incarnation may have left in flight.
+
+    Binning and pair-list construction always use the *reference* positions
+    (the ``ref`` shared segment, written by the driver at each rebuild),
+    never the live ones — so a worker (re)building its lists mid-window
+    reconstructs exactly the state every other worker derived at the last
+    rebuild, which is what makes recovery bit-identical.  The kernel, of
+    course, evaluates at the live positions.
+    """
     from repro.core.decomposition import bin_atoms
 
     pos_seg = _attach_shared(pos_name)
+    ref_seg = _attach_shared(ref_name)
     scratch_seg = _attach_shared(scratch_name)
     stats_seg = _attach_shared(stats_name)
     n = system.n_atoms
     n_tasks = len(tasks)
     positions = np.ndarray((n, 3), dtype=np.float64, buffer=pos_seg.buf)
+    ref_positions = np.ndarray((n, 3), dtype=np.float64, buffer=ref_seg.buf)
     scratch = np.ndarray(
         (scratch_seg.size // 24, 3), dtype=np.float64, buffer=scratch_seg.buf
     )
@@ -381,23 +436,38 @@ def _worker_main(
     perf = time.perf_counter_ns
     try:
         while True:
-            cmd = cmd_q.get()
+            try:
+                cmd = cmd_conn.recv()
+            except (EOFError, OSError):
+                break  # driver gone
             if cmd[0] == "stop":
                 break
+            seq = epoch = -1
             try:
-                _, seq, rebuild, box, new_assignment = cmd
+                _, seq, epoch, rebuild, box, new_assignment = cmd
                 system.box = np.asarray(box, dtype=np.float64)
+                changed = False
                 if new_assignment is not None:
-                    assignment = np.asarray(new_assignment, dtype=np.int64)
-                if rebuild or offsets is None:
-                    _, _, buckets = bin_atoms(
-                        system.positions, system.box, dims
-                    )
-                    offsets, _ = _task_layout(buckets, tasks)
-                    my_tasks = np.flatnonzero(assignment == worker_id).tolist()
-                    lists = _build_task_lists(
-                        system, tasks, my_tasks, buckets, r_list
-                    )
+                    new_assignment = np.asarray(new_assignment, dtype=np.int64)
+                    changed = not np.array_equal(new_assignment, assignment)
+                    assignment = new_assignment
+                if rebuild or changed or offsets is None:
+                    # derive everything from the reference positions so the
+                    # result is independent of *when* this worker (re)built
+                    system.positions = ref_positions
+                    try:
+                        _, _, buckets = bin_atoms(
+                            ref_positions, system.box, dims
+                        )
+                        offsets, _ = _task_layout(buckets, tasks)
+                        my_tasks = np.flatnonzero(
+                            assignment == worker_id
+                        ).tolist()
+                        lists = _build_task_lists(
+                            system, tasks, my_tasks, buckets, r_list
+                        )
+                    finally:
+                        system.positions = positions
                 factor = _slowdown_factor(slow_windows, seq)
                 for t in my_tasks:
                     t0 = perf()
@@ -423,13 +493,19 @@ def _worker_main(
                     stats[t, _STAT_E_EL] = e_el
                     stats[t, _STAT_N_PAIRS] = n_pairs
                     stats[t, _STAT_TIME_NS] = elapsed
-                res_q.put(("ok", worker_id, seq))
+                res_conn.send(("ok", worker_id, seq, epoch))
             except Exception:
-                res_q.put(("error", worker_id, traceback.format_exc()))
+                try:
+                    res_conn.send(
+                        ("error", worker_id, seq, epoch, traceback.format_exc())
+                    )
+                except (OSError, ValueError):  # pragma: no cover
+                    break
     finally:
-        del positions, scratch, stats, system.positions
+        del positions, ref_positions, scratch, stats, system.positions
         system.positions = np.zeros((0, 3))
         pos_seg.close()
+        ref_seg.close()
         scratch_seg.close()
         stats_seg.close()
 
@@ -508,6 +584,8 @@ class ParallelNonbonded:
         lb_strategy: str | None = None,
         slowdown=None,
         grainsize_ms: float = 0.0,
+        fault_plan: WorkerFaultPlan | str | None = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         """``n_workers <= 0`` means "one per CPU"; ``timeout`` (seconds)
         bounds every wait on the pool so a hung worker fails fast.
@@ -523,6 +601,12 @@ class ParallelNonbonded:
         milliseconds, :data:`repro.core.simulation.DEFAULT_COST_MODEL`
         unless ``cost_model`` overrides it) are split into row-stripe
         sub-tasks before the static partition and every LB decision.
+
+        ``fault_plan`` schedules deterministic real-process fault injection
+        (a :class:`~repro.md.resilience.WorkerFaultPlan` or its compact
+        string form, e.g. ``"kill=1@3,hang=0@2x1.5"``); ``recovery``
+        configures the supervision ladder (default
+        :class:`~repro.md.resilience.RecoveryPolicy`).
         """
         from repro.balancer.strategies import STRATEGIES
         from repro.instrument import WorkDB
@@ -542,6 +626,8 @@ class ParallelNonbonded:
                         f"unknown LB strategy {part!r}; "
                         f"choose from {sorted(STRATEGIES)}"
                     )
+        if isinstance(fault_plan, str):
+            fault_plan = WorkerFaultPlan.parse(fault_plan)
         self.system = system
         self.options = options or NonbondedOptions()
         self.skin = float(skin)
@@ -550,6 +636,14 @@ class ParallelNonbonded:
         self.lb_strategy = lb_strategy
         self.grainsize_ms = float(grainsize_ms)
         self._slow_windows = _normalize_slowdown(slowdown)
+        if fault_plan is not None and fault_plan.slowdowns:
+            for w in fault_plan.slowdowns:
+                self._slow_windows.setdefault(int(w.proc), []).append(
+                    (float(w.start), float(w.end), float(w.factor))
+                )
+        self.fault_plan = fault_plan
+        self.policy = recovery or RecoveryPolicy()
+        self.resilience = ResilienceStats()
         self.workdb = WorkDB()
         self.n_workers = 1
         self.task_bounds: np.ndarray | None = None
@@ -564,12 +658,28 @@ class ParallelNonbonded:
         self._ref_positions: np.ndarray | None = None
         self._ref_box: np.ndarray | None = None
         self._procs: list = []
-        self._cmd_qs: list = []
-        self._res_q = None
+        self._cmd_conns: list = []
+        self._res_conns: list = []
+        self._worker_epoch: list[int] = []
+        self._dead_workers: set[int] = set()
+        self._respawn_counts: dict[int, int] = {}
+        self._acked: set[int] = set()
+        self._injector: FaultInjector | None = None
+        self._ctx = None
+        self._worker_static: tuple | None = None
+        self._t_dispatch: float | None = None
+        self._step_wall_ewma = 0.0
+        self._recovery_rounds = 0
+        self._force_rebuild = False
+        self._degraded_dispatch = False
+        self._last_reassign_moved = 0
+        self._pending_box: tuple | None = None
         self._pos_seg = None
+        self._refpos_seg = None
         self._scratch_seg = None
         self._stats_seg = None
         self._positions_view: np.ndarray | None = None
+        self._refpos_view: np.ndarray | None = None
         self._scratch_view: np.ndarray | None = None
         self._stats_view: np.ndarray | None = None
         self._offsets: np.ndarray | None = None
@@ -591,6 +701,14 @@ class ParallelNonbonded:
                     stacklevel=2,
                 )
                 self.n_workers = 1
+        if self.n_workers > 1 and self.fault_plan and self.fault_plan.active:
+            if self.fault_plan.max_worker() >= self.n_workers:
+                self.close()
+                raise ValueError(
+                    f"fault plan targets worker {self.fault_plan.max_worker()}"
+                    f", but the pool has {self.n_workers} workers"
+                )
+            self._injector = FaultInjector(self.fault_plan)
 
     # ------------------------------------------------------------------ #
     @property
@@ -702,10 +820,16 @@ class ParallelNonbonded:
                 "fork" if "fork" in mp.get_all_start_methods() else "spawn"
             )
         ctx = mp.get_context(start_method)
+        self._ctx = ctx
         n = system.n_atoms
         n_tasks = len(tasks)
         scratch_rows = _scratch_rows_bound(tasks, self._n_cells, n)
         self._pos_seg = _shm.SharedMemory(create=True, size=n * 3 * 8)
+        # reference positions: the coordinates the pair lists were last
+        # built from.  Workers always bin/build from this segment, so a
+        # respawned replacement reconstructs the dead worker's lists
+        # exactly, mid-skin-window, without touching the rebuild schedule.
+        self._refpos_seg = _shm.SharedMemory(create=True, size=n * 3 * 8)
         self._scratch_seg = _shm.SharedMemory(
             create=True, size=scratch_rows * 3 * 8
         )
@@ -713,43 +837,90 @@ class ParallelNonbonded:
         self._positions_view = np.ndarray(
             (n, 3), dtype=np.float64, buffer=self._pos_seg.buf
         )
+        self._refpos_view = np.ndarray(
+            (n, 3), dtype=np.float64, buffer=self._refpos_seg.buf
+        )
         self._scratch_view = np.ndarray(
             (scratch_rows, 3), dtype=np.float64, buffer=self._scratch_seg.buf
         )
         self._stats_view = np.ndarray(
             (n_tasks, 4), dtype=np.float64, buffer=self._stats_seg.buf
         )
-        self._res_q = ctx.Queue()
-        for w in range(n_workers):
-            cmd_q = ctx.Queue()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    w,
-                    n_workers,
-                    cmd_q,
-                    self._res_q,
-                    self._pos_seg.name,
-                    self._scratch_seg.name,
-                    self._stats_seg.name,
-                    system,
-                    self.options,
-                    tuple(int(d) for d in self._dims),
-                    tasks,
-                    r_list,
-                    assignment,
-                    self._slow_windows.get(w, []),
-                ),
-                daemon=True,
-                name=f"repro-nb-worker-{w}",
-            )
-            proc.start()
-            self._procs.append(proc)
-            self._cmd_qs.append(cmd_q)
+        self._worker_static = (
+            n_workers,
+            self._pos_seg.name,
+            self._refpos_seg.name,
+            self._scratch_seg.name,
+            self._stats_seg.name,
+            system,
+            self.options,
+            tuple(int(d) for d in self._dims),
+            tasks,
+            r_list,
+        )
+        self._procs = [None] * n_workers
+        self._cmd_conns = [None] * n_workers
+        self._res_conns = [None] * n_workers
+        self._worker_epoch = [0] * n_workers
         self.n_workers = n_workers
         self.task_bounds = bounds
         self._assignment = assignment
+        for w in range(n_workers):
+            self._spawn_worker(w)
         atexit.register(self.close)
+
+    def _spawn_worker(self, w: int) -> None:
+        """(Re)start worker ``w``: fresh pipes, fresh process, index slot.
+
+        The child re-attaches the live shared segments and is handed the
+        *current* assignment; its pair lists are rebuilt from the reference
+        positions on the first command that asks for a rebuild.
+        """
+        (
+            n_workers,
+            pos_name,
+            ref_name,
+            scratch_name,
+            stats_name,
+            system,
+            options,
+            dims,
+            tasks,
+            r_list,
+        ) = self._worker_static
+        ctx = self._ctx
+        cmd_recv, cmd_send = ctx.Pipe(duplex=False)
+        res_recv, res_send = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(
+                w,
+                n_workers,
+                cmd_recv,
+                res_send,
+                pos_name,
+                ref_name,
+                scratch_name,
+                stats_name,
+                system,
+                options,
+                dims,
+                tasks,
+                r_list,
+                self._assignment,
+                self._slow_windows.get(w, []),
+            ),
+            daemon=True,
+            name=f"repro-nb-worker-{w}",
+        )
+        proc.start()
+        # close the child's pipe ends in the parent so a dead child turns
+        # into EOF on its result conn instead of a silent hang
+        cmd_recv.close()
+        res_send.close()
+        self._procs[w] = proc
+        self._cmd_conns[w] = cmd_send
+        self._res_conns[w] = res_recv
 
     # ------------------------------------------------------------------ #
     def _needs_rebuild(self) -> bool:
@@ -778,6 +949,33 @@ class ParallelNonbonded:
         max_disp2 = float(np.einsum("ij,ij->i", delta, delta).max())
         return max_disp2 > (0.5 * self.skin) ** 2
 
+    def _live_workers(self) -> list[int]:
+        return [w for w in range(self.n_workers) if w not in self._dead_workers]
+
+    @property
+    def n_live(self) -> int:
+        """Workers still serving tasks (``n_workers`` minus permanent dead)."""
+        return self.n_workers - len(self._dead_workers) if self.active else 1
+
+    def force_rebuild_next(self) -> None:
+        """Force a pair-list rebuild at the next dispatch.
+
+        Checkpoint/restore uses this to pin the rebuild schedule: both the
+        run that wrote a checkpoint and the run resumed from it rebuild at
+        the evaluation after the checkpoint step, so their trajectories stay
+        bit-identical.
+        """
+        self._force_rebuild = True
+
+    def _repair_idle_deaths(self) -> bool:
+        """Between-steps liveness sweep; heal or degrade before dispatching."""
+        for w in self._live_workers():
+            proc = self._procs[w]
+            if proc is not None and not proc.is_alive():
+                if not self._recover_worker(w, "died", "found dead at dispatch"):
+                    return False
+        return True
+
     def dispatch(self) -> None:
         """Publish positions and start the workers on one evaluation.
 
@@ -788,7 +986,18 @@ class ParallelNonbonded:
             raise RuntimeError("worker pool is not active")
         if self._pending is not None:
             raise RuntimeError("dispatch() called with a collect() outstanding")
-        rebuild = self._needs_rebuild() or self._pending_assignment is not None
+        self._recovery_rounds = 0
+        if not self._repair_idle_deaths():
+            # pool degraded to sequential between steps; the paired
+            # collect() serves the evaluation on the fallback path
+            self._degraded_dispatch = True
+            return
+        rebuild = (
+            self._needs_rebuild()
+            or self._pending_assignment is not None
+            or self._force_rebuild
+        )
+        self._force_rebuild = False
         pos = self.system.positions
         self._positions_view[...] = pos  # pack once; every worker maps it
         self._seq += 1
@@ -796,6 +1005,7 @@ class ParallelNonbonded:
         if rebuild:
             self._ref_positions = pos.copy()
             self._ref_box = np.asarray(self.system.box, dtype=np.float64).copy()
+            self._refpos_view[...] = pos  # workers bin/build from this
             self.n_rebuilds += 1
             if self._pending_assignment is not None:
                 if not np.array_equal(self._pending_assignment, self._assignment):
@@ -803,7 +1013,7 @@ class ParallelNonbonded:
                 self._assignment = self._pending_assignment
                 self._pending_assignment = None
             # the driver's reduction layout must match the workers' blocks:
-            # both bin the same published positions
+            # both bin the same published reference positions
             from repro.core.decomposition import bin_atoms
 
             _, _, buckets = bin_atoms(
@@ -813,55 +1023,99 @@ class ParallelNonbonded:
             assignment_payload = self._assignment
         else:
             self.n_reuses += 1
-        cmd = (
-            "step",
-            self._seq,
-            rebuild,
-            tuple(float(x) for x in self.system.box),
-            assignment_payload,
-        )
-        for cmd_q in self._cmd_qs:
-            cmd_q.put(cmd)
         self._pending = self._seq
+        self._pending_box = tuple(float(x) for x in self.system.box)
+        self._acked = set()
         # the timeout budget starts when the workers do — collect() may run
         # arbitrary driver-side work (the 1-4 pass) before it first waits
-        self._deadline = time.monotonic() + self.timeout
+        self._t_dispatch = time.monotonic()
+        self._deadline = self._t_dispatch + self.timeout
+        for w in self._live_workers():
+            # a failed send means the worker just died; don't recover here —
+            # all original commands must be out before any re-issue, or a
+            # replacement could interleave a stale command after its re-sent
+            # one.  collect()'s liveness sweep picks it up immediately.
+            self._send_step(w, rebuild, assignment_payload)
+        if self._injector is not None:
+            pids = {
+                w: self._procs[w].pid
+                for w in self._live_workers()
+                if self._procs[w] is not None
+            }
+            self._injector.inject(self._seq, pids)
+
+    def _send_step(self, w: int, rebuild: bool, assignment_payload) -> bool:
+        cmd = (
+            "step",
+            self._pending,
+            self._worker_epoch[w],
+            rebuild,
+            self._pending_box,
+            assignment_payload,
+        )
+        try:
+            self._cmd_conns[w].send(cmd)
+            return True
+        except (OSError, ValueError, BrokenPipeError):
+            return False
 
     def collect(self) -> NonbondedResult:
-        """Finish the outstanding evaluation: 1-4 pass, gather, reduce."""
+        """Finish the outstanding evaluation: 1-4 pass, gather, reduce.
+
+        Worker death, hang, or error during the wait is *recovered*, not
+        fatal: the supervisor respawns or reassigns (see module docstring)
+        and this call still returns the bit-identical result.  Only when the
+        whole ladder is exhausted does the pool close and the evaluation
+        complete on the sequential fallback.
+        """
         if self._pending is None:
+            if self._degraded_dispatch:
+                # dispatch() found the pool unhealable; honor the
+                # dispatch/collect pairing by serving sequentially
+                self._degraded_dispatch = False
+                from repro.md.nonbonded import compute_nonbonded
+
+                if self._fallback_pairlist is None:
+                    self._fallback_pairlist = VerletPairList(
+                        self.options.cutoff, skin=self.skin
+                    )
+                return compute_nonbonded(
+                    self.system, self.options, pairlist=self._fallback_pairlist
+                )
             raise RuntimeError("collect() called without a dispatch()")
         n = self.system.n_atoms
         forces = np.zeros((n, 3), dtype=np.float64)
         # overlap with the workers: the scaled 1-4 pass runs on the driver
         e_lj14, e_el14, n14 = nonbonded_14(self.system, self.options, forces)
 
-        acked: set[int] = set()
-        deadline = self._deadline
-        if deadline is None:  # pragma: no cover - dispatch() always sets it
-            deadline = time.monotonic() + self.timeout
-        while len(acked) < self.n_workers:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                self._fail(f"worker pool timed out after {self.timeout:.0f}s")
-            try:
-                msg = self._res_q.get(timeout=min(remaining, 1.0))
-            except queue_module.Empty:
-                dead = [p.name for p in self._procs if not p.is_alive()]
-                if dead:
-                    self._fail(f"worker(s) died: {', '.join(dead)}")
-                continue
-            if msg[0] == "error":
-                self._fail(f"worker {msg[1]} raised:\n{msg[2]}")
-            _, wid, seq = msg
-            if seq != self._pending:  # pragma: no cover - protocol guard
-                self._fail(
-                    f"worker {wid} answered step {seq}, "
-                    f"expected {self._pending}"
+        if not self._await_workers():
+            # degraded to sequential mid-step: recompute the whole
+            # evaluation on the fallback path (includes the 1-4 terms)
+            self._pending = None
+            self._deadline = None
+            from repro.md.nonbonded import compute_nonbonded
+
+            if self._fallback_pairlist is None:
+                self._fallback_pairlist = VerletPairList(
+                    self.options.cutoff, skin=self.skin
                 )
-            acked.add(wid)
+            return compute_nonbonded(
+                self.system, self.options, pairlist=self._fallback_pairlist
+            )
+        step_wall = time.monotonic() - self._t_dispatch
         self._pending = None
         self._deadline = None
+        self._t_dispatch = None
+        if self._recovery_rounds == 0:
+            # hang detection calibrates on clean steps only — a recovered
+            # step's wall time includes backoff sleeps and re-execution
+            self._step_wall_ewma = (
+                step_wall
+                if self._step_wall_ewma <= 0.0
+                else 0.2 * step_wall + 0.8 * self._step_wall_ewma
+            )
+        if self._dead_workers:
+            self.resilience.degraded_steps += 1
 
         # task-ordered segment-sum reduction: bitwise independent of the
         # task→worker assignment (see module docstring)
@@ -888,6 +1142,294 @@ class ParallelNonbonded:
         return NonbondedResult(
             e_lj + e_lj14, e_el + e_el14, forces, n_pairs + n14
         )
+
+    # ------------------------------------------------------------------ #
+    # supervision: detection, respawn, reassignment, degradation
+    # ------------------------------------------------------------------ #
+    def _await_workers(self) -> bool:
+        """Wait until every live worker acked the pending evaluation.
+
+        Returns False only when the pool degraded all the way to the
+        sequential fallback (the caller then recomputes sequentially).
+        """
+        policy = self.policy
+        while True:
+            if not self.active:
+                return False
+            live = self._live_workers()
+            unacked = [w for w in live if w not in self._acked]
+            if not unacked:
+                return True
+            now = time.monotonic()
+            if self._injector is not None:
+                self._injector.poll()
+            if self._deadline is not None and now >= self._deadline:
+                if not self._recover_worker(
+                    unacked[0],
+                    "hung",
+                    f"no ack within the {self.timeout:.0f}s timeout",
+                ):
+                    return False
+                continue
+            hang_t = policy.hang_threshold(self._step_wall_ewma, self.timeout)
+            if (
+                self._t_dispatch is not None
+                and now - self._t_dispatch > hang_t
+                and self._procs[unacked[0]] is not None
+                and self._procs[unacked[0]].is_alive()
+            ):
+                if not self._recover_worker(
+                    unacked[0],
+                    "hung",
+                    f"silent for {now - self._t_dispatch:.2f}s "
+                    f"(threshold {hang_t:.2f}s)",
+                ):
+                    return False
+                continue
+            wait_objs = []
+            for w in unacked:
+                if self._res_conns[w] is not None:
+                    wait_objs.append(self._res_conns[w])
+                if self._procs[w] is not None:
+                    wait_objs.append(self._procs[w].sentinel)
+            budget = min(
+                policy.poll_interval_s,
+                max(self._deadline - now, 1e-3),
+                max(hang_t - (now - self._t_dispatch), 1e-3),
+            )
+            try:
+                mp_connection.wait(wait_objs, timeout=budget)
+            except OSError:  # pragma: no cover - closed handle race
+                pass
+            # liveness is checked on EVERY iteration: a SIGKILL'd worker is
+            # detected within one poll interval, not at timeout expiry
+            recovered = False
+            for w in list(unacked):
+                proc = self._procs[w]
+                if proc is not None and not proc.is_alive():
+                    if not self._recover_worker(w, "died", "process exited"):
+                        return False
+                    recovered = True
+            if recovered:
+                continue
+            for w in list(unacked):
+                conn = self._res_conns[w]
+                if conn is None:
+                    continue
+                drained_dead = False
+                while True:
+                    try:
+                        if not conn.poll():
+                            break
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        drained_dead = True
+                        break
+                    if not self._handle_ack(w, msg):
+                        return False
+                    if self._res_conns[w] is not conn:
+                        break  # worker was respawned; old conn is gone
+                if drained_dead:
+                    if not self._recover_worker(w, "died", "result pipe EOF"):
+                        return False
+
+    def _handle_ack(self, w: int, msg) -> bool:
+        tag, wid, seq, epoch = msg[0], msg[1], msg[2], msg[3]
+        if seq != self._pending or epoch != self._worker_epoch[wid]:
+            return True  # stale ack from before a recovery re-issue
+        if tag == "error":
+            return self._recover_worker(
+                wid, "error", f"worker raised:\n{msg[4]}"
+            )
+        self._acked.add(wid)
+        return True
+
+    def _recover_worker(self, w: int, kind: str, detail: str = "") -> bool:
+        """Heal a failed worker: respawn → reassign → degrade.
+
+        Returns False only when the pool degraded to sequential.
+        """
+        t0 = time.monotonic()
+        detection = (
+            t0 - self._t_dispatch if self._t_dispatch is not None else 0.0
+        )
+        self._recovery_rounds += 1
+        if self._recovery_rounds > self.policy.max_recovery_rounds:
+            return self._degrade_to_sequential(
+                f"recovery limit reached ({self.policy.max_recovery_rounds} "
+                f"rounds in one evaluation); last failure: worker {w} {kind}"
+            )
+        # counters live in ResilienceStats.note_event (called below); the
+        # WorkDB mirror feeds the timeline/utilization renders
+        if kind == "died":
+            self.workdb.note_recovery("kills")
+        elif kind == "hung":
+            self.workdb.note_recovery("hangs")
+        else:
+            self.workdb.note_recovery("errors")
+        proc = self._procs[w]
+        if proc is not None and proc.is_alive():
+            # hung or errored: SIGKILL works on stopped processes too
+            proc.kill()
+            proc.join(timeout=5.0)
+        for conn in (self._cmd_conns[w], self._res_conns[w]):
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._cmd_conns[w] = None
+        self._res_conns[w] = None
+        self._procs[w] = None
+        self._acked.discard(w)
+
+        attempts = self._respawn_counts.get(w, 0)
+        action = None
+        tasks_moved = 0
+        if attempts < self.policy.max_respawns:
+            time.sleep(self.policy.backoff(attempts))
+            self._respawn_counts[w] = attempts + 1
+            try:
+                self._spawn_worker(w)
+            except Exception:  # pragma: no cover - spawn failure is rare
+                self.resilience.respawn_failures += 1
+            else:
+                self.resilience.respawns += 1
+                self.workdb.note_recovery("respawns")
+                action = "respawned"
+                if self._pending is not None:
+                    # re-issue under a fresh epoch; rebuild=True makes the
+                    # replacement reconstruct lists from the reference
+                    # positions (NOT the live ones), so its task blocks are
+                    # bitwise those the dead worker would have written
+                    self._worker_epoch[w] += 1
+                    self.resilience.steps_redone += 1
+                    if not self._send_step(w, True, self._assignment):
+                        # died again before the re-issue landed; next loop
+                        # iteration recovers it (bounded by recovery rounds)
+                        pass
+        if action is None:
+            degraded = not self._reassign_dead(w)
+            if degraded:
+                return False
+            action = "reassigned"
+            tasks_moved = self._last_reassign_moved
+        dt = time.monotonic() - t0
+        event = RecoveryEventLog(
+            step=self._seq,
+            worker=w,
+            kind=kind,
+            action=action,
+            detection_s=detection,
+            recovery_s=dt,
+            tasks_moved=tasks_moved,
+            detail=detail,
+        )
+        self.resilience.note_event(event)
+        # a successful recovery earns a fresh wait budget: the re-issued
+        # evaluation should not inherit a nearly expired deadline
+        if self._pending is not None:
+            self._t_dispatch = time.monotonic()
+            self._deadline = self._t_dispatch + self.timeout
+        return True
+
+    def _reassign_dead(self, w: int) -> bool:
+        """Permanent death: move ``w``'s tasks to survivors via the LB path.
+
+        Returns False when no survivors remain (degraded to sequential).
+        """
+        self._dead_workers.add(w)
+        survivors = self._live_workers()
+        if not survivors:
+            return self._degrade_to_sequential("no workers left")
+        orphans = np.flatnonzero(self._assignment == w)
+        new_assignment = self._assignment.copy()
+        if len(orphans):
+            placed = None
+            try:
+                from repro.balancer.strategies import solve
+                from repro.instrument import build_lb_problem
+
+                patch_home = {
+                    c: int(self._assignment[t])
+                    for c, t in self._self_task_of.items()
+                }
+                background = np.zeros(self.n_workers)
+                loads = self.workdb.owner_loads(self.n_workers)
+                for s in survivors:
+                    background[s] = loads[s]
+                problem = build_lb_problem(
+                    self.workdb,
+                    self.n_workers,
+                    patch_home,
+                    background=background,
+                    dead_procs=frozenset(self._dead_workers),
+                    task_ids=orphans.tolist(),
+                )
+                placed = solve(problem, "greedy")
+            except Exception:  # pragma: no cover - LB path must not be fatal
+                placed = None
+            if placed:
+                for tid, proc in placed.items():
+                    new_assignment[tid] = proc
+            else:
+                # least-loaded greedy fallback, deterministic tie-break
+                loads = self.workdb.owner_loads(self.n_workers)
+                load_of = {s: float(loads[s]) for s in survivors}
+                for tid in orphans.tolist():
+                    tgt = min(survivors, key=lambda s: (load_of[s], s))
+                    new_assignment[tid] = tgt
+                    load_of[tgt] += max(float(self.workdb.load(tid)), 1e-12)
+        self._assignment = new_assignment
+        self.resilience.tasks_reassigned += int(len(orphans))
+        self.workdb.note_recovery("reassigned", int(len(orphans)))
+        self._last_reassign_moved = int(len(orphans))
+        if self.resilience.mode == "full":
+            self.resilience.mode = "degraded"
+            self.resilience.degraded_since_step = self._seq
+        if self._pending is not None:
+            # survivors whose task set grew must redo the evaluation under
+            # the new map; rebuild=True re-derives lists from the reference
+            # positions so the redone blocks are bitwise unchanged
+            gained = {
+                int(new_assignment[t]) for t in orphans.tolist()
+            } & set(survivors)
+            for s in sorted(gained):
+                self._worker_epoch[s] += 1
+                self._acked.discard(s)
+                self.resilience.steps_redone += 1
+                self._send_step(s, True, self._assignment)
+            # survivors that did not gain tasks still need the new map for
+            # their *next* rebuild; it rides along at the next rebuild via
+            # the normal assignment payload (their current blocks are valid)
+        return True
+
+    def _degrade_to_sequential(self, reason: str) -> bool:
+        """Bottom rung of the ladder: close the pool, serve sequentially."""
+        self.resilience.mode = "sequential"
+        if self.resilience.degraded_since_step is None:
+            self.resilience.degraded_since_step = self._seq
+        self.workdb.note_recovery("degraded")
+        self.resilience.note_event(
+            RecoveryEventLog(
+                step=self._seq,
+                worker=-1,
+                kind="died",
+                action="degraded",
+                detection_s=0.0,
+                recovery_s=0.0,
+                detail=reason,
+            )
+        )
+        warnings.warn(
+            f"parallel worker pool degraded to the sequential path: {reason}",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        pending = self._pending
+        self.close()
+        self._pending = pending  # close() clears it; collect() still owns it
+        return False
 
     def compute(self) -> NonbondedResult:
         """One full non-bonded evaluation at the system's current positions."""
@@ -919,6 +1461,7 @@ class ParallelNonbonded:
             self.n_workers,
             patch_home,
             background=np.zeros(self.n_workers),
+            dead_procs=frozenset(self._dead_workers),
         )
 
     def _plan_rebalance(self) -> None:
@@ -998,44 +1541,75 @@ class ParallelNonbonded:
         }
 
     # ------------------------------------------------------------------ #
-    def _fail(self, message: str):
-        # drop the outstanding evaluation before closing: after the pool is
-        # gone `active` is False and compute() must route straight to the
-        # sequential fallback, not trip the dispatch/collect pairing guard
-        self._pending = None
-        self._deadline = None
-        self.close()
-        raise RuntimeError(f"parallel non-bonded evaluation failed: {message}")
+    _TEARDOWN_BUDGET_S = 5.0
 
     def _teardown(self) -> None:
-        """Best-effort release of partially constructed pool state."""
-        for cmd_q in self._cmd_qs:
-            try:
-                cmd_q.put(("stop",))
-            except Exception:
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
-        for q in [*self._cmd_qs, self._res_q]:
-            if q is None:
+        """Best-effort release of pool state, bounded in total latency.
+
+        All workers are joined *concurrently* against one overall deadline
+        (not 5 s serially per worker), escalating ``terminate`` and then
+        ``kill`` for stragglers — so shutdown of an ``n``-worker pool with
+        hung members costs O(budget), not O(n × budget).
+        """
+        if self._injector is not None:
+            # never leave SIGSTOP'd children frozen behind a dead driver
+            self._injector.release_all()
+        for conn in self._cmd_conns:
+            if conn is None:
                 continue
             try:
-                q.close()
-                q.cancel_join_thread()
-            except Exception:
+                conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + self._TEARDOWN_BUDGET_S
+        procs = [p for p in self._procs if p is not None]
+        pending = [p for p in procs if p.is_alive()]
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                mp_connection.wait(
+                    [p.sentinel for p in pending],
+                    timeout=min(remaining, 0.2),
+                )
+            except OSError:  # pragma: no cover - sentinel close race
+                pass
+            pending = [p for p in pending if p.is_alive()]
+        for p in pending:
+            p.terminate()
+        if pending:
+            grace = time.monotonic() + 0.5
+            while any(p.is_alive() for p in pending):
+                if time.monotonic() >= grace:
+                    break
+                time.sleep(0.01)
+            for p in pending:
+                if p.is_alive():  # pragma: no cover - terminate refused
+                    p.kill()
+        for p in procs:
+            p.join(timeout=0.2)
+        for conn in [*self._cmd_conns, *self._res_conns]:
+            if conn is None:
+                continue
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
                 pass
         self._procs = []
-        self._cmd_qs = []
-        self._res_q = None
+        self._cmd_conns = []
+        self._res_conns = []
         # numpy views must drop their buffer exports before the mmap closes
         self._positions_view = None
+        self._refpos_view = None
         self._scratch_view = None
         self._stats_view = None
-        for seg in (self._pos_seg, self._scratch_seg, self._stats_seg):
+        for seg in (
+            self._pos_seg,
+            self._refpos_seg,
+            self._scratch_seg,
+            self._stats_seg,
+        ):
             if seg is None:
                 continue
             try:
@@ -1046,14 +1620,23 @@ class ParallelNonbonded:
             except Exception:  # pragma: no cover
                 pass
         self._pos_seg = None
+        self._refpos_seg = None
         self._scratch_seg = None
         self._stats_seg = None
 
     def close(self) -> None:
-        """Stop the workers and release shared memory (idempotent)."""
+        """Stop the workers and release shared memory (idempotent).
+
+        Safe under double-close and close-during-dispatch: an outstanding
+        evaluation is dropped so a later :meth:`compute` routes straight to
+        the sequential fallback instead of tripping the pairing guard.
+        """
         if self._closed:
             return
         self._closed = True
+        self._pending = None
+        self._deadline = None
+        self._t_dispatch = None
         try:
             atexit.unregister(self.close)
         except Exception:  # pragma: no cover
@@ -1103,17 +1686,27 @@ class ParallelEngine(SequentialEngine):
         lb_strategy: str | None = None,
         slowdown=None,
         grainsize_ms: float = 0.0,
+        fault_plan: WorkerFaultPlan | str | None = None,
+        recovery: RecoveryPolicy | None = None,
+        checkpoint_every: int = 0,
+        checkpoint_path=None,
     ) -> None:
         """``workers <= 0`` means one worker per CPU; ``skin`` is the Verlet
         margin of the per-worker pair lists (and of the sequential fallback's
         list); ``timeout`` bounds every wait on the pool.  ``rebalance_every``,
         ``lb_strategy``, ``slowdown`` and ``grainsize_ms`` configure
         measurement-based load balancing, fault injection and grainsize
-        control (see :class:`ParallelNonbonded`)."""
+        control; ``fault_plan``/``recovery`` configure real-process fault
+        injection and the supervision ladder (see
+        :class:`ParallelNonbonded`); ``checkpoint_every``/``checkpoint_path``
+        enable periodic atomic run checkpoints (see
+        :class:`~repro.md.engine.SequentialEngine`)."""
         super().__init__(
             system, options, integrator, pairlist=VerletPairList(
                 (options or NonbondedOptions()).cutoff, skin=skin
-            ) if skin > 0 else None
+            ) if skin > 0 else None,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
         )
         self._nb = ParallelNonbonded(
             system,
@@ -1126,13 +1719,25 @@ class ParallelEngine(SequentialEngine):
             lb_strategy=lb_strategy,
             slowdown=slowdown,
             grainsize_ms=grainsize_ms,
+            fault_plan=fault_plan,
+            recovery=recovery,
         )
 
     # ------------------------------------------------------------------ #
     @property
     def workers(self) -> int:
         """Live worker-process count (1 = sequential fallback)."""
-        return self._nb.n_workers if self._nb.active else 1
+        return self._nb.n_live if self._nb.active else 1
+
+    @property
+    def resilience(self) -> "ResilienceStats":
+        """Recovery accounting: detections, respawns, reassignments, mode."""
+        return self._nb.resilience
+
+    def _checkpoint_invalidate(self) -> None:
+        super()._checkpoint_invalidate()
+        if self._nb.active:
+            self._nb.force_rebuild_next()
 
     @property
     def parallel(self) -> bool:

@@ -1,6 +1,7 @@
-"""In-memory double checkpointing and recovery accounting.
+"""Checkpointing and recovery accounting: in-memory (simulated runtime)
+and on-disk (real MD engines).
 
-Follows the Charm++ lineage's in-memory double checkpointing: at a
+**In-memory double checkpointing** follows the Charm++ lineage: at a
 quiescent point every chare serializes its state twice — once kept on its
 own processor, once sent to a *buddy* (the next live processor) — so that
 any single fail-stop failure leaves at least one copy of every chare
@@ -12,12 +13,26 @@ runtime-wiring attributes (:data:`SKIP_ATTRS`) that the driver rebuilds
 when it re-creates the chare graph on the degraded machine.  That keeps
 the protocol counters, round numbers, and any numeric slices — everything
 needed to resume — while staying agnostic to the concrete chare class.
+
+**Disk run checkpoints** (:class:`RunCheckpoint`) serve the real engines:
+an atomic ``.npz`` snapshot of the dynamical state (positions, velocities,
+forces, box, step counter) written through
+:func:`repro.util.atomic_write_bytes`, so a run killed mid-write never
+corrupts its restart file.  The bit-identical-resume contract: writing a
+checkpoint pins a pair-list rebuild at the *next* evaluation (the engine's
+``_checkpoint_invalidate``), and :func:`restore_run_checkpoint` pins the
+same rebuild in the resumed engine — so the original run past the
+checkpoint and the resumed run share the rebuild schedule step for step,
+which with the engines' deterministic reductions gives bit-identical
+trajectories.
 """
 
 from __future__ import annotations
 
 import copy
+import io
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -35,6 +50,10 @@ __all__ = [
     "UnrecoverableFailure",
     "RecoveryEvent",
     "RecoveryStats",
+    "RunCheckpoint",
+    "save_run_checkpoint",
+    "load_run_checkpoint",
+    "restore_run_checkpoint",
 ]
 
 #: Attributes owned by the runtime graph, not the chare's logical state:
@@ -275,3 +294,130 @@ class RecoveryStats:
             messages_lost_to_dead=self.messages_lost_to_dead
             + other.messages_lost_to_dead,
         )
+
+
+# --------------------------------------------------------------------------- #
+# disk run checkpoints for the real MD engines
+# --------------------------------------------------------------------------- #
+@dataclass
+class RunCheckpoint:
+    """Dynamical state of an MD engine run at a completed step.
+
+    Captures everything the integrator needs to continue: positions,
+    velocities, the post-step forces (so the resumed run skips the initial
+    force evaluation, exactly like the continuing run does), the box, the
+    step counter, and the parallel pool's evaluation counter ``nb_seq``
+    (which pins step-indexed LB-remap points, themselves rebuild points,
+    to the same absolute steps in the resumed run).
+    """
+
+    step: int
+    positions: np.ndarray
+    velocities: np.ndarray
+    forces: np.ndarray | None
+    box: np.ndarray
+    nb_seq: int = 0
+
+    def to_npz_bytes(self) -> bytes:
+        arrays = {
+            "step": np.asarray(self.step, dtype=np.int64),
+            "positions": np.asarray(self.positions, dtype=np.float64),
+            "velocities": np.asarray(self.velocities, dtype=np.float64),
+            "box": np.asarray(self.box, dtype=np.float64),
+            "nb_seq": np.asarray(self.nb_seq, dtype=np.int64),
+        }
+        if self.forces is not None:
+            arrays["forces"] = np.asarray(self.forces, dtype=np.float64)
+        buf = io.BytesIO()
+        np.savez(buf, **arrays)
+        return buf.getvalue()
+
+    @classmethod
+    def from_npz_bytes(cls, data: bytes) -> "RunCheckpoint":
+        with np.load(io.BytesIO(data)) as npz:
+            return cls(
+                step=int(npz["step"]),
+                positions=npz["positions"].copy(),
+                velocities=npz["velocities"].copy(),
+                forces=npz["forces"].copy() if "forces" in npz else None,
+                box=npz["box"].copy(),
+                nb_seq=int(npz["nb_seq"]) if "nb_seq" in npz else 0,
+            )
+
+
+def save_run_checkpoint(path, engine) -> RunCheckpoint:
+    """Atomically write ``engine``'s current state as a run checkpoint.
+
+    The engine is any :class:`repro.md.engine.SequentialEngine` (including
+    the parallel subclass).  The write is atomic (same-directory temp file,
+    fsync, rename), so a crash mid-checkpoint leaves the previous complete
+    checkpoint in place — the disk analog of keeping the older cut in
+    double checkpointing.
+    """
+    from repro.util import atomic_write_bytes
+
+    nb = getattr(engine, "_nb", None)
+    cp = RunCheckpoint(
+        step=int(engine.current_step),
+        positions=np.asarray(engine.system.positions, dtype=np.float64).copy(),
+        velocities=np.asarray(engine.system.velocities, dtype=np.float64).copy(),
+        forces=(
+            np.asarray(engine._forces, dtype=np.float64).copy()
+            if engine._forces is not None
+            else None
+        ),
+        box=np.asarray(engine.system.box, dtype=np.float64).copy(),
+        nb_seq=int(nb._seq) if nb is not None and nb.active else 0,
+    )
+    atomic_write_bytes(path, cp.to_npz_bytes())
+    return cp
+
+
+def load_run_checkpoint(path) -> RunCheckpoint:
+    """Read a checkpoint written by :func:`save_run_checkpoint`.
+
+    Raises ``ValueError`` (naming the path) on a corrupt or truncated file.
+    """
+    path = Path(path)
+    try:
+        return RunCheckpoint.from_npz_bytes(path.read_bytes())
+    except (OSError, ValueError, KeyError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise ValueError(f"corrupt run checkpoint {path}: {exc}") from exc
+
+
+def restore_run_checkpoint(engine, cp: RunCheckpoint) -> None:
+    """Load ``cp`` into ``engine`` so stepping continues the original run.
+
+    Restores the dynamical state in place, resets the cached force-field
+    results, and pins a pair-list rebuild at the next evaluation — the same
+    rebuild the checkpoint-writing run performed right after saving — so
+    the resumed trajectory is bit-identical to the original's continuation
+    (see the module docstring for the argument).
+    """
+    system = engine.system
+    pos = np.asarray(cp.positions, dtype=np.float64)
+    vel = np.asarray(cp.velocities, dtype=np.float64)
+    if system.positions.shape != pos.shape:
+        raise ValueError(
+            f"checkpoint holds {pos.shape[0]} atoms, "
+            f"engine system has {system.positions.shape[0]}"
+        )
+    system.positions[...] = pos
+    system.velocities[...] = vel
+    system.box = np.asarray(cp.box, dtype=np.float64).copy()
+    engine._step = int(cp.step)
+    engine._forces = (
+        np.asarray(cp.forces, dtype=np.float64).copy()
+        if cp.forces is not None
+        else None
+    )
+    engine._last_nonbonded = None
+    engine._last_bonded = None
+    nb = getattr(engine, "_nb", None)
+    if nb is not None and nb.active:
+        # align the pool's evaluation counter so step-indexed events
+        # (LB remaps force rebuilds) land on the same absolute steps
+        nb._seq = int(cp.nb_seq)
+    engine._checkpoint_invalidate()

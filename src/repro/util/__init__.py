@@ -1,5 +1,6 @@
-"""Shared utilities: periodic boundary helpers and seeded randomness."""
+"""Shared utilities: periodic boundaries, seeded randomness, crash-safe IO."""
 
+from repro.util.fileio import atomic_write_bytes, atomic_write_text
 from repro.util.pbc import (
     minimum_image,
     wrap_positions,
@@ -14,4 +15,6 @@ __all__ = [
     "box_volume",
     "displacement_table",
     "make_rng",
+    "atomic_write_bytes",
+    "atomic_write_text",
 ]

@@ -1,0 +1,44 @@
+"""Crash-safe file writes.
+
+A process killed mid-``write_text`` leaves a truncated file — exactly the
+failure mode the resilience layer injects on purpose.  Every artifact the
+driver persists while workers may be dying around it (WorkDB dumps, run
+checkpoints, benchmark payloads) goes through :func:`atomic_write_bytes`:
+write to a temporary file in the *same directory*, flush + fsync, then
+``os.replace`` onto the destination.  POSIX rename atomicity guarantees a
+reader sees either the old complete file or the new complete file, never a
+torn one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]
+
+
+def atomic_write_bytes(path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + rename)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or "."
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_text(path, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + fsync + rename)."""
+    atomic_write_bytes(path, text.encode(encoding))

@@ -71,3 +71,55 @@ class TestCommands:
         assert main(["report", "--results-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "table9" in out and "hello table" in out
+
+
+class TestResilienceFlags:
+    """--fault-plan / --checkpoint-every / --checkpoint-path / --resume."""
+
+    MD27 = ["md", "--waters", "27", "--steps", "3", "--cutoff", "5"]
+
+    def test_fault_plan_needs_parallel_workers(self):
+        with pytest.raises(SystemExit, match="workers"):
+            main(self.MD27 + ["--fault-plan", "kill=0@1"])
+
+    def test_fault_plan_rejects_garbage(self):
+        with pytest.raises(SystemExit, match="fault-plan"):
+            main(self.MD27 + ["--workers", "2", "--fault-plan", "bogus"])
+
+    def test_checkpoint_every_needs_path(self):
+        with pytest.raises(SystemExit, match="checkpoint-path"):
+            main(self.MD27 + ["--checkpoint-every", "2"])
+
+    def test_checkpoint_every_rejects_negative(self):
+        with pytest.raises(SystemExit, match="checkpoint-every"):
+            main(self.MD27 + ["--checkpoint-every", "-1"])
+
+    def test_resume_needs_path(self):
+        with pytest.raises(SystemExit, match="checkpoint-path"):
+            main(self.MD27 + ["--resume"])
+
+    def test_resume_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint"):
+            main(
+                self.MD27
+                + ["--resume", "--checkpoint-path", str(tmp_path / "nope.npz")]
+            )
+
+    def test_checkpoint_write_then_resume(self, tmp_path, capsys):
+        path = str(tmp_path / "run.npz")
+        assert main(
+            self.MD27 + ["--checkpoint-every", "2", "--checkpoint-path", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints: 1 written" in out
+        assert main(
+            self.MD27 + ["--resume", "--checkpoint-path", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at step 2" in out
+
+    def test_resume_corrupt_file_errors(self, tmp_path):
+        path = tmp_path / "run.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(SystemExit, match="resume"):
+            main(self.MD27 + ["--resume", "--checkpoint-path", str(path)])

@@ -236,3 +236,75 @@ class TestAdapter:
         db = self._db()
         problem = build_lb_problem(db, 2, {0: 0, 1: 1}, task_ids=[2, 0])
         assert [c.index for c in problem.computes] == [2, 0]
+
+
+class TestRobustPersistence:
+    """Atomic dumps, corruption handling, and recovery accounting (PR 6)."""
+
+    def _populated(self):
+        db = WorkDB()
+        db.ensure_task(0, patches=(0,), prior=1.0, owner=0)
+        db.record(0, 2e-4)
+        return db
+
+    def test_dump_leaves_no_tmp_files(self, tmp_path):
+        db = self._populated()
+        path = tmp_path / "workdb.json"
+        db.dump(path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["workdb.json"]
+
+    def test_dump_is_valid_json_after_overwrite(self, tmp_path):
+        db = self._populated()
+        path = tmp_path / "workdb.json"
+        db.dump(path)
+        db.record(0, 9e-4)
+        db.dump(path)
+        clone = WorkDB.load_file(path)
+        assert clone.tasks[0].n_samples == db.tasks[0].n_samples
+
+    def test_load_truncated_file_raises_valueerror(self, tmp_path):
+        db = self._populated()
+        path = tmp_path / "workdb.json"
+        db.dump(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError, match="corrupt WorkDB dump"):
+            WorkDB.load_file(path)
+
+    def test_load_non_dict_json_raises_valueerror(self, tmp_path):
+        path = tmp_path / "workdb.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="corrupt WorkDB dump"):
+            WorkDB.load_file(path)
+
+    def test_load_missing_file_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            WorkDB.load_file(tmp_path / "nope.json")
+
+    def test_note_recovery_accumulates(self):
+        db = WorkDB()
+        db.note_recovery("kills")
+        db.note_recovery("kills")
+        db.note_recovery("reassigned", 17)
+        assert db.recovery == {"kills": 2, "reassigned": 17}
+
+    def test_recovery_round_trips_through_dump(self, tmp_path):
+        db = self._populated()
+        db.note_recovery("respawns")
+        path = tmp_path / "workdb.json"
+        db.dump(path)
+        clone = WorkDB.load_file(path)
+        assert clone.recovery == {"respawns": 1}
+
+    def test_old_dumps_without_recovery_still_load(self):
+        db = self._populated()
+        payload = db.to_dict()
+        del payload["recovery"]
+        clone = WorkDB.from_dict(json.loads(json.dumps(payload)))
+        assert clone.recovery == {}
+
+    def test_reset_clears_recovery(self):
+        db = self._populated()
+        db.note_recovery("hangs")
+        db.reset()
+        assert db.recovery == {}
