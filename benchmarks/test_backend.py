@@ -1,0 +1,204 @@
+"""Kernel-backend benchmark: numpy reference vs numba JIT on the hot paths.
+
+Times the three ported kernel families on a 10,200-atom water box for every
+available backend:
+
+* the fused non-bonded pair kernel (``nb_pairs``) over the real in-cutoff
+  pair set,
+* the segment-sum force scatter (``segment_add``),
+* the Ewald real-space sum (``ewald_real``),
+
+plus end-to-end :class:`SequentialEngine` steps/sec per backend on a
+smaller box.  Results land in ``benchmarks/results/BENCH_backend.json`` /
+``.txt`` (CI artifacts, shown by ``repro report``).
+
+The ≥3x speedup gate only applies when the numba backend actually loaded
+(the numba CI job); on a numpy-only host the run is informational — it
+still regenerates the artifacts, proving the fallback path stays healthy.
+Timings use best-of-N to shrug off shared-host noise.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import available_backends, backend_status, get_backend
+from repro.builder import small_water_box
+from repro.md.cells import candidate_pairs
+from repro.md.constants import COULOMB_CONSTANT
+from repro.md.engine import SequentialEngine
+from repro.md.integrator import VelocityVerlet
+from repro.md.nonbonded import NonbondedOptions, _combined_params
+from repro.md.system import MolecularSystem
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: 3400 waters = 10,200 atoms — the acceptance scale for the speedup gate
+KERNEL_WATERS = 3400
+KERNEL_CUTOFF = 6.0
+MD_WATERS = 216
+MD_CUTOFF = 8.0
+MD_STEPS = 20
+SPEEDUP_GATE = 3.0
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _kernel_inputs(system: MolecularSystem):
+    """The real in-cutoff pair set + parameters of the benchmark box."""
+    pos, box = system.positions, system.box
+    i_c, j_c = candidate_pairs(pos, box, KERNEL_CUTOFF)
+    numpy_be = get_backend("numpy")
+    within = numpy_be.pair_mask(pos, box, i_c, j_c, KERNEL_CUTOFF)
+    i_c, j_c = i_c[within], j_c[within]
+    eps, rmin, qq = _combined_params(system, i_c, j_c)
+    return i_c, j_c, eps, rmin, qq
+
+
+def test_backend_benchmark():
+    status = backend_status()
+    backends = [get_backend(name) for name in available_backends()]
+    system = small_water_box(KERNEL_WATERS, seed=11, relax=False)
+    pos, box = system.positions, system.box
+    n = system.n_atoms
+    i_c, j_c, eps, rmin, qq = _kernel_inputs(system)
+    m = len(i_c)
+    assert m > 0
+
+    rng = np.random.default_rng(0)
+    contrib = rng.normal(size=(m, 3))
+    qq_coul = COULOMB_CONSTANT * qq
+
+    per_backend: dict[str, dict] = {}
+    reference_outputs = {}
+    for be in backends:
+        forces = np.zeros((n, 3))
+
+        def run_nb():
+            forces[...] = 0.0
+            return be.nb_pairs(
+                pos, box, i_c, j_c, eps, rmin, qq,
+                KERNEL_CUTOFF, KERNEL_CUTOFF - 1.0, forces, i_c, j_c,
+            )
+
+        def run_scatter():
+            out = np.zeros((n, 3))
+            be.segment_add(out, i_c, contrib)
+            return out
+
+        def run_ewald_real():
+            fr = np.zeros((n, 3))
+            return be.ewald_real(
+                pos, box, i_c, j_c, qq_coul, 0.35, KERNEL_CUTOFF, fr
+            )
+
+        # warm-up: triggers (and excludes) lazy JIT compilation
+        nb_out = run_nb()
+        sc_out = run_scatter()
+        ew_out = run_ewald_real()
+        if be.name == "numpy":
+            reference_outputs = {"nb": nb_out[:2], "ewald": ew_out}
+        else:  # correctness gate before timing anything
+            ref = reference_outputs
+            assert np.allclose(nb_out[:2], ref["nb"], rtol=1e-9, atol=1e-9)
+            assert np.allclose(ew_out, ref["ewald"], rtol=1e-9, atol=1e-9)
+        del sc_out
+
+        timings = {
+            "nb_pairs_s": round(_best_of(run_nb, 3), 6),
+            "segment_add_s": round(_best_of(run_scatter, 3), 6),
+            "ewald_real_s": round(_best_of(run_ewald_real, 3), 6),
+        }
+
+        md_system = small_water_box(MD_WATERS, seed=7)
+        md_system.assign_velocities(300.0, seed=7)
+        engine = SequentialEngine(
+            md_system,
+            NonbondedOptions(cutoff=MD_CUTOFF),
+            VelocityVerlet(dt=1.0),
+            backend=be,
+        )
+        engine.run(3)  # warm-up
+        t0 = time.perf_counter()
+        engine.run(MD_STEPS)
+        timings["engine_steps_per_sec"] = round(
+            MD_STEPS / (time.perf_counter() - t0), 3
+        )
+        per_backend[be.name] = timings
+
+    speedups = {}
+    if "numba" in per_backend:
+        for key in ("nb_pairs_s", "segment_add_s", "ewald_real_s"):
+            speedups[key.removesuffix("_s")] = round(
+                per_backend["numpy"][key] / per_backend["numba"][key], 2
+            )
+
+    payload = {
+        "n_atoms": n,
+        "n_pairs": m,
+        "cutoff_A": KERNEL_CUTOFF,
+        "available": status["available"],
+        "numba_ok": status["numba_ok"],
+        "numba_error": status.get("numba_error"),
+        "backends": per_backend,
+        "speedups_vs_numpy": speedups,
+        "speedup_gate": SPEEDUP_GATE if speedups else None,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_backend.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    lines = [
+        "Kernel backend benchmark (wall-clock on this host)",
+        "",
+        f"{n} atoms, {m} in-cutoff pairs at {KERNEL_CUTOFF} A cutoff",
+        "",
+        f"{'kernel':<16}" + "".join(f"{b:>12}" for b in per_backend),
+    ]
+    for key, label in (
+        ("nb_pairs_s", "nb_pairs"),
+        ("segment_add_s", "segment_add"),
+        ("ewald_real_s", "ewald_real"),
+    ):
+        lines.append(
+            f"{label:<16}"
+            + "".join(
+                f"{per_backend[b][key] * 1e3:>10.2f}ms" for b in per_backend
+            )
+        )
+    lines.append(
+        f"{'engine steps/s':<16}"
+        + "".join(
+            f"{per_backend[b]['engine_steps_per_sec']:>12.3f}"
+            for b in per_backend
+        )
+    )
+    lines.append("")
+    if speedups:
+        lines.append(
+            "numba speedup vs numpy: "
+            + ", ".join(f"{k} {v:.2f}x" for k, v in speedups.items())
+        )
+    else:
+        lines.append(
+            f"numba backend not available ({status.get('numba_error')}); "
+            "numpy reference timings only — fallback path exercised"
+        )
+    (RESULTS_DIR / "BENCH_backend.txt").write_text("\n".join(lines) + "\n")
+
+    if speedups:  # the gate only binds when the JIT backend actually loaded
+        best = max(speedups.values())
+        assert best >= SPEEDUP_GATE, (
+            f"numba best kernel speedup only {best:.2f}x "
+            f"(expected >= {SPEEDUP_GATE}x at {n} atoms): {speedups}"
+        )

@@ -1,0 +1,200 @@
+"""Kernel-backend contract and the parity self-check.
+
+A :class:`KernelBackend` bundles the five hot-path kernels every backend
+must provide.  The contract is deliberately scalar/array-only (no dataclass
+options, no ``repro.md`` types) so this package never imports from
+``repro.md`` at module scope — the md modules import :mod:`repro.backend`
+themselves, and a module-level import back into md would be circular.
+
+Kernel contract (all arrays are numpy, ``forces`` is accumulated in place):
+
+``nb_pairs(pos, box, i_idx, j_idx, eps, rmin, qq, cutoff, switch, forces,
+si, sj) -> (e_lj, e_elec, n_pairs)``
+    Fused distance test + switched-LJ/shifted-Coulomb pair kernel with
+    Newton's-third-law scatter.  ``qq`` is the raw charge product (the
+    kernel applies the Coulomb constant); positions are read through
+    ``i_idx``/``j_idx`` while forces accumulate at ``si``/``sj``.
+
+``pair_mask(pos, box, i_idx, j_idx, cutoff) -> bool[m]``
+    Minimum-image distance test only.
+
+``segment_add(out, idx, contrib) -> None``
+    Raw segment-sum scatter (duplicates summed); index validation happens
+    once in :func:`repro.md.scatter.segment_add`, not here.
+
+``ewald_real(pos, box, i_idx, j_idx, qq, alpha, cutoff, forces) -> energy``
+    Ewald real-space sum.  ``qq`` here *includes* the Coulomb constant
+    (matching the historical call site).
+
+``ewald_recip(pos, q, kvecs, ak, pref, forces) -> energy``
+    Ewald reciprocal-space sum over precomputed ``(kvecs, ak)`` tables
+    with prefactor ``pref = C * 2π / V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["KernelBackend", "parity_selfcheck", "synthetic_problem"]
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One named implementation of the five hot-path kernels."""
+
+    name: str
+    compiled: bool
+    nb_pairs: Callable[..., tuple[float, float, int]]
+    pair_mask: Callable[..., np.ndarray]
+    segment_add: Callable[..., None]
+    ewald_real: Callable[..., float]
+    ewald_recip: Callable[..., float]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "compiled" if self.compiled else "interpreted"
+        return f"KernelBackend({self.name!r}, {kind})"
+
+
+def synthetic_problem(seed: int = 2026) -> dict[str, Any]:
+    """Small deterministic problem exercising every kernel of the contract.
+
+    Self-contained on purpose: no builder systems, no md imports, cheap
+    enough to run at import time (~100 pairs, 24 atoms, 124 k-vectors).
+    """
+    rng = np.random.default_rng(seed)
+    n = 24
+    box = np.array([7.0, 8.5, 9.25])
+    pos = rng.uniform(0.0, 1.0, size=(n, 3)) * box
+    m = 96
+    i_idx = rng.integers(0, n, size=m)
+    j_idx = (i_idx + rng.integers(1, n, size=m)) % n  # i != j guaranteed
+    eps = rng.uniform(0.05, 0.25, size=m)
+    rmin = rng.uniform(2.5, 4.2, size=m)
+    charges = rng.normal(0.0, 0.4, size=n)
+    qq = charges[i_idx] * charges[j_idx]
+
+    kmax = 2
+    grid = np.arange(-kmax, kmax + 1)
+    mx, my, mz = np.meshgrid(grid, grid, grid, indexing="ij")
+    mvec = np.stack([mx.ravel(), my.ravel(), mz.ravel()], axis=1).astype(np.float64)
+    mvec = mvec[np.any(mvec != 0, axis=1)]
+    kvecs = 2.0 * np.pi * mvec / box[None, :]
+    k2 = np.einsum("ij,ij->i", kvecs, kvecs)
+    alpha = 0.45
+    ak = np.exp(-k2 / (4.0 * alpha * alpha)) / k2
+    pref = 332.0636 * 2.0 * np.pi / float(np.prod(box))
+
+    scatter_idx = rng.integers(0, n, size=m)  # duplicates on purpose
+    contrib = rng.normal(0.0, 1.0, size=(m, 3))
+
+    return {
+        "n": n,
+        "box": box,
+        "pos": pos,
+        "i_idx": i_idx,
+        "j_idx": j_idx,
+        "eps": eps,
+        "rmin": rmin,
+        "qq": qq,
+        "charges": charges,
+        "cutoff": 5.0,
+        "switch": 4.0,
+        "alpha": alpha,
+        "kvecs": kvecs,
+        "ak": ak,
+        "pref": pref,
+        "scatter_idx": scatter_idx,
+        "contrib": contrib,
+    }
+
+
+def _close(a, b, tol: float) -> bool:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        return False
+    if a.size == 0:
+        return True
+    scale = max(1.0, float(np.max(np.abs(a))), float(np.max(np.abs(b))))
+    diff = np.abs(a - b)
+    return bool(np.all(np.isfinite(a)) and np.all(diff <= tol * scale))
+
+
+def parity_selfcheck(
+    candidate: KernelBackend,
+    reference: KernelBackend | None = None,
+    tol: float = 1e-9,
+) -> tuple[bool, str]:
+    """Check ``candidate`` against ``reference`` on the synthetic problem.
+
+    Returns ``(ok, detail)``; never raises — any exception inside a kernel
+    (including JIT compilation failures, since compilation is lazy) is
+    folded into a ``(False, ...)`` result so callers can fall back.
+    Checking a backend against itself still catches NaNs, crashes, and
+    Newton's-third-law violations.
+    """
+    if reference is None:
+        reference = candidate
+    p = synthetic_problem()
+    try:
+        # nb_pairs
+        f_c = np.zeros((p["n"], 3))
+        f_r = np.zeros((p["n"], 3))
+        args = (p["pos"], p["box"], p["i_idx"], p["j_idx"], p["eps"], p["rmin"],
+                p["qq"], p["cutoff"], p["switch"])
+        out_c = candidate.nb_pairs(*args, f_c, p["i_idx"], p["j_idx"])
+        out_r = reference.nb_pairs(*args, f_r, p["i_idx"], p["j_idx"])
+        if out_c[2] == 0:
+            return False, "nb_pairs: synthetic problem produced no pairs"
+        if out_c[2] != out_r[2]:
+            return False, f"nb_pairs: pair count {out_c[2]} != {out_r[2]}"
+        if not _close(out_c[:2], out_r[:2], tol):
+            return False, f"nb_pairs: energies {out_c[:2]} != {out_r[:2]}"
+        if not _close(f_c, f_r, tol):
+            return False, "nb_pairs: forces disagree"
+        net = np.abs(f_c.sum(axis=0))
+        if not np.all(net <= 1e-8 * max(1.0, float(np.max(np.abs(f_c))))):
+            return False, f"nb_pairs: Newton's third law violated (net {net})"
+
+        # pair_mask
+        mask_c = candidate.pair_mask(p["pos"], p["box"], p["i_idx"], p["j_idx"],
+                                     p["cutoff"])
+        mask_r = reference.pair_mask(p["pos"], p["box"], p["i_idx"], p["j_idx"],
+                                     p["cutoff"])
+        if not np.array_equal(np.asarray(mask_c, bool), np.asarray(mask_r, bool)):
+            return False, "pair_mask: masks disagree"
+
+        # segment_add
+        s_c = np.zeros((p["n"], 3))
+        s_r = np.zeros((p["n"], 3))
+        candidate.segment_add(s_c, p["scatter_idx"], p["contrib"])
+        reference.segment_add(s_r, p["scatter_idx"], p["contrib"])
+        if not _close(s_c, s_r, tol):
+            return False, "segment_add: sums disagree"
+
+        # ewald_real (qq including the Coulomb factor, per contract)
+        qq_c = 332.0636 * p["qq"]
+        fe_c = np.zeros((p["n"], 3))
+        fe_r = np.zeros((p["n"], 3))
+        e_c = candidate.ewald_real(p["pos"], p["box"], p["i_idx"], p["j_idx"],
+                                   qq_c, p["alpha"], p["cutoff"], fe_c)
+        e_r = reference.ewald_real(p["pos"], p["box"], p["i_idx"], p["j_idx"],
+                                   qq_c, p["alpha"], p["cutoff"], fe_r)
+        if not _close(e_c, e_r, tol) or not _close(fe_c, fe_r, tol):
+            return False, "ewald_real: results disagree"
+
+        # ewald_recip
+        fk_c = np.zeros((p["n"], 3))
+        fk_r = np.zeros((p["n"], 3))
+        ek_c = candidate.ewald_recip(p["pos"], p["charges"], p["kvecs"], p["ak"],
+                                     p["pref"], fk_c)
+        ek_r = reference.ewald_recip(p["pos"], p["charges"], p["kvecs"], p["ak"],
+                                     p["pref"], fk_r)
+        if not _close(ek_c, ek_r, tol) or not _close(fk_c, fk_r, tol):
+            return False, "ewald_recip: results disagree"
+    except Exception as exc:  # noqa: BLE001 - fold any kernel failure into fallback
+        return False, f"{type(exc).__name__}: {exc}"
+    return True, "ok"

@@ -1,0 +1,238 @@
+"""Pure-numpy reference kernels — the ground truth every backend must match.
+
+These are the exact vectorized implementations the md modules ran inline
+before the backend layer existed, factored out unchanged: the numpy backend
+is bit-for-bit identical to the historical code paths, which is what keeps
+default-path trajectories (and checkpoint resume) bit-identical across this
+refactor.  Compiled backends must agree to 1e-9 (enforced by
+:func:`repro.backend.base.parity_selfcheck` and the parity-sweep tests).
+
+Import discipline: numpy and :mod:`repro.util` only.  ``repro.md`` modules
+import :mod:`repro.backend` at module scope, so importing md back from here
+would be circular.  The two constants below are duplicated for that reason
+and guarded by tests against their ``repro.md`` counterparts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import KernelBackend
+from repro.util.pbc import minimum_image
+
+__all__ = ["build_backend"]
+
+#: Duplicated from :data:`repro.md.constants.COULOMB_CONSTANT` (circular
+#: import — see module docstring); tests assert the two stay equal.
+COULOMB_CONSTANT = 332.0636
+
+#: Below this many contributions per output row (on average), the bincount
+#: pass over the whole output array costs more than the generic scatter.
+#: Duplicated from the historical ``repro.md.scatter`` value (guarded by
+#: tests) so the scatter heuristic — and therefore the exact rounding of
+#: accumulated forces — is unchanged.
+_BINCOUNT_MIN_FILL = 0.25
+
+
+def segment_add(out: np.ndarray, idx: np.ndarray, contrib: np.ndarray) -> None:
+    """Accumulate ``contrib[p]`` into ``out[idx[p]]`` (duplicates summed).
+
+    ``out`` has shape ``(n, k)`` and ``contrib`` shape ``(m, k)`` for small
+    ``k``.  Uses one ``np.bincount`` per component; falls back to
+    ``np.add.at`` when the contribution count is small relative to ``n``
+    (bincount would be dominated by its O(n) output pass).  Raw kernel:
+    indices must already be validated (see ``repro.md.scatter``).
+    """
+    if len(idx) == 0:
+        return
+    n = out.shape[0]
+    if len(idx) < _BINCOUNT_MIN_FILL * n:
+        np.add.at(out, idx, contrib)
+        return
+    for k in range(out.shape[1]):
+        out[:, k] += np.bincount(idx, weights=contrib[:, k], minlength=n)
+
+
+def pair_mask(
+    pos: np.ndarray,
+    box: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    cutoff: float,
+) -> np.ndarray:
+    """Minimum-image distance test: ``|x_j - x_i| < cutoff`` per pair."""
+    delta = minimum_image(pos[j_idx] - pos[i_idx], box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    return r2 < cutoff * cutoff
+
+
+def switching_terms(
+    r2: np.ndarray, switch: float, cutoff: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """CHARMM switching function and its derivative w.r.t. ``r²``.
+
+    Returns ``(S, dS_dr2)`` elementwise; ``S`` is 1 for ``r <= switch`` and
+    0 for ``r >= cutoff``.
+    """
+    c2 = cutoff * cutoff
+    s2 = switch * switch
+    denom = (c2 - s2) ** 3
+    S = np.ones_like(r2)
+    dS = np.zeros_like(r2)
+    mid = (r2 > s2) & (r2 < c2)
+    rm = r2[mid]
+    S[mid] = (c2 - rm) ** 2 * (c2 + 2.0 * rm - 3.0 * s2) / denom
+    dS[mid] = 6.0 * (c2 - rm) * (s2 - rm) / denom
+    S[r2 >= c2] = 0.0
+    return S, dS
+
+
+def pair_terms(
+    delta: np.ndarray,
+    r2: np.ndarray,
+    eps_ij: np.ndarray,
+    rmin_ij: np.ndarray,
+    qq: np.ndarray,
+    cutoff: float,
+    switch: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Switched-LJ + shifted-Coulomb math for pre-combined pair parameters.
+
+    Returns ``(e_lj, e_elec, fvec)`` where ``fvec[p]`` is the force on atom
+    ``i`` of pair ``p`` (atom ``j`` receives ``-fvec[p]``), consistent with
+    ``delta = x_j - x_i``.  ``qq`` excludes the Coulomb constant.
+    """
+    r = np.sqrt(r2)
+    inv_r = 1.0 / r
+    inv_r2 = inv_r * inv_r
+
+    # Lennard-Jones with switching
+    sr2 = (rmin_ij * rmin_ij) * inv_r2
+    sr6 = sr2 * sr2 * sr2
+    sr12 = sr6 * sr6
+    e_lj_raw = eps_ij * (sr12 - 2.0 * sr6)
+    # dE/dr = -12 eps/r (sr12 - sr6)
+    dE_lj_dr = -12.0 * eps_ij * inv_r * (sr12 - sr6)
+    S, dS_dr2 = switching_terms(r2, switch, cutoff)
+    e_lj = e_lj_raw * S
+    dE_lj_total_dr = dE_lj_dr * S + e_lj_raw * dS_dr2 * 2.0 * r
+
+    # shifted electrostatics
+    c2 = cutoff * cutoff
+    shift = 1.0 - r2 / c2
+    e_el_raw = COULOMB_CONSTANT * qq * inv_r
+    e_elec = e_el_raw * shift * shift
+    # d/dr [ (C qq / r)(1 - r²/c²)² ]
+    dE_el_dr = COULOMB_CONSTANT * qq * (
+        -inv_r2 * shift * shift + inv_r * 2.0 * shift * (-2.0 * r / c2)
+    )
+
+    dE_dr = dE_lj_total_dr + dE_el_dr
+    # force on i = -dE/dx_i = +dE/dr * (delta / r)  given  delta = x_j - x_i
+    # (since dr/dx_i = -delta/r).  Repulsive pair (dE/dr < 0) pushes i away
+    # from j, i.e. along -delta. ✓
+    fvec = (dE_dr * inv_r)[:, None] * delta
+    return e_lj, e_elec, fvec
+
+
+def nb_pairs(
+    pos: np.ndarray,
+    box: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    eps: np.ndarray,
+    rmin: np.ndarray,
+    qq: np.ndarray,
+    cutoff: float,
+    switch: float,
+    forces: np.ndarray,
+    si: np.ndarray,
+    sj: np.ndarray,
+) -> tuple[float, float, int]:
+    """Fused distance filter + pair kernel + Newton's-third-law scatter."""
+    if len(i_idx) == 0:
+        return 0.0, 0.0, 0
+    delta = minimum_image(pos[j_idx] - pos[i_idx], box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    within = r2 < cutoff * cutoff
+    n_pairs = int(np.count_nonzero(within))
+    if n_pairs == 0:
+        return 0.0, 0.0, 0
+    e_lj, e_el, fvec = pair_terms(
+        delta[within], r2[within], eps[within], rmin[within], qq[within],
+        cutoff, switch,
+    )
+    segment_add(forces, si[within], fvec)
+    segment_add(forces, sj[within], -fvec)
+    return float(e_lj.sum()), float(e_el.sum()), n_pairs
+
+
+def ewald_real(
+    pos: np.ndarray,
+    box: np.ndarray,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    qq: np.ndarray,
+    alpha: float,
+    cutoff: float,
+    forces: np.ndarray,
+) -> float:
+    """Ewald real-space sum (``qq`` includes the Coulomb constant)."""
+    from scipy.special import erfc
+
+    if len(i_idx) == 0:
+        return 0.0
+    delta = minimum_image(pos[j_idx] - pos[i_idx], box)
+    r2 = np.einsum("ij,ij->i", delta, delta)
+    within = (r2 < cutoff * cutoff) & (r2 > 1e-12)
+    if not np.any(within):
+        return 0.0
+    delta, r2, qq_w = delta[within], r2[within], qq[within]
+    r = np.sqrt(r2)
+    erfc_term = erfc(alpha * r)
+    energy = float(np.sum(qq_w * erfc_term / r))
+    # dE/dr = -qq [ erfc(ar)/r^2 + 2a/sqrt(pi) exp(-a^2 r^2)/r ]
+    dE_dr = -qq_w * (
+        erfc_term / r2 + (2.0 * alpha / np.sqrt(np.pi)) * np.exp(-(alpha * r) ** 2) / r
+    )
+    fvec = (dE_dr / r)[:, None] * delta
+    segment_add(forces, i_idx[within], fvec)
+    segment_add(forces, j_idx[within], -fvec)
+    return energy
+
+
+def ewald_recip(
+    pos: np.ndarray,
+    q: np.ndarray,
+    kvecs: np.ndarray,
+    ak: np.ndarray,
+    pref: np.ndarray,
+    forces: np.ndarray,
+) -> float:
+    """Ewald reciprocal-space sum over precomputed ``(kvecs, ak)`` tables."""
+    if len(kvecs) == 0:
+        return 0.0
+    phase = pos @ kvecs.T  # (n, nk)
+    cos_p = np.cos(phase)
+    sin_p = np.sin(phase)
+    S_re = q @ cos_p  # (nk,)
+    S_im = q @ sin_p
+    energy = float(pref * np.sum(ak * (S_re * S_re + S_im * S_im)))
+    # F_i = (4 pi C q_i / V) sum_k ak k [ sin(k.r_i) S_re - cos(k.r_i) S_im ]
+    coeff = (sin_p * S_re[None, :] - cos_p * S_im[None, :]) * ak[None, :]
+    fvec = 2.0 * pref * (coeff @ kvecs)  # (n, 3)
+    forces += q[:, None] * fvec
+    return energy
+
+
+def build_backend() -> KernelBackend:
+    """The numpy reference backend instance."""
+    return KernelBackend(
+        name="numpy",
+        compiled=False,
+        nb_pairs=nb_pairs,
+        pair_mask=pair_mask,
+        segment_add=segment_add,
+        ewald_real=ewald_real,
+        ewald_recip=ewald_recip,
+    )

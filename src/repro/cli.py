@@ -13,6 +13,9 @@ Commands
     Print a Table-1-style performance audit for one configuration.
 ``grainsize``
     Print Figure-1/2-style grainsize histograms (before/after splitting).
+``backends``
+    Print the kernel backend inventory (numpy reference / numba JIT) and
+    which one the session resolves to.
 
 The heavyweight paper systems (``apoa1``, ``bc1``) build in seconds to
 minutes; ``br`` and ``mini`` are fast.
@@ -80,8 +83,28 @@ def cmd_info(_args) -> int:
     return 0
 
 
+def cmd_backends(_args) -> int:
+    """Print the kernel backend inventory and the resolved default."""
+    from repro.backend import ENV_VAR, backend_status
+
+    status = backend_status()
+    print("Kernel backends (repro.backend):")
+    print(f"  available: {', '.join(status['available'])}")
+    env = status["env"]
+    print(
+        f"  default:   {status['default']}"
+        + (f"  (from {ENV_VAR}={env})" if env else "  (auto)")
+    )
+    if status["numba_ok"]:
+        print("  numba:     ok (passed parity self-check vs numpy)")
+    else:
+        print(f"  numba:     unavailable — {status['numba_error']}")
+    return 0
+
+
 def cmd_md(args) -> int:
     """Run MD on a water box and print the energy ledger."""
+    from repro.backend import set_default_backend
     from repro.builder import skewed_water_box, small_water_box
     from repro.md.engine import SequentialEngine, make_engine
     from repro.md.integrator import VelocityVerlet
@@ -115,6 +138,9 @@ def cmd_md(args) -> int:
             fault_plan = WorkerFaultPlan.parse(args.fault_plan)
         except ValueError as exc:
             raise SystemExit(f"bad --fault-plan: {exc}")
+    backend = set_default_backend(args.backend)
+    if args.backend != "auto" or backend.name != "numpy":
+        print(f"kernel backend: {backend.name}")
     if args.skew > 0:
         system = skewed_water_box(args.waters, seed=args.seed, skew=args.skew)
     else:
@@ -387,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
              "candidate pairs from the cell grid every step",
     )
     p_md.add_argument(
+        "--backend", choices=("auto", "numpy", "numba"), default="auto",
+        help="kernel backend for the hot loops: 'numpy' is the always-"
+             "available reference, 'numba' the JIT-compiled loops (falls "
+             "back to numpy with a warning when unavailable), 'auto' "
+             "prefers numba silently; see `repro backends`",
+    )
+    p_md.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for the non-bonded forces (1 = sequential "
              "engine, 0 = one worker per CPU); see README 'Running in "
@@ -470,6 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_gs = sub.add_parser("grainsize", help="Figure-1/2-style histograms")
     p_gs.add_argument("--system", choices=_SYSTEMS, default="br")
 
+    sub.add_parser(
+        "backends", help="kernel backend inventory (numpy / numba JIT)"
+    )
+
     return parser
 
 
@@ -483,6 +520,7 @@ def main(argv: list[str] | None = None) -> int:
         "audit": cmd_audit,
         "grainsize": cmd_grainsize,
         "report": cmd_report,
+        "backends": cmd_backends,
     }[args.command]
     return handler(args)
 

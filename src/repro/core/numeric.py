@@ -22,9 +22,9 @@ from repro.md.bonded import (
     compute_dihedrals,
     compute_impropers,
 )
+from repro.backend import get_backend
 from repro.md.constants import ACC_CONVERSION
-from repro.md.nonbonded import NonbondedOptions, pair_interactions, _combined_params
-from repro.md.scatter import accumulate_pair_forces
+from repro.md.nonbonded import NonbondedOptions, _combined_params
 from repro.md.system import MolecularSystem
 from repro.util.pbc import minimum_image
 
@@ -55,10 +55,16 @@ class NumericBackend:
         options: NonbondedOptions,
         dt: float = 1.0,
         pairlist_skin: float = 1.5,
+        kernel_backend=None,
     ) -> None:
         """``pairlist_skin`` enables per-compute Verlet-style candidate
         caching (pairs within ``cutoff + skin`` are reused until an involved
-        atom moves more than ``skin/2``); 0 disables the cache."""
+        atom moves more than ``skin/2``); 0 disables the cache.
+
+        ``kernel_backend`` selects the :mod:`repro.backend` kernel set for
+        the pair math (``None`` = session default); resolved once so every
+        compute of this backend instance runs the same kernels."""
+        self.kernel_backend = get_backend(kernel_backend)
         self.system = system.copy()
         self.system.wrap()
         self.options = options
@@ -205,10 +211,8 @@ class NumericBackend:
             ii, jj = self._enumerate_compute(atoms_a, atoms_b, part, n_parts)
         if len(ii) == 0:
             return
-        delta = minimum_image(pos[jj] - pos[ii], box)
-        r2 = np.einsum("ij,ij->i", delta, delta)
-        within = r2 < self.options.cutoff**2
-        ii, jj, delta, r2 = ii[within], jj[within], delta[within], r2[within]
+        within = self.kernel_backend.pair_mask(pos, box, ii, jj, self.options.cutoff)
+        ii, jj = ii[within], jj[within]
         if len(ii) == 0:
             return
         excl = self.exclusions
@@ -232,12 +236,14 @@ class NumericBackend:
                 continue
             i_m, j_m = ii[mask], jj[mask]
             eps, rmin, qq = _combined_params(self.system, i_m, j_m)
-            e_lj, e_el, fvec = pair_interactions(
-                delta[mask], r2[mask], eps * lj_scale, rmin, qq * el_scale, self.options
+            # fused distance + pair math + scatter; the pairs already passed
+            # the distance test, so the kernel's own mask keeps all of them
+            e_lj, e_el, _ = self.kernel_backend.nb_pairs(
+                pos, box, i_m, j_m, eps * lj_scale, rmin, qq * el_scale,
+                self.options.cutoff, self.options.switch, self.forces, i_m, j_m,
             )
-            self._tally(step, "lj", float(e_lj.sum()))
-            self._tally(step, "elec", float(e_el.sum()))
-            accumulate_pair_forces(self.forces, i_m, j_m, fvec)
+            self._tally(step, "lj", e_lj)
+            self._tally(step, "elec", e_el)
 
     def bonded(self, step: int, term_indices: dict[str, np.ndarray]) -> None:
         """Evaluate one bonded compute's term subsets and accumulate."""

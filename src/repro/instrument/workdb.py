@@ -109,6 +109,12 @@ class WorkDB:
         #: counters keyed by kind ("kills", "hangs", "errors", "respawns",
         #: "reassigned", "degraded", ...); empty on a fault-free run
         self.recovery: dict[str, int] = {}
+        #: kernel backend the samples were measured under (``None`` until
+        #: declared); a numba sample is not comparable to a numpy one, so
+        #: switching backends resets the measurement state
+        self.backend: str | None = None
+        #: backend resolved by each worker at spawn, keyed by worker id
+        self.worker_backends: dict[int, str] = {}
 
     # ------------------------------------------------------------------ #
     # recording
@@ -218,6 +224,38 @@ class WorkDB:
         """Count ``n`` recovery events of ``kind`` (kills, respawns, ...)."""
         self.recovery[str(kind)] = self.recovery.get(str(kind), 0) + int(n)
 
+    def set_backend(self, name: str) -> None:
+        """Declare the kernel backend the coming samples run under.
+
+        Timings taken under different backends are not comparable (a JIT
+        kernel can be an order of magnitude faster than the numpy
+        reference), so if measurements already exist for a *different*
+        backend the per-task measurement state (EWMA, windows, totals,
+        background) is dropped — priors, affinity, and ownership survive,
+        exactly the "before the first measurement" state of a fresh run.
+        """
+        name = str(name)
+        if self.backend is not None and self.backend != name and any(
+            rec.n_samples > 0 for rec in self.tasks.values()
+        ):
+            for rec in self.tasks.values():
+                rec.ewma = 0.0
+                rec.n_samples = 0
+                rec.total = 0.0
+                rec.window.clear()
+            self._background_total.clear()
+            self._background_ewma.clear()
+            self._background_samples.clear()
+            self.measured_steps = 0
+        self.backend = name
+        self.worker_backends = {
+            w: b for w, b in self.worker_backends.items() if b == name
+        }
+
+    def note_worker_backend(self, worker: int, name: str) -> None:
+        """Record the backend worker ``worker`` resolved at (re)spawn."""
+        self.worker_backends[int(worker)] = str(name)
+
     def reset(self) -> None:
         """Drop all measurements, priors, and background state."""
         self.tasks.clear()
@@ -226,6 +264,8 @@ class WorkDB:
         self._background_samples.clear()
         self.measured_steps = 0
         self.recovery.clear()
+        self.backend = None
+        self.worker_backends.clear()
 
     # ------------------------------------------------------------------ #
     # predictive loads
@@ -295,6 +335,10 @@ class WorkDB:
             "calibrate_prior": self.calibrate_prior,
             "measured_steps": self.measured_steps,
             "recovery": dict(self.recovery),
+            "backend": self.backend,
+            "worker_backends": {
+                str(k): v for k, v in self.worker_backends.items()
+            },
             "background_total": {
                 str(k): v for k, v in self._background_total.items()
             },
@@ -336,6 +380,12 @@ class WorkDB:
         # dumps from before the resilience layer carry no recovery block
         db.recovery = {
             str(k): int(v) for k, v in data.get("recovery", {}).items()
+        }
+        # dumps from before the backend layer carry neither field
+        raw_backend = data.get("backend")
+        db.backend = str(raw_backend) if raw_backend is not None else None
+        db.worker_backends = {
+            int(k): str(v) for k, v in data.get("worker_backends", {}).items()
         }
         db._background_total = {
             int(k): float(v) for k, v in data["background_total"].items()

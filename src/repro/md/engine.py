@@ -69,6 +69,7 @@ class SequentialEngine:
         pairlist="auto",
         checkpoint_every: int = 0,
         checkpoint_path=None,
+        backend=None,
     ) -> None:
         """``pairlist`` may be a :class:`repro.md.pairlist.VerletPairList`
         (built for this engine's cutoff) to amortize pair enumeration.  The
@@ -82,7 +83,13 @@ class SequentialEngine:
         the original trajectory bit-identically (each checkpoint pins a
         pair-list rebuild at the following evaluation, in the writing run
         and the resumed run alike — see
-        :func:`~repro.runtime.checkpoint.save_run_checkpoint`)."""
+        :func:`~repro.runtime.checkpoint.save_run_checkpoint`).
+
+        ``backend`` selects the kernel backend (``"numpy"``/``"numba"``/
+        ``"auto"``/instance); ``None`` uses the session default (see
+        :mod:`repro.backend`).  Resolved once here so every evaluation of
+        this engine runs the same kernels."""
+        from repro.backend import get_backend
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         if checkpoint_every > 0 and checkpoint_path is None:
@@ -90,6 +97,7 @@ class SequentialEngine:
         self.system = system
         self.options = options or NonbondedOptions()
         self.integrator = integrator or VelocityVerlet(dt=1.0)
+        self.backend = get_backend(backend)
         if isinstance(pairlist, str):
             if pairlist != "auto":
                 raise ValueError(f"unknown pairlist mode {pairlist!r}")
@@ -107,7 +115,9 @@ class SequentialEngine:
     def compute_forces(self) -> np.ndarray:
         """Evaluate the full force field at the current positions."""
         self.system.wrap()
-        nb = compute_nonbonded(self.system, self.options, pairlist=self.pairlist)
+        nb = compute_nonbonded(
+            self.system, self.options, pairlist=self.pairlist, backend=self.backend
+        )
         bonded_e, forces = compute_bonded(self.system)
         forces += nb.forces
         self._last_nonbonded = nb
@@ -198,20 +208,23 @@ def make_engine(
     options: NonbondedOptions | None = None,
     integrator: VelocityVerlet | None = None,
     workers: int = 1,
+    backend=None,
     **parallel_kwargs,
 ) -> SequentialEngine:
     """Engine factory: sequential for ``workers <= 1``, parallel otherwise.
 
-    ``workers == 0`` requests one worker per CPU.  Extra keyword arguments
-    (``skin``, ``timeout``, ``cost_model``) go to
+    ``workers == 0`` requests one worker per CPU (respecting cgroup/affinity
+    limits).  ``backend`` selects the kernel backend for either engine.
+    Extra keyword arguments (``skin``, ``timeout``, ``cost_model``) go to
     :class:`repro.md.parallel.ParallelEngine`.  Both returned engines share
     the :class:`SequentialEngine` interface and work as context managers, so
     callers need no engine-specific cleanup logic.
     """
     if workers == 1:
-        return SequentialEngine(system, options, integrator)
+        return SequentialEngine(system, options, integrator, backend=backend)
     from repro.md.parallel import ParallelEngine
 
     return ParallelEngine(
-        system, options, integrator, workers=workers, **parallel_kwargs
+        system, options, integrator, workers=workers, backend=backend,
+        **parallel_kwargs
     )

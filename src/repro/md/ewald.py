@@ -28,8 +28,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.special import erfc
 
+from repro.backend import KernelBackend, get_backend
 from repro.md.constants import COULOMB_CONSTANT
 from repro.md.scatter import accumulate_pair_forces
 from repro.md.system import MolecularSystem
@@ -86,7 +86,11 @@ class EwaldResult:
 
 
 def _real_space(
-    system: MolecularSystem, alpha: float, cutoff: float, forces: np.ndarray
+    system: MolecularSystem,
+    alpha: float,
+    cutoff: float,
+    forces: np.ndarray,
+    backend: KernelBackend,
 ) -> float:
     from repro.md.cells import candidate_pairs
 
@@ -96,28 +100,16 @@ def _real_space(
     i_c, j_c = candidate_pairs(pos, box, cutoff)
     if len(i_c) == 0:
         return 0.0
-    delta = minimum_image(pos[j_c] - pos[i_c], box)
-    r2 = np.einsum("ij,ij->i", delta, delta)
-    within = (r2 < cutoff * cutoff) & (r2 > 1e-12)
-    i_c, j_c, delta, r2 = i_c[within], j_c[within], delta[within], r2[within]
     # drop fully excluded pairs from the real-space sum (their periodic
-    # contribution is corrected separately)
+    # contribution is corrected separately); the distance test, erfc math,
+    # and force scatter are fused in the backend kernel
     excl = system.exclusions
     keep = ~excl.is_excluded(i_c, j_c)
-    i_c, j_c, delta, r2 = i_c[keep], j_c[keep], delta[keep], r2[keep]
+    i_c, j_c = i_c[keep], j_c[keep]
     if len(i_c) == 0:
         return 0.0
-    r = np.sqrt(r2)
     qq = COULOMB_CONSTANT * q[i_c] * q[j_c]
-    erfc_term = erfc(alpha * r)
-    energy = float(np.sum(qq * erfc_term / r))
-    # dE/dr = -qq [ erfc(ar)/r^2 + 2a/sqrt(pi) exp(-a^2 r^2)/r ]
-    dE_dr = -qq * (
-        erfc_term / r2 + (2.0 * alpha / np.sqrt(np.pi)) * np.exp(-(alpha * r) ** 2) / r
-    )
-    fvec = (dE_dr / r)[:, None] * delta
-    accumulate_pair_forces(forces, i_c, j_c, fvec)
-    return energy
+    return backend.ewald_real(pos, box, i_c, j_c, qq, alpha, cutoff, forces)
 
 
 # k-space tables depend only on (box, kmax, alpha) — between box changes
@@ -151,8 +143,21 @@ def _kspace_tables(
     ``k2`` their squared norms, ``ak`` the ``exp(-k2/4a^2)/k2`` prefactors.
     Cached: a box change (or different kmax/alpha) misses and rebuilds,
     identical parameters hit and share the same read-only arrays.
+
+    The key and the tables are both derived from one private snapshot of
+    the box taken on entry.  Callers routinely mutate the box ndarray in
+    place (NPT-style rescale); keying on anything that aliases the live
+    array would let a later mutation disagree with the tables the key maps
+    to, silently serving stale reciprocal vectors.
     """
-    key = (float(box[0]), float(box[1]), float(box[2]), int(kmax), float(alpha))
+    box_snap = np.array(np.asarray(box, dtype=np.float64).reshape(3), copy=True)
+    key = (
+        float(box_snap[0]),
+        float(box_snap[1]),
+        float(box_snap[2]),
+        int(kmax),
+        float(alpha),
+    )
     cached = _KSPACE_CACHE.get(key)
     if cached is not None:
         _KSPACE_STATS["hits"] += 1
@@ -167,7 +172,7 @@ def _kspace_tables(
     )
     m = np.stack([mx.ravel(), my.ravel(), mz.ravel()], axis=1).astype(np.float64)
     m = m[np.any(m != 0, axis=1)]
-    k = 2.0 * np.pi * m / np.asarray(box, dtype=np.float64)[None, :]
+    k = 2.0 * np.pi * m / box_snap[None, :]
     k2 = np.einsum("ij,ij->i", k, k)
     ak = np.exp(-k2 / (4.0 * alpha * alpha)) / k2  # (nk,)
     for arr in (k, k2, ak):
@@ -179,29 +184,23 @@ def _kspace_tables(
 
 
 def _reciprocal_space(
-    system: MolecularSystem, alpha: float, kmax: int, forces: np.ndarray
+    system: MolecularSystem,
+    alpha: float,
+    kmax: int,
+    forces: np.ndarray,
+    backend: KernelBackend,
 ) -> float:
     pos = system.positions
     box = system.box
     q = system.charges
     volume = float(np.prod(box))
 
-    k, k2, ak = _kspace_tables(box, kmax, alpha)
-
-    phase = pos @ k.T  # (n, nk)
-    cos_p = np.cos(phase)
-    sin_p = np.sin(phase)
-    S_re = q @ cos_p  # (nk,)
-    S_im = q @ sin_p
+    k, _k2, ak = _kspace_tables(box, kmax, alpha)
+    if len(k) == 0:  # kmax=0: only the excluded m=0 term — nothing to sum
+        return 0.0
 
     pref = COULOMB_CONSTANT * 2.0 * np.pi / volume
-    energy = float(pref * np.sum(ak * (S_re * S_re + S_im * S_im)))
-
-    # F_i = (4 pi C q_i / V) sum_k ak k [ sin(k.r_i) S_re - cos(k.r_i) S_im ]
-    coeff = (sin_p * S_re[None, :] - cos_p * S_im[None, :]) * ak[None, :]
-    fvec = 2.0 * pref * (coeff @ k)  # (n, 3)
-    forces += q[:, None] * fvec
-    return energy
+    return backend.ewald_recip(pos, q, k, ak, pref, forces)
 
 
 def _exclusion_correction(
@@ -240,10 +239,13 @@ def _exclusion_correction(
 
 
 def compute_ewald(
-    system: MolecularSystem, options: EwaldOptions | None = None
+    system: MolecularSystem,
+    options: EwaldOptions | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> EwaldResult:
     """Full periodic electrostatic energy and forces via Ewald summation."""
     options = options or EwaldOptions()
+    be = get_backend(backend)
     alpha = options.alpha_value()
     n = system.n_atoms
     forces = np.zeros((n, 3))
@@ -251,8 +253,8 @@ def compute_ewald(
     volume = float(np.prod(system.box))
 
     system.wrap()
-    e_real = _real_space(system, alpha, options.cutoff, forces)
-    e_recip = _reciprocal_space(system, alpha, options.kmax, forces)
+    e_real = _real_space(system, alpha, options.cutoff, forces, be)
+    e_recip = _reciprocal_space(system, alpha, options.kmax, forces, be)
     e_excl = _exclusion_correction(system, alpha, forces)
     e_self = float(-COULOMB_CONSTANT * alpha / np.sqrt(np.pi) * np.sum(q * q))
     total_charge = float(q.sum())

@@ -65,6 +65,10 @@ class MTSEngine:
         :func:`~repro.md.nonbonded.compute_nonbonded`; pass a
         ``ParallelNonbonded`` to evaluate the slow impulse on a worker
         pool.  The engine adopts it: :meth:`close` shuts it down.
+    backend:
+        Kernel backend spec for the in-process slow-force path (see
+        :mod:`repro.backend`); ignored when an external ``nonbonded``
+        evaluator is supplied (that evaluator carries its own backend).
     """
 
     def __init__(
@@ -74,7 +78,10 @@ class MTSEngine:
         n_inner: int = 2,
         options: NonbondedOptions | None = None,
         nonbonded=None,
+        backend=None,
     ) -> None:
+        from repro.backend import get_backend
+
         if n_inner < 1:
             raise ValueError("n_inner must be >= 1")
         if dt <= 0:
@@ -84,6 +91,7 @@ class MTSEngine:
         self.n_inner = int(n_inner)
         self.options = options or NonbondedOptions()
         self.nonbonded = nonbonded
+        self.backend = get_backend(backend)
         self._outer = 0
         self._slow_forces: np.ndarray | None = None
         self._last: MTSReport | None = None
@@ -98,7 +106,7 @@ class MTSEngine:
         if self.nonbonded is not None:
             res = self.nonbonded.compute()
         else:
-            res = compute_nonbonded(self.system, self.options)
+            res = compute_nonbonded(self.system, self.options, backend=self.backend)
         return res.energy_lj, res.energy_elec, res.forces
 
     def _kick(self, forces: np.ndarray, dt: float) -> None:

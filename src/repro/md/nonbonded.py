@@ -23,9 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.md.constants import COULOMB_CONSTANT
+from repro.backend import KernelBackend, get_backend
+from repro.backend import reference as _reference
 from repro.md.cells import candidate_pairs
-from repro.md.scatter import accumulate_pair_forces
 from repro.md.system import MolecularSystem
 from repro.util.pbc import minimum_image
 
@@ -87,19 +87,11 @@ def switching_function(
     """CHARMM switching function and its derivative w.r.t. ``r²``.
 
     Returns ``(S, dS_dr2)`` evaluated elementwise on squared distances.
-    ``S`` is 1 for ``r <= switch`` and 0 for ``r >= cutoff``.
+    ``S`` is 1 for ``r <= switch`` and 0 for ``r >= cutoff``.  The math
+    lives in :mod:`repro.backend.reference` (shared with the compiled
+    backends); this is the md-facing name.
     """
-    c2 = cutoff * cutoff
-    s2 = switch * switch
-    denom = (c2 - s2) ** 3
-    S = np.ones_like(r2)
-    dS = np.zeros_like(r2)
-    mid = (r2 > s2) & (r2 < c2)
-    rm = r2[mid]
-    S[mid] = (c2 - rm) ** 2 * (c2 + 2.0 * rm - 3.0 * s2) / denom
-    dS[mid] = 6.0 * (c2 - rm) * (s2 - rm) / denom
-    S[r2 >= c2] = 0.0
-    return S, dS
+    return _reference.switching_terms(r2, switch, cutoff)
 
 
 def pair_interactions(
@@ -119,41 +111,12 @@ def pair_interactions(
 
     Returns ``(e_lj, e_elec, fvec)`` where ``fvec[p]`` is the force on atom
     ``i`` of pair ``p`` (atom ``j`` receives ``-fvec[p]``), consistent with
-    ``delta = x_j - x_i``.
+    ``delta = x_j - x_i``.  The math lives in
+    :mod:`repro.backend.reference` (shared with the compiled backends).
     """
-    cutoff = options.cutoff
-    r = np.sqrt(r2)
-    inv_r = 1.0 / r
-    inv_r2 = inv_r * inv_r
-
-    # Lennard-Jones with switching
-    sr2 = (rmin_ij * rmin_ij) * inv_r2
-    sr6 = sr2 * sr2 * sr2
-    sr12 = sr6 * sr6
-    e_lj_raw = eps_ij * (sr12 - 2.0 * sr6)
-    # dE/dr = -12 eps/r (sr12 - sr6)
-    dE_lj_dr = -12.0 * eps_ij * inv_r * (sr12 - sr6)
-    S, dS_dr2 = switching_function(r2, options.switch, cutoff)
-    e_lj = e_lj_raw * S
-    dE_lj_total_dr = dE_lj_dr * S + e_lj_raw * dS_dr2 * 2.0 * r
-
-    # shifted electrostatics
-    c2 = cutoff * cutoff
-    shift = 1.0 - r2 / c2
-    e_el_raw = COULOMB_CONSTANT * qq * inv_r
-    e_elec = e_el_raw * shift * shift
-    # d/dr [ (C qq / r)(1 - r²/c²)² ]
-    dE_el_dr = COULOMB_CONSTANT * qq * (
-        -inv_r2 * shift * shift + inv_r * 2.0 * shift * (-2.0 * r / c2)
+    return _reference.pair_terms(
+        delta, r2, eps_ij, rmin_ij, qq, options.cutoff, options.switch
     )
-
-    dE_dr = dE_lj_total_dr + dE_el_dr
-    # force on i = -dE/dx_i = +dE/dr * (delta / r)  given  delta = x_j - x_i
-    # (since dr/dx_i = -delta/r).  Verify sign: repulsive pair (dE/dr < 0)
-    # must push i away from j, i.e. along -delta.  dE_dr<0 → fvec along
-    # -delta. ✓
-    fvec = (dE_dr * inv_r)[:, None] * delta
-    return e_lj, e_elec, fvec
 
 
 def _combined_params(
@@ -175,6 +138,7 @@ def filter_candidates(
     j_cand: np.ndarray,
     cutoff: float,
     return_kept: bool = False,
+    backend: KernelBackend | str | None = None,
 ):
     """Reduce candidate pairs to those within ``cutoff``, minus exclusions.
 
@@ -196,9 +160,7 @@ def filter_candidates(
         if return_kept:
             return (*empty, np.zeros(0, dtype=np.int64))
         return empty
-    delta = minimum_image(pos[j_cand] - pos[i_cand], system.box)
-    r2 = np.einsum("ij,ij->i", delta, delta)
-    within = r2 < cutoff * cutoff
+    within = get_backend(backend).pair_mask(pos, system.box, i_cand, j_cand, cutoff)
     i_c, j_c = i_cand[within], j_cand[within]
     mask = ~excl.is_excluded(i_c, j_c)
     if len(excl.pairs14):
@@ -222,6 +184,7 @@ def nonbonded_kernel(
     prefiltered: bool = False,
     scatter_i: np.ndarray | None = None,
     scatter_j: np.ndarray | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> tuple[float, float, int]:
     """Main-loop LJ + electrostatics over candidate pairs.
 
@@ -242,18 +205,19 @@ def nonbonded_kernel(
     global ``i_cand``/``j_cand`` indices, but forces accumulate at the
     scatter indices instead.  The parallel engine passes per-task *local*
     indices so each task writes a compact block of a shared buffer.
+
+    The distance test, pair math, and force scatter are fused in
+    ``backend.nb_pairs``; exclusion bookkeeping (searchsorted over pair
+    keys) stays vectorized numpy here.  Kept pairs and their evaluation
+    order are identical to the historical inline code, so the numpy
+    backend reproduces it bit-for-bit.
     """
     excl = system.exclusions
-    pos = system.positions
-    box = system.box
+    be = get_backend(backend)
     if len(i_cand) == 0:
         return 0.0, 0.0, 0
-    delta = minimum_image(pos[j_cand] - pos[i_cand], box)
-    r2 = np.einsum("ij,ij->i", delta, delta)
-    within = r2 < options.cutoff**2
-    i_c, j_c, delta, r2 = i_cand[within], j_cand[within], delta[within], r2[within]
-    if scatter_i is not None:
-        s_i, s_j = scatter_i[within], scatter_j[within]
+    i_c, j_c = i_cand, j_cand
+    s_i, s_j = scatter_i, scatter_j
     if not prefiltered:
         # remove excluded (1-2, 1-3) and modified (1-4) pairs from main loop
         mask = ~excl.is_excluded(i_c, j_c)
@@ -264,57 +228,53 @@ def nonbonded_kernel(
             pos14 = np.searchsorted(keys14, keys)
             pos14 = np.minimum(pos14, len(keys14) - 1)
             mask &= keys14[pos14] != keys
-        i_c, j_c, delta, r2 = i_c[mask], j_c[mask], delta[mask], r2[mask]
-        if scatter_i is not None:
+        i_c, j_c = i_c[mask], j_c[mask]
+        if s_i is not None:
             s_i, s_j = s_i[mask], s_j[mask]
-    n_pairs = len(i_c)
-    if n_pairs == 0:
+    if len(i_c) == 0:
         return 0.0, 0.0, 0
     eps_ij, rmin_ij, qq = _combined_params(system, i_c, j_c)
-    e_lj, e_el, fvec = pair_interactions(delta, r2, eps_ij, rmin_ij, qq, options)
-    if scatter_i is not None:
-        accumulate_pair_forces(forces, s_i, s_j, fvec)
-    else:
-        accumulate_pair_forces(forces, i_c, j_c, fvec)
-    return float(e_lj.sum()), float(e_el.sum()), n_pairs
+    return be.nb_pairs(
+        system.positions, system.box, i_c, j_c, eps_ij, rmin_ij, qq,
+        options.cutoff, options.switch, forces,
+        s_i if s_i is not None else i_c,
+        s_j if s_j is not None else j_c,
+    )
 
 
 def nonbonded_14(
     system: MolecularSystem,
     options: NonbondedOptions,
     forces: np.ndarray,
+    backend: KernelBackend | str | None = None,
 ) -> tuple[float, float, int]:
     """Scaled 1-4 pass: modified pairs with the ``scale14_*`` factors.
 
     Always computed with the plain (unswitched at short range, but the
     switching/shift factors still apply) kernel; scatters into ``forces``
-    in place and returns ``(e_lj, e_elec, n_pairs_14)``.
+    in place and returns ``(e_lj, e_elec, n_pairs_14)``.  Scaling folds
+    into the pre-combined parameters, so the backend kernel is the same
+    one the main loop uses.
     """
     excl = system.exclusions
     ff = system.forcefield
     if not len(excl.pairs14) or (ff.scale14_lj == 0.0 and ff.scale14_elec == 0.0):
         return 0.0, 0.0, 0
-    pos = system.positions
     i14 = excl.pairs14[:, 0]
     j14 = excl.pairs14[:, 1]
-    delta = minimum_image(pos[j14] - pos[i14], system.box)
-    r2 = np.einsum("ij,ij->i", delta, delta)
-    within = r2 < options.cutoff**2
-    i14, j14, delta, r2 = i14[within], j14[within], delta[within], r2[within]
-    if len(i14) == 0:
-        return 0.0, 0.0, 0
     eps_ij, rmin_ij, qq = _combined_params(system, i14, j14)
-    e_lj, e_el, fvec = pair_interactions(
-        delta, r2, eps_ij * ff.scale14_lj, rmin_ij, qq * ff.scale14_elec, options
+    return get_backend(backend).nb_pairs(
+        system.positions, system.box, i14, j14,
+        eps_ij * ff.scale14_lj, rmin_ij, qq * ff.scale14_elec,
+        options.cutoff, options.switch, forces, i14, j14,
     )
-    accumulate_pair_forces(forces, i14, j14, fvec)
-    return float(e_lj.sum()), float(e_el.sum()), len(i14)
 
 
 def compute_nonbonded(
     system: MolecularSystem,
     options: NonbondedOptions | None = None,
     pairlist=None,
+    backend: KernelBackend | str | None = None,
 ) -> NonbondedResult:
     """Full non-bonded evaluation for a system (cell-list based).
 
@@ -341,9 +301,9 @@ def compute_nonbonded(
     else:
         i_cand, j_cand = candidate_pairs(pos, box, options.cutoff)
     e_lj_total, e_el_total, n_pairs = nonbonded_kernel(
-        system, i_cand, j_cand, options, forces
+        system, i_cand, j_cand, options, forces, backend=backend
     )
-    e_lj14, e_el14, n14 = nonbonded_14(system, options, forces)
+    e_lj14, e_el14, n14 = nonbonded_14(system, options, forces, backend=backend)
     return NonbondedResult(
         e_lj_total + e_lj14, e_el_total + e_el14, forces, n_pairs + n14
     )

@@ -121,6 +121,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.md.bonded import compute_bonded
 from repro.md.cells import CellGrid
 from repro.md.engine import SequentialEngine
@@ -130,7 +131,6 @@ from repro.md.nonbonded import (
     _combined_params,
     filter_candidates,
     nonbonded_14,
-    pair_interactions,
 )
 from repro.md.pairlist import VerletPairList
 from repro.md.resilience import (
@@ -140,8 +140,8 @@ from repro.md.resilience import (
     ResilienceStats,
     WorkerFaultPlan,
 )
-from repro.md.scatter import accumulate_pair_forces
 from repro.core.grainsize import GrainsizeConfig, stripe_candidate_counts
+from repro.util.cpus import available_cpu_count
 from repro.util.pbc import minimum_image, wrap_positions
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
@@ -288,7 +288,7 @@ def _attach_shared(name: str):
     return _shm.SharedMemory(name=name)
 
 
-def _build_task_lists(system, tasks, my_tasks, buckets, r_list):
+def _build_task_lists(system, tasks, my_tasks, buckets, r_list, backend=None):
     """Per-task prefiltered pair lists with local scatter indices.
 
     For each owned sub-task ``(a, b, part, n_parts)``: global candidate
@@ -338,7 +338,7 @@ def _build_task_lists(system, tasks, my_tasks, buckets, r_list):
             sj = np.tile(np.arange(nb, dtype=np.int64) + ns, ns)
         i_f, j_f, kept = filter_candidates(
             system, i_g.astype(np.int32), j_g.astype(np.int32), r_list,
-            return_kept=True,
+            return_kept=True, backend=backend,
         )
         if len(i_f) == 0:
             lists[t] = None
@@ -356,27 +356,19 @@ def _build_task_lists(system, tasks, my_tasks, buckets, r_list):
     return lists
 
 
-def _task_kernel(system, entry, options, block) -> tuple[float, float, int]:
+def _task_kernel(system, entry, options, block, backend) -> tuple[float, float, int]:
     """One task's switched LJ + shifted Coulomb into its compact block.
 
     Identical per-pair arithmetic to :func:`repro.md.nonbonded.
-    nonbonded_kernel` (same :func:`pair_interactions`, same segment-sum
-    scatter), but over a prefiltered list with pre-combined parameters and
-    local scatter indices — the parallel hot loop.
+    nonbonded_kernel` (same fused ``backend.nb_pairs`` kernel, same
+    segment-sum scatter), but over a prefiltered list with pre-combined
+    parameters and local scatter indices — the parallel hot loop.
     """
     i_g, j_g, si, sj, eps, rmin, qq = entry
-    pos = system.positions
-    delta = minimum_image(pos[j_g] - pos[i_g], system.box)
-    r2 = np.einsum("ij,ij->i", delta, delta)
-    within = r2 < options.cutoff * options.cutoff
-    n_pairs = int(np.count_nonzero(within))
-    if n_pairs == 0:
-        return 0.0, 0.0, 0
-    e_lj, e_el, fvec = pair_interactions(
-        delta[within], r2[within], eps[within], rmin[within], qq[within], options
+    return backend.nb_pairs(
+        system.positions, system.box, i_g, j_g, eps, rmin, qq,
+        options.cutoff, options.switch, block, si, sj,
     )
-    accumulate_pair_forces(block, si[within], sj[within], fvec)
-    return float(e_lj.sum()), float(e_el.sum()), n_pairs
 
 
 def _worker_main(
@@ -393,6 +385,7 @@ def _worker_main(
     dims,
     tasks,
     r_list,
+    backend_name,
     assignment,
     slow_windows,
 ):
@@ -412,6 +405,12 @@ def _worker_main(
     course, evaluates at the live positions.
     """
     from repro.core.decomposition import bin_atoms
+
+    # resolve the kernel backend once per worker process; forked workers
+    # inherit the parent's compiled state, spawned ones recompile from the
+    # on-disk JIT cache — either way every task of this worker runs the
+    # same kernels for its whole life
+    backend = get_backend(backend_name)
 
     pos_seg = _attach_shared(pos_name)
     ref_seg = _attach_shared(ref_name)
@@ -464,7 +463,8 @@ def _worker_main(
                             assignment == worker_id
                         ).tolist()
                         lists = _build_task_lists(
-                            system, tasks, my_tasks, buckets, r_list
+                            system, tasks, my_tasks, buckets, r_list,
+                            backend=backend,
                         )
                     finally:
                         system.positions = positions
@@ -479,7 +479,7 @@ def _worker_main(
                         n_pairs = 0
                     else:
                         e_lj, e_el, n_pairs = _task_kernel(
-                            system, entry, options, block
+                            system, entry, options, block, backend
                         )
                     elapsed = perf() - t0
                     if factor > 1.0:
@@ -586,9 +586,11 @@ class ParallelNonbonded:
         grainsize_ms: float = 0.0,
         fault_plan: WorkerFaultPlan | str | None = None,
         recovery: RecoveryPolicy | None = None,
+        backend=None,
     ) -> None:
-        """``n_workers <= 0`` means "one per CPU"; ``timeout`` (seconds)
-        bounds every wait on the pool so a hung worker fails fast.
+        """``n_workers <= 0`` means "one per CPU" (the CPUs this process may
+        run on, affinity/cgroup aware); ``timeout`` (seconds) bounds every
+        wait on the pool so a hung worker fails fast.
 
         ``rebalance_every=N`` runs a load-balancing decision every N
         evaluations (0 disables); ``lb_strategy`` overrides the default
@@ -607,6 +609,13 @@ class ParallelNonbonded:
         string form, e.g. ``"kill=1@3,hang=0@2x1.5"``); ``recovery``
         configures the supervision ladder (default
         :class:`~repro.md.resilience.RecoveryPolicy`).
+
+        ``backend`` selects the :mod:`repro.backend` kernel set used by the
+        driver (candidate filtering, 1-4 pass, fallback path) and by every
+        worker; resolved once here and shipped to workers by *name* so a
+        respawned worker rebuilds the identical kernels.  Recorded in
+        :attr:`workdb` so measurements taken under different backends are
+        never blended.
         """
         from repro.balancer.strategies import STRATEGIES
         from repro.instrument import WorkDB
@@ -630,6 +639,7 @@ class ParallelNonbonded:
             fault_plan = WorkerFaultPlan.parse(fault_plan)
         self.system = system
         self.options = options or NonbondedOptions()
+        self.backend = get_backend(backend)
         self.skin = float(skin)
         self.timeout = float(timeout)
         self.rebalance_every = int(rebalance_every)
@@ -645,6 +655,7 @@ class ParallelNonbonded:
         self.policy = recovery or RecoveryPolicy()
         self.resilience = ResilienceStats()
         self.workdb = WorkDB()
+        self.workdb.set_backend(self.backend.name)
         self.n_workers = 1
         self.task_bounds: np.ndarray | None = None
         self.n_rebuilds = 0
@@ -688,7 +699,9 @@ class ParallelNonbonded:
         self._deadline: float | None = None
         self._closed = False
 
-        requested = int(n_workers) if n_workers else (os.cpu_count() or 1)
+        # "one per CPU" must mean CPUs this process may *run on* — on
+        # cgroup/affinity-restricted hosts os.cpu_count() oversubscribes
+        requested = int(n_workers) if n_workers else available_cpu_count()
         if requested > 1 and HAS_SHARED_MEMORY and system.n_atoms >= 2:
             try:
                 self._start_pool(requested, cost_model, start_method)
@@ -857,6 +870,7 @@ class ParallelNonbonded:
             tuple(int(d) for d in self._dims),
             tasks,
             r_list,
+            self.backend.name,
         )
         self._procs = [None] * n_workers
         self._cmd_conns = [None] * n_workers
@@ -887,6 +901,7 @@ class ParallelNonbonded:
             dims,
             tasks,
             r_list,
+            backend_name,
         ) = self._worker_static
         ctx = self._ctx
         cmd_recv, cmd_send = ctx.Pipe(duplex=False)
@@ -907,6 +922,7 @@ class ParallelNonbonded:
                 dims,
                 tasks,
                 r_list,
+                backend_name,
                 self._assignment,
                 self._slow_windows.get(w, []),
             ),
@@ -921,6 +937,7 @@ class ParallelNonbonded:
         self._procs[w] = proc
         self._cmd_conns[w] = cmd_send
         self._res_conns[w] = res_recv
+        self.workdb.note_worker_backend(w, backend_name)
 
     # ------------------------------------------------------------------ #
     def _needs_rebuild(self) -> bool:
@@ -1080,13 +1097,16 @@ class ParallelNonbonded:
                         self.options.cutoff, skin=self.skin
                     )
                 return compute_nonbonded(
-                    self.system, self.options, pairlist=self._fallback_pairlist
+                    self.system, self.options,
+                    pairlist=self._fallback_pairlist, backend=self.backend,
                 )
             raise RuntimeError("collect() called without a dispatch()")
         n = self.system.n_atoms
         forces = np.zeros((n, 3), dtype=np.float64)
         # overlap with the workers: the scaled 1-4 pass runs on the driver
-        e_lj14, e_el14, n14 = nonbonded_14(self.system, self.options, forces)
+        e_lj14, e_el14, n14 = nonbonded_14(
+            self.system, self.options, forces, backend=self.backend
+        )
 
         if not self._await_workers():
             # degraded to sequential mid-step: recompute the whole
@@ -1100,7 +1120,8 @@ class ParallelNonbonded:
                     self.options.cutoff, skin=self.skin
                 )
             return compute_nonbonded(
-                self.system, self.options, pairlist=self._fallback_pairlist
+                self.system, self.options,
+                pairlist=self._fallback_pairlist, backend=self.backend,
             )
         step_wall = time.monotonic() - self._t_dispatch
         self._pending = None
@@ -1441,7 +1462,8 @@ class ParallelNonbonded:
             from repro.md.nonbonded import compute_nonbonded
 
             return compute_nonbonded(
-                self.system, self.options, pairlist=self._fallback_pairlist
+                self.system, self.options,
+                pairlist=self._fallback_pairlist, backend=self.backend,
             )
         self.dispatch()
         return self.collect()
@@ -1690,6 +1712,7 @@ class ParallelEngine(SequentialEngine):
         recovery: RecoveryPolicy | None = None,
         checkpoint_every: int = 0,
         checkpoint_path=None,
+        backend=None,
     ) -> None:
         """``workers <= 0`` means one worker per CPU; ``skin`` is the Verlet
         margin of the per-worker pair lists (and of the sequential fallback's
@@ -1700,13 +1723,15 @@ class ParallelEngine(SequentialEngine):
         injection and the supervision ladder (see
         :class:`ParallelNonbonded`); ``checkpoint_every``/``checkpoint_path``
         enable periodic atomic run checkpoints (see
-        :class:`~repro.md.engine.SequentialEngine`)."""
+        :class:`~repro.md.engine.SequentialEngine`); ``backend`` selects the
+        :mod:`repro.backend` kernel set for the driver and all workers."""
         super().__init__(
             system, options, integrator, pairlist=VerletPairList(
                 (options or NonbondedOptions()).cutoff, skin=skin
             ) if skin > 0 else None,
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
+            backend=backend,
         )
         self._nb = ParallelNonbonded(
             system,
@@ -1721,6 +1746,7 @@ class ParallelEngine(SequentialEngine):
             grainsize_ms=grainsize_ms,
             fault_plan=fault_plan,
             recovery=recovery,
+            backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,49 +1,67 @@
-"""Segment-sum force accumulation.
+"""Segment-sum force accumulation (validated entry to the backend scatter).
 
 ``np.add.at`` is correct for duplicate indices but dispatches through the
 generic ufunc inner loop, which is an order of magnitude slower than a
 vectorized pass.  ``np.bincount`` computes the same segment sums with a
-single C loop per component, so all force kernels scatter through these
-helpers instead.
+single C loop per component.  The actual scatter now lives in the kernel
+backend (:mod:`repro.backend`); the numpy reference keeps the historical
+bincount/``add.at`` heuristic bit-for-bit, the numba backend runs one
+compiled loop.
 
-Both paths add contributions in input order per output row; the only
-floating-point difference from ``np.add.at`` is the final reassociation
-``out += partial`` (exactly zero when the output rows start from zero, one
-rounding otherwise), well inside every kernel tolerance.
+Index validation happens once here, at the public entry point.  The two
+numpy paths used to disagree on bad input — ``np.add.at`` silently *wraps*
+negative indices (accumulating into the wrong atoms) while ``np.bincount``
+raises — so whether a corrupt pair list crashed or silently misfolded
+forces depended on the fill-ratio heuristic.  Both paths (and every
+backend) now raise the same ``ValueError``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
+from repro.backend.reference import _BINCOUNT_MIN_FILL  # noqa: F401  (back-compat)
+
 __all__ = ["segment_add", "accumulate_pair_forces"]
 
-#: Below this many contributions per output row (on average), the bincount
-#: pass over the whole output array costs more than the generic scatter.
-_BINCOUNT_MIN_FILL = 0.25
 
-
-def segment_add(out: np.ndarray, idx: np.ndarray, contrib: np.ndarray) -> None:
+def segment_add(
+    out: np.ndarray,
+    idx: np.ndarray,
+    contrib: np.ndarray,
+    backend=None,
+) -> None:
     """Accumulate ``contrib[p]`` into ``out[idx[p]]`` (duplicates summed).
 
     ``out`` has shape ``(n, k)`` and ``contrib`` shape ``(m, k)`` for small
-    ``k`` (force components).  Uses one ``np.bincount`` per component; falls
-    back to ``np.add.at`` when the contribution count is small relative to
-    ``n`` (bincount would be dominated by its O(n) output pass).
+    ``k`` (force components).  Indices are validated once at entry: any
+    index outside ``[0, n)`` raises ``ValueError`` regardless of which
+    scatter path or backend runs.  ``backend`` is a
+    :class:`repro.backend.KernelBackend` (or spec); ``None`` uses the
+    session default.
     """
-    if len(idx) == 0:
+    idx = np.asarray(idx)
+    if idx.size == 0:
         return
     n = out.shape[0]
-    if len(idx) < _BINCOUNT_MIN_FILL * n:
-        np.add.at(out, idx, contrib)
-        return
-    for k in range(out.shape[1]):
-        out[:, k] += np.bincount(idx, weights=contrib[:, k], minlength=n)
+    imin = int(idx.min())
+    imax = int(idx.max())
+    if imin < 0 or imax >= n:
+        raise ValueError(
+            f"segment_add: scatter indices must lie in [0, {n}); "
+            f"got range [{imin}, {imax}]"
+        )
+    get_backend(backend).segment_add(out, idx, contrib)
 
 
 def accumulate_pair_forces(
-    forces: np.ndarray, i: np.ndarray, j: np.ndarray, fvec: np.ndarray
+    forces: np.ndarray,
+    i: np.ndarray,
+    j: np.ndarray,
+    fvec: np.ndarray,
+    backend=None,
 ) -> None:
     """Newton's-third-law scatter: ``forces[i] += fvec``, ``forces[j] -= fvec``."""
-    segment_add(forces, i, fvec)
-    segment_add(forces, j, -fvec)
+    segment_add(forces, i, fvec, backend=backend)
+    segment_add(forces, j, -fvec, backend=backend)

@@ -1,5 +1,6 @@
 """Shared utilities: periodic boundaries, seeded randomness, crash-safe IO."""
 
+from repro.util.cpus import available_cpu_count
 from repro.util.fileio import atomic_write_bytes, atomic_write_text
 from repro.util.pbc import (
     minimum_image,
@@ -10,6 +11,7 @@ from repro.util.pbc import (
 from repro.util.rng import make_rng
 
 __all__ = [
+    "available_cpu_count",
     "minimum_image",
     "wrap_positions",
     "box_volume",

@@ -1,0 +1,31 @@
+"""CPU-count detection that respects cgroup/affinity limits.
+
+``os.cpu_count()`` reports the *machine's* cores; in containers and CI
+runners pinned to a subset (cpusets, ``taskset``, cgroup quotas surfaced
+as affinity masks) that oversubscribes any pool sized from it — every
+worker beyond the allowed set just timeslices the same cores and inflates
+per-task time measurements.  ``os.sched_getaffinity(0)`` reports the CPUs
+this process may actually run on, where the platform provides it.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["available_cpu_count"]
+
+
+def available_cpu_count() -> int:
+    """Number of CPUs available to *this process* (>= 1).
+
+    Prefers the scheduling affinity mask (cgroup/cpuset aware); falls back
+    to ``os.cpu_count()`` on platforms without ``sched_getaffinity``
+    (macOS, Windows).
+    """
+    try:
+        n = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        n = 0
+    if n <= 0:
+        n = os.cpu_count() or 1
+    return n

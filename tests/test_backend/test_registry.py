@@ -1,0 +1,224 @@
+"""Backend registry semantics: selection, fallback, self-check, constants.
+
+The registry caches its resolved default and its numba load attempt, so
+every test that touches selection state goes through
+``repro.backend._reset_for_testing`` on both sides (the autouse fixture).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.backend as B
+from repro.backend import (
+    ENV_VAR,
+    KernelBackend,
+    available_backends,
+    backend_status,
+    default_backend,
+    get_backend,
+    parity_selfcheck,
+    set_default_backend,
+)
+from repro.backend import reference as ref
+
+HAS_NUMBA = "numba" in available_backends()
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    B._reset_for_testing()
+    yield
+    B._reset_for_testing()
+
+
+# --------------------------------------------------------------------- #
+# selection
+# --------------------------------------------------------------------- #
+class TestSelection:
+    def test_numpy_always_available(self):
+        be = get_backend("numpy")
+        assert be.name == "numpy"
+        assert not be.compiled
+
+    def test_instance_passthrough(self):
+        be = get_backend("numpy")
+        assert get_backend(be) is be
+
+    def test_none_resolves_session_default(self):
+        assert get_backend(None) is default_backend()
+
+    def test_default_is_cached(self):
+        assert default_backend() is default_backend()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_backend("fortran")
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "numpy")
+        B._reset_for_testing()
+        assert default_backend().name == "numpy"
+
+    def test_set_default_backend_overrides_and_resets(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "auto")
+        be = set_default_backend("numpy")
+        assert be.name == "numpy"
+        assert default_backend() is be
+        # None re-resolves from the environment
+        again = set_default_backend(None)
+        assert again is default_backend()
+
+    def test_auto_never_raises(self):
+        # regardless of whether numba is installed, auto must resolve
+        assert get_backend("auto").name in ("numpy", "numba")
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba installed on this host")
+    def test_explicit_numba_warns_and_falls_back(self):
+        with pytest.warns(RuntimeWarning, match="numba backend unavailable"):
+            be = get_backend("numba")
+        assert be.name == "numpy"
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="numba installed on this host")
+    def test_auto_falls_back_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert get_backend("auto").name == "numpy"
+
+    @pytest.mark.skipif(not HAS_NUMBA, reason="needs numba")
+    def test_numba_selected_when_available(self):
+        be = get_backend("numba")
+        assert be.name == "numba"
+        assert be.compiled
+        assert get_backend("auto") is be
+
+    def test_backend_status_shape(self):
+        status = backend_status()
+        assert "numpy" in status["available"]
+        assert status["default"] in ("numpy", "numba")
+        assert isinstance(status["numba_ok"], bool)
+
+
+# --------------------------------------------------------------------- #
+# parity self-check
+# --------------------------------------------------------------------- #
+class TestSelfCheck:
+    def test_reference_passes_its_own_check(self):
+        ok, detail = parity_selfcheck(ref.build_backend())
+        assert ok, detail
+
+    def test_broken_energy_detected(self):
+        good = ref.build_backend()
+
+        def bad_nb(pos, box, i, j, eps, rmin, qq, cut, sw, forces, si, sj):
+            e_lj, e_el, n = ref.nb_pairs(
+                pos, box, i, j, eps, rmin, qq, cut, sw, forces, si, sj
+            )
+            return e_lj * (1.0 + 1e-6), e_el, n  # 1e-6 relative >> 1e-9 tol
+
+        broken = KernelBackend(
+            name="broken",
+            compiled=True,
+            nb_pairs=bad_nb,
+            pair_mask=good.pair_mask,
+            segment_add=good.segment_add,
+            ewald_real=good.ewald_real,
+            ewald_recip=good.ewald_recip,
+        )
+        ok, detail = parity_selfcheck(broken, good)
+        assert not ok
+        assert detail  # says *what* diverged
+
+    def test_broken_forces_detected(self):
+        good = ref.build_backend()
+
+        def bad_nb(pos, box, i, j, eps, rmin, qq, cut, sw, forces, si, sj):
+            out = ref.nb_pairs(
+                pos, box, i, j, eps, rmin, qq, cut, sw, forces, si, sj
+            )
+            # skew one row by 1e-6 of the global force scale (the self-check
+            # tolerance is relative to the largest force component)
+            forces[0, 0] += 1e-6 * float(np.abs(forces).max())
+            return out
+
+        broken = KernelBackend(
+            name="broken",
+            compiled=True,
+            nb_pairs=bad_nb,
+            pair_mask=good.pair_mask,
+            segment_add=good.segment_add,
+            ewald_real=good.ewald_real,
+            ewald_recip=good.ewald_recip,
+        )
+        ok, _ = parity_selfcheck(broken, good)
+        assert not ok
+
+    def test_raising_kernel_is_caught_not_propagated(self):
+        good = ref.build_backend()
+
+        def explode(*_a, **_k):
+            raise RuntimeError("compile error")
+
+        broken = KernelBackend(
+            name="broken",
+            compiled=True,
+            nb_pairs=explode,
+            pair_mask=good.pair_mask,
+            segment_add=good.segment_add,
+            ewald_real=good.ewald_real,
+            ewald_recip=good.ewald_recip,
+        )
+        ok, detail = parity_selfcheck(broken)
+        assert not ok
+        assert "compile error" in detail or "RuntimeError" in detail
+
+
+# --------------------------------------------------------------------- #
+# duplicated constants (cycle-free import discipline)
+# --------------------------------------------------------------------- #
+class TestConstantGuards:
+    """repro.backend must not import repro.md, so two md constants are
+    duplicated in the reference module; these guards pin them together."""
+
+    def test_coulomb_constant_matches_md(self):
+        from repro.md.constants import COULOMB_CONSTANT
+
+        assert ref.COULOMB_CONSTANT == COULOMB_CONSTANT
+
+    def test_bincount_heuristic_matches_scatter(self):
+        from repro.md import scatter
+
+        assert scatter._BINCOUNT_MIN_FILL == ref._BINCOUNT_MIN_FILL
+
+    def test_backend_package_imports_standalone(self):
+        # the real check is in the subprocess-free form: the package's own
+        # module graph must not reach repro.md (which imports it back)
+        import sys
+        import subprocess
+
+        code = (
+            "import sys, repro.backend; "
+            "assert not any(m.startswith('repro.md') for m in sys.modules), "
+            "sorted(m for m in sys.modules if m.startswith('repro.md'))"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+# --------------------------------------------------------------------- #
+# synthetic problem
+# --------------------------------------------------------------------- #
+class TestSyntheticProblem:
+    def test_deterministic(self):
+        from repro.backend import synthetic_problem
+
+        a, b = synthetic_problem(), synthetic_problem()
+        for key in a:
+            if isinstance(a[key], np.ndarray):
+                assert np.array_equal(a[key], b[key]), key
+            else:
+                assert a[key] == b[key], key

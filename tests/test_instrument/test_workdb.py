@@ -308,3 +308,76 @@ class TestRobustPersistence:
         db.note_recovery("hangs")
         db.reset()
         assert db.recovery == {}
+
+
+class TestBackendField:
+    """Kernel-backend provenance: samples from different backends never blend."""
+
+    def _measured(self) -> WorkDB:
+        db = WorkDB()
+        db.ensure_task(0, patches=(0,), prior=2.0, owner=0)
+        db.ensure_task(1, patches=(1,), prior=3.0, owner=1)
+        db.set_backend("numpy")
+        db.note_worker_backend(0, "numpy")
+        db.record(0, 0.5)
+        db.record(1, 0.7)
+        db.mark_step()
+        return db
+
+    def test_set_backend_records_name(self):
+        db = WorkDB()
+        assert db.backend is None
+        db.set_backend("numpy")
+        assert db.backend == "numpy"
+
+    def test_same_backend_keeps_measurements(self):
+        db = self._measured()
+        db.set_backend("numpy")
+        assert db.tasks[0].n_samples == 1
+        assert db.measured_steps == 1
+
+    def test_backend_switch_resets_measurements_keeps_priors(self):
+        db = self._measured()
+        db.set_backend("numba")
+        assert db.backend == "numba"
+        # measurement state gone (a numba sample is not a numpy sample)
+        assert db.tasks[0].n_samples == 0
+        assert db.tasks[0].ewma == 0.0
+        assert db.tasks[0].total == 0.0
+        assert len(db.tasks[0].window) == 0
+        assert db.measured_steps == 0
+        # structural state survives: priors, affinity, ownership
+        assert db.tasks[0].prior == 2.0
+        assert db.tasks[0].patches == (0,)
+        assert db.tasks[1].owner == 1
+        # stale worker annotations from the other backend are dropped
+        assert db.worker_backends == {}
+
+    def test_switch_without_measurements_is_free(self):
+        db = WorkDB()
+        db.ensure_task(0, prior=1.0)
+        db.set_backend("numpy")
+        db.set_backend("numba")  # nothing measured: nothing to drop
+        assert db.backend == "numba"
+        assert db.tasks[0].prior == 1.0
+
+    def test_roundtrip_through_dict(self):
+        db = self._measured()
+        clone = WorkDB.from_dict(json.loads(json.dumps(db.to_dict())))
+        assert clone.backend == "numpy"
+        assert clone.worker_backends == {0: "numpy"}
+
+    def test_legacy_dumps_without_backend_still_load(self):
+        db = self._measured()
+        payload = db.to_dict()
+        del payload["backend"]
+        del payload["worker_backends"]
+        clone = WorkDB.from_dict(json.loads(json.dumps(payload)))
+        assert clone.backend is None
+        assert clone.worker_backends == {}
+
+    def test_reset_clears_backend(self):
+        db = self._measured()
+        db.reset()
+        assert db.backend is None
+        assert db.worker_backends == {}

@@ -199,3 +199,20 @@ class TestKspaceCache:
         fresh = compute_ewald(s, opts)  # rebuild from scratch
         assert cached.energy == pytest.approx(fresh.energy, rel=0, abs=0)
         assert np.array_equal(cached.forces, fresh.forces)
+
+    def test_inplace_box_rescale_invalidates(self):
+        # NPT-style barostat move: the box array is rescaled *in place*, so
+        # the same ndarray object now holds different lengths.  The cache
+        # key must be a value snapshot, not anything tied to the object —
+        # a stale hit here would evaluate the new box with the old
+        # k-vectors and silently corrupt the pressure coupling.
+        s = random_charges(seed=8)
+        opts = EwaldOptions(cutoff=6.0, kmax=5)
+        compute_ewald(s, opts)  # populate at the original volume
+        s.box *= 1.05  # in-place mutation, object identity unchanged
+        mutated = compute_ewald(s, opts)
+        assert kspace_cache_stats()["builds"] == 2, "stale k-space cache hit"
+        clear_kspace_cache()
+        fresh = compute_ewald(s, opts)
+        assert mutated.energy == pytest.approx(fresh.energy, rel=0, abs=0)
+        assert np.array_equal(mutated.forces, fresh.forces)

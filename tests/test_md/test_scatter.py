@@ -1,0 +1,108 @@
+"""Segment-sum scatter: correctness and the index-validation contract.
+
+Regression suite for the historical inconsistency between the two scatter
+strategies: ``np.add.at`` silently *wraps* negative indices (Python-style)
+while ``np.bincount`` raises — so the same bad index either corrupted row
+``n-1`` or crashed depending on how full the scatter was.  Validation now
+happens once at entry and raises the same ``ValueError`` on both paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend.reference import _BINCOUNT_MIN_FILL
+from repro.md.scatter import accumulate_pair_forces, segment_add
+
+
+def _manual(n, idx, contrib):
+    out = np.zeros((n, 3))
+    for k, i in enumerate(idx):
+        out[i] += contrib[k]
+    return out
+
+
+class TestSegmentAdd:
+    @pytest.mark.parametrize("m", [3, 200])  # add.at branch / bincount branch
+    def test_matches_manual_loop(self, m):
+        rng = np.random.default_rng(m)
+        n = 40
+        idx = rng.integers(0, n, size=m)
+        contrib = rng.normal(size=(m, 3))
+        out = np.zeros((n, 3))
+        segment_add(out, idx, contrib)
+        np.testing.assert_allclose(out, _manual(n, idx, contrib), rtol=1e-14)
+
+    def test_accumulates_into_existing(self):
+        out = np.ones((4, 3))
+        segment_add(out, np.array([2, 2]), np.ones((2, 3)))
+        assert np.all(out[2] == 3.0)
+        assert np.all(out[0] == 1.0)
+
+    def test_empty_contrib_is_noop(self):
+        out = np.zeros((5, 3))
+        segment_add(out, np.zeros(0, dtype=np.int64), np.zeros((0, 3)))
+        assert np.all(out == 0.0)
+
+    # ------------------------------------------------------------------ #
+    # the bug: branch-dependent handling of out-of-range indices
+    # ------------------------------------------------------------------ #
+    def _branch_sizes(self, n):
+        """(m_small, m_large): m forcing the add.at / bincount branch."""
+        threshold = _BINCOUNT_MIN_FILL * n
+        m_small = max(1, int(threshold) - 1)
+        m_large = int(threshold) + 5
+        assert m_small < threshold <= m_large
+        return m_small, m_large
+
+    @pytest.mark.parametrize("branch", ["add_at", "bincount"])
+    def test_negative_index_raises_on_both_branches(self, branch):
+        n = 32
+        m_small, m_large = self._branch_sizes(n)
+        m = m_small if branch == "add_at" else m_large
+        idx = np.zeros(m, dtype=np.int64)
+        idx[-1] = -1  # historically: silently wrapped to n-1 on add.at
+        out = np.zeros((n, 3))
+        with pytest.raises(ValueError, match=r"segment_add.*\[0, 32\)"):
+            segment_add(out, idx, np.ones((m, 3)))
+        assert np.all(out == 0.0), "failed scatter must not partially write"
+
+    @pytest.mark.parametrize("branch", ["add_at", "bincount"])
+    def test_too_large_index_raises_on_both_branches(self, branch):
+        n = 32
+        m_small, m_large = self._branch_sizes(n)
+        m = m_small if branch == "add_at" else m_large
+        idx = np.zeros(m, dtype=np.int64)
+        idx[0] = n  # one past the end
+        with pytest.raises(ValueError, match="segment_add"):
+            segment_add(np.zeros((n, 3)), idx, np.ones((m, 3)))
+
+    def test_error_message_reports_observed_range(self):
+        with pytest.raises(ValueError, match=r"\[-3, 2\]"):
+            segment_add(
+                np.zeros((8, 3)),
+                np.array([-3, 2]),
+                np.ones((2, 3)),
+            )
+
+
+class TestAccumulatePairForces:
+    def test_newtons_third_law(self):
+        rng = np.random.default_rng(0)
+        n, m = 20, 60
+        i = rng.integers(0, n, size=m)
+        j = rng.integers(0, n, size=m)
+        fvec = rng.normal(size=(m, 3))
+        forces = np.zeros((n, 3))
+        accumulate_pair_forces(forces, i, j, fvec)
+        np.testing.assert_allclose(
+            forces.sum(axis=0), np.zeros(3), atol=1e-12
+        )
+
+    def test_bad_index_rejected(self):
+        with pytest.raises(ValueError, match="segment_add"):
+            accumulate_pair_forces(
+                np.zeros((4, 3)),
+                np.array([0]),
+                np.array([4]),
+                np.ones((1, 3)),
+            )

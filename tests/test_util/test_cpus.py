@@ -1,0 +1,68 @@
+"""Worker-count autodetection must respect the scheduling affinity mask."""
+
+import os
+
+import pytest
+
+from repro.util import available_cpu_count
+from repro.util.cpus import available_cpu_count as direct
+
+
+def test_exported_from_package():
+    assert available_cpu_count is direct
+
+
+def test_returns_positive_int():
+    n = available_cpu_count()
+    assert isinstance(n, int) and n >= 1
+
+
+def test_prefers_affinity_mask_over_cpu_count(monkeypatch):
+    # an 8-core machine whose process is pinned to 2 CPUs: the pool must
+    # size itself from the mask, not the machine
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 5}, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    assert available_cpu_count() == 2
+
+
+def test_falls_back_when_affinity_unsupported(monkeypatch):
+    # macOS/Windows: no sched_getaffinity at all
+    def boom(pid):
+        raise AttributeError("sched_getaffinity")
+
+    monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 6)
+    assert available_cpu_count() == 6
+
+
+def test_falls_back_on_oserror(monkeypatch):
+    def boom(pid):
+        raise OSError("not supported")
+
+    monkeypatch.setattr(os, "sched_getaffinity", boom, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 3)
+    assert available_cpu_count() == 3
+
+
+def test_never_returns_zero(monkeypatch):
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: set(), raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert available_cpu_count() == 1
+
+
+def test_parallel_pool_sizes_from_affinity(monkeypatch):
+    # the real engine's "one worker per CPU" must go through the helper:
+    # pinned to one CPU, n_workers=0 must mean the sequential fallback,
+    # never an oversubscribed pool
+    import repro.md.parallel as par
+    from repro.builder import small_water_box
+    from repro.md.nonbonded import NonbondedOptions
+
+    monkeypatch.setattr(par, "available_cpu_count", lambda: 1)
+    system = small_water_box(8, seed=1, relax=False)
+    nb = par.ParallelNonbonded(system, NonbondedOptions(cutoff=6.0), n_workers=0)
+    try:
+        assert nb.n_workers == 1
+        assert not nb.active
+    finally:
+        nb.close()
