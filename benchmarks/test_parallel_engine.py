@@ -18,8 +18,16 @@ records the context needed to tell them apart:
   misread as core scaling.
 
 Results land in ``benchmarks/results/BENCH_parallel.json`` (+ ``.txt``).
-Environment knobs for CI: ``PARALLEL_BENCH_WORKERS`` (default ``1,2,4``)
-and ``PARALLEL_BENCH_STEPS`` (default ``3``).
+Each pool row also records the **driver-vs-worker wall-time split**
+(``driver_report``), and a second section measures the Ewald-enabled run
+with and without ``distribute=True`` — the driver's per-step compute share
+must drop by >= 50% with distribution on (asserted only on hosts with 4+
+cores and 4+ workers; on fewer cores driver and workers time-slice one CPU
+and the share is not meaningful).
+
+Environment knobs for CI: ``PARALLEL_BENCH_WORKERS`` (default ``1,2,4``),
+``PARALLEL_BENCH_STEPS`` (default ``3``), and ``PARALLEL_BENCH_EWALD``
+(default ``1``; ``0`` skips the distribution section).
 """
 
 import json
@@ -45,6 +53,10 @@ WORKER_COUNTS = [
 #: acceptance floor for the 4-worker configuration (only asserted when 4
 #: workers are actually measured, i.e. not under a reduced CI matrix)
 MIN_SPEEDUP_4W = 1.6
+RUN_EWALD_SECTION = os.environ.get("PARALLEL_BENCH_EWALD", "1") != "0"
+#: with distribution on, the driver's compute share must at least halve
+#: (gated on >= 4 cores and >= 4 workers; meaningless when time-slicing)
+MAX_DISTRIBUTED_SHARE_RATIO = 0.5
 
 
 def _fresh_system():
@@ -78,6 +90,11 @@ def test_parallel_benchmark():
             workers=workers,
         ) as engine:
             rate, energy = _measure(engine)
+            drep = (
+                engine.driver_report()
+                if engine.parallel
+                else {"driver_s": 0.0, "wall_s": 0.0, "driver_share": None}
+            )
             rows.append(
                 {
                     "workers_requested": workers,
@@ -87,12 +104,73 @@ def test_parallel_benchmark():
                     "speedup_vs_sequential": round(rate / seq_rate, 2),
                     "efficiency": round(rate / seq_rate / max(workers, 1), 2),
                     "total_energy": energy,
+                    "driver_compute_s": round(drep["driver_s"], 4),
+                    "force_wall_s": round(drep["wall_s"], 4),
+                    "driver_share": (
+                        round(drep["driver_share"], 4)
+                        if drep["driver_share"] is not None
+                        else None
+                    ),
                 }
             )
         # physics gate: same trajectory endpoint as the sequential engine
         assert abs(energy - seq_energy) <= 1e-6 * abs(seq_energy), (
             f"workers={workers} diverged: {energy} vs sequential {seq_energy}"
         )
+
+    # distribution section: the Ewald-enabled run, driver keeping bonded +
+    # k-space (distribute=False) vs shipping them to the pool as force tasks
+    distribution = None
+    w_max = max(WORKER_COUNTS)
+    if RUN_EWALD_SECTION and w_max >= 2:
+        from repro.md.ewald import EwaldOptions
+
+        ewald = EwaldOptions(cutoff=CUTOFF, kmax=6)
+        modes = {}
+        for distribute in (False, True):
+            with ParallelEngine(
+                _fresh_system(),
+                NonbondedOptions(cutoff=CUTOFF),
+                VelocityVerlet(dt=1.0),
+                workers=w_max,
+                ewald=ewald,
+                distribute=distribute,
+            ) as engine:
+                rate, energy = _measure(engine)
+                pool_ok = engine.parallel
+                drep = engine.driver_report()
+            modes["on" if distribute else "off"] = {
+                "parallel_pool": pool_ok,
+                "steps_per_sec": round(rate, 4),
+                "total_energy": energy,
+                "driver_compute_s": round(drep["driver_s"], 4),
+                "force_wall_s": round(drep["wall_s"], 4),
+                "driver_share": round(drep["driver_share"], 4),
+            }
+        distribution = {
+            "workers": w_max,
+            "ewald_kmax": ewald.kmax,
+            "modes": modes,
+        }
+        # both modes integrate the same physics
+        e_on, e_off = modes["on"]["total_energy"], modes["off"]["total_energy"]
+        assert abs(e_on - e_off) <= 1e-6 * abs(e_off), (
+            f"distributed Ewald run diverged: {e_on} vs {e_off}"
+        )
+        cores = os.cpu_count() or 1
+        if (
+            cores >= 4
+            and w_max >= 4
+            and modes["on"]["parallel_pool"]
+            and modes["off"]["parallel_pool"]
+        ):
+            share_on = modes["on"]["driver_share"]
+            share_off = modes["off"]["driver_share"]
+            assert share_on <= MAX_DISTRIBUTED_SHARE_RATIO * share_off, (
+                f"distribution left the driver share at {share_on:.3f} "
+                f"(undistributed {share_off:.3f}); expected at least a "
+                f"{1 - MAX_DISTRIBUTED_SHARE_RATIO:.0%} drop"
+            )
 
     payload = {
         "system": {"n_atoms": n_atoms, "cutoff_A": CUTOFF, "dt_fs": 1.0},
@@ -103,6 +181,7 @@ def test_parallel_benchmark():
         "host": {"cpu_count": os.cpu_count()},
         "sequential_steps_per_sec": round(seq_rate, 4),
         "workers": rows,
+        "distribution": distribution,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_parallel.json").write_text(
@@ -123,6 +202,18 @@ def test_parallel_benchmark():
             f"{row['speedup_vs_sequential']:>7.2f}x "
             f"{row['efficiency']:>10.2f}"
         )
+    if distribution is not None:
+        lines.append("")
+        lines.append(
+            f"Ewald run at {distribution['workers']} workers "
+            f"(kmax {distribution['ewald_kmax']}): driver share"
+        )
+        for mode, m in distribution["modes"].items():
+            lines.append(
+                f"  distribute {mode:>3}: {m['driver_share'] * 100:6.1f}% "
+                f"({m['driver_compute_s']:.3f}s of {m['force_wall_s']:.3f}s), "
+                f"{m['steps_per_sec']:.4f} steps/sec"
+            )
     (RESULTS_DIR / "BENCH_parallel.txt").write_text("\n".join(lines) + "\n")
 
     by_requested = {r["workers_requested"]: r for r in rows}

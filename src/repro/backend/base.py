@@ -29,6 +29,24 @@ si, sj) -> (e_lj, e_elec, n_pairs)``
 ``ewald_recip(pos, q, kvecs, ak, pref, forces) -> energy``
     Ewald reciprocal-space sum over precomputed ``(kvecs, ak)`` tables
     with prefactor ``pref = C * 2π / V``.
+
+``bonded_terms(pos, box, kind, idx, kpar, p1, p2, forces, sidx) -> energy``
+    Vectorized bonded-term kernel for one term kind: ``kind`` is 0 (bond),
+    1 (angle), 2 (dihedral), or 3 (improper).  ``idx`` is ``(m, w)`` atom
+    indices (``w`` = 2/3/4), ``kpar`` the force constants, ``p1`` the
+    equilibrium parameter (``r0`` / ``theta0`` / periodicity ``n`` /
+    ``psi0``) and ``p2`` the dihedral phase ``delta`` (zeros for other
+    kinds).  Positions are read through ``idx``; forces accumulate at the
+    parallel ``sidx`` rows (pass ``sidx=idx`` for a plain in-place
+    evaluation) so the parallel engine can scatter each task into a
+    compact slab of a shared buffer.
+
+``ewald_recip_shard(pos, q, kvecs, ak, pref, forces) -> energy``
+    Same contract as ``ewald_recip`` evaluated over a contiguous *shard*
+    of the tables (the caller slices ``kvecs``/``ak``).  Because every
+    k-vector's contribution is independent, summing shard results over a
+    partition of the tables must reproduce ``ewald_recip`` of the full
+    tables to rounding error — the parity self-check enforces this.
 """
 
 from __future__ import annotations
@@ -38,12 +56,18 @@ from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["KernelBackend", "parity_selfcheck", "synthetic_problem"]
+__all__ = ["KernelBackend", "bonded_cases", "parity_selfcheck", "synthetic_problem"]
 
 
 @dataclass(frozen=True)
 class KernelBackend:
-    """One named implementation of the five hot-path kernels."""
+    """One named implementation of the hot-path kernels.
+
+    ``bonded_terms`` and ``ewald_recip_shard`` default to ``None`` so
+    hand-built test doubles predating them still construct; a candidate
+    that omits a kernel the reference provides fails the parity
+    self-check (missing kernels are a contract violation, not a feature).
+    """
 
     name: str
     compiled: bool
@@ -52,6 +76,8 @@ class KernelBackend:
     segment_add: Callable[..., None]
     ewald_real: Callable[..., float]
     ewald_recip: Callable[..., float]
+    bonded_terms: Callable[..., float] | None = None
+    ewald_recip_shard: Callable[..., float] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "compiled" if self.compiled else "interpreted"
@@ -90,6 +116,30 @@ def synthetic_problem(seed: int = 2026) -> dict[str, Any]:
     scatter_idx = rng.integers(0, n, size=m)  # duplicates on purpose
     contrib = rng.normal(0.0, 1.0, size=(m, 3))
 
+    # bonded terms: sliding windows over fresh permutations so every term's
+    # atoms are distinct (degenerate geometry would divide by ~0 lengths)
+    permb = rng.permutation(n).astype(np.int64)
+    bond_idx = np.stack([permb[:-1], permb[1:]], axis=1)[:16]
+    bond_k = rng.uniform(100.0, 400.0, size=len(bond_idx))
+    bond_r0 = rng.uniform(0.9, 1.6, size=len(bond_idx))
+    perma = rng.permutation(n).astype(np.int64)
+    angle_idx = np.stack([perma[:-2], perma[1:-1], perma[2:]], axis=1)[:12]
+    angle_k = rng.uniform(20.0, 80.0, size=len(angle_idx))
+    angle_t0 = rng.uniform(1.5, 2.4, size=len(angle_idx))
+    permd = rng.permutation(n).astype(np.int64)
+    dih_idx = np.stack(
+        [permd[:-3], permd[1:-2], permd[2:-1], permd[3:]], axis=1
+    )[:10]
+    dih_k = rng.uniform(0.5, 3.0, size=len(dih_idx))
+    dih_n = rng.integers(1, 4, size=len(dih_idx)).astype(np.float64)
+    dih_delta = rng.uniform(0.0, np.pi, size=len(dih_idx))
+    permi = rng.permutation(n).astype(np.int64)
+    imp_idx = np.stack(
+        [permi[:-3], permi[1:-2], permi[2:-1], permi[3:]], axis=1
+    )[:8]
+    imp_k = rng.uniform(5.0, 30.0, size=len(imp_idx))
+    imp_psi0 = rng.uniform(-0.6, 0.6, size=len(imp_idx))
+
     return {
         "n": n,
         "box": box,
@@ -108,7 +158,35 @@ def synthetic_problem(seed: int = 2026) -> dict[str, Any]:
         "pref": pref,
         "scatter_idx": scatter_idx,
         "contrib": contrib,
+        "bond_idx": bond_idx,
+        "bond_k": bond_k,
+        "bond_r0": bond_r0,
+        "angle_idx": angle_idx,
+        "angle_k": angle_k,
+        "angle_t0": angle_t0,
+        "dih_idx": dih_idx,
+        "dih_k": dih_k,
+        "dih_n": dih_n,
+        "dih_delta": dih_delta,
+        "imp_idx": imp_idx,
+        "imp_k": imp_k,
+        "imp_psi0": imp_psi0,
+        "shard_split": 17,  # shard boundary exercised by the self-check
     }
+
+
+def bonded_cases(p: dict[str, Any]) -> list[tuple]:
+    """The ``(kind, idx, kpar, p1, p2)`` tuples of a synthetic problem.
+
+    ``p2`` is the dihedral phase ``delta``; zeros for the other kinds per
+    the ``bonded_terms`` contract.
+    """
+    return [
+        (0, p["bond_idx"], p["bond_k"], p["bond_r0"], np.zeros(len(p["bond_k"]))),
+        (1, p["angle_idx"], p["angle_k"], p["angle_t0"], np.zeros(len(p["angle_k"]))),
+        (2, p["dih_idx"], p["dih_k"], p["dih_n"], p["dih_delta"]),
+        (3, p["imp_idx"], p["imp_k"], p["imp_psi0"], np.zeros(len(p["imp_k"]))),
+    ]
 
 
 def _close(a, b, tol: float) -> bool:
@@ -195,6 +273,50 @@ def parity_selfcheck(
                                      p["pref"], fk_r)
         if not _close(ek_c, ek_r, tol) or not _close(fk_c, fk_r, tol):
             return False, "ewald_recip: results disagree"
+
+        # newer contract entries: a candidate missing a kernel the
+        # reference provides is a contract violation, not a degraded mode
+        for kern in ("bonded_terms", "ewald_recip_shard"):
+            if getattr(reference, kern) is not None and getattr(candidate, kern) is None:
+                return False, f"{kern}: kernel missing from candidate"
+
+        # bonded_terms (all four kinds)
+        if reference.bonded_terms is not None and candidate.bonded_terms is not None:
+            kind_names = ("bond", "angle", "dihedral", "improper")
+            for kind, idx, kpar, p1, p2 in bonded_cases(p):
+                fb_c = np.zeros((p["n"], 3))
+                fb_r = np.zeros((p["n"], 3))
+                eb_c = candidate.bonded_terms(
+                    p["pos"], p["box"], kind, idx, kpar, p1, p2, fb_c, idx
+                )
+                eb_r = reference.bonded_terms(
+                    p["pos"], p["box"], kind, idx, kpar, p1, p2, fb_r, idx
+                )
+                label = f"bonded_terms[{kind_names[kind]}]"
+                if not _close(eb_c, eb_r, tol):
+                    return False, f"{label}: energies {eb_c} != {eb_r}"
+                if not _close(fb_c, fb_r, tol):
+                    return False, f"{label}: forces disagree"
+                # bonded terms are translation invariant: net force ~ 0
+                net = np.abs(fb_c.sum(axis=0))
+                if not np.all(net <= 1e-8 * max(1.0, float(np.max(np.abs(fb_c))))):
+                    return False, f"{label}: net force nonzero ({net})"
+
+        # ewald_recip_shard: two shards must reproduce the full recip sum
+        if (
+            reference.ewald_recip_shard is not None
+            and candidate.ewald_recip_shard is not None
+        ):
+            lo = int(p["shard_split"])
+            fs_c = np.zeros((p["n"], 3))
+            es_c = 0.0
+            for sl in (slice(0, lo), slice(lo, len(p["kvecs"]))):
+                es_c += candidate.ewald_recip_shard(
+                    p["pos"], p["charges"], p["kvecs"][sl], p["ak"][sl],
+                    p["pref"], fs_c,
+                )
+            if not _close(es_c, ek_r, tol) or not _close(fs_c, fk_r, tol):
+                return False, "ewald_recip_shard: sharded sum != full recip sum"
     except Exception as exc:  # noqa: BLE001 - fold any kernel failure into fallback
         return False, f"{type(exc).__name__}: {exc}"
     return True, "ok"

@@ -188,6 +188,175 @@ if HAS_NUMBA:
         return energy
 
     @njit(cache=True)
+    def _bonds_jit(pos, box, idx, kpar, p1, forces, sidx):
+        bx, by, bz = box[0], box[1], box[2]
+        energy = 0.0
+        for p in range(idx.shape[0]):
+            i = idx[p, 0]
+            j = idx[p, 1]
+            dx = _min_image_1d(pos[j, 0] - pos[i, 0], bx)
+            dy = _min_image_1d(pos[j, 1] - pos[i, 1], by)
+            dz = _min_image_1d(pos[j, 2] - pos[i, 2], bz)
+            r = math.sqrt(dx * dx + dy * dy + dz * dz)
+            stretch = r - p1[p]
+            energy += kpar[p] * stretch * stretch
+            rsafe = r if r > 1e-12 else 1e-12
+            fmag = 2.0 * kpar[p] * stretch / rsafe
+            fx = fmag * dx
+            fy = fmag * dy
+            fz = fmag * dz
+            a = sidx[p, 0]
+            b = sidx[p, 1]
+            forces[a, 0] += fx
+            forces[a, 1] += fy
+            forces[a, 2] += fz
+            forces[b, 0] -= fx
+            forces[b, 1] -= fy
+            forces[b, 2] -= fz
+        return energy
+
+    @njit(cache=True)
+    def _angles_jit(pos, box, idx, kpar, p1, forces, sidx):
+        bx, by, bz = box[0], box[1], box[2]
+        energy = 0.0
+        for p in range(idx.shape[0]):
+            i = idx[p, 0]
+            j = idx[p, 1]
+            k3 = idx[p, 2]
+            ax = _min_image_1d(pos[i, 0] - pos[j, 0], bx)
+            ay = _min_image_1d(pos[i, 1] - pos[j, 1], by)
+            az = _min_image_1d(pos[i, 2] - pos[j, 2], bz)
+            cx = _min_image_1d(pos[k3, 0] - pos[j, 0], bx)
+            cy = _min_image_1d(pos[k3, 1] - pos[j, 1], by)
+            cz = _min_image_1d(pos[k3, 2] - pos[j, 2], bz)
+            na = math.sqrt(ax * ax + ay * ay + az * az)
+            nc = math.sqrt(cx * cx + cy * cy + cz * cz)
+            ahx = ax / na
+            ahy = ay / na
+            ahz = az / na
+            chx = cx / nc
+            chy = cy / nc
+            chz = cz / nc
+            cos_t = ahx * chx + ahy * chy + ahz * chz
+            if cos_t > 1.0:
+                cos_t = 1.0
+            elif cos_t < -1.0:
+                cos_t = -1.0
+            theta = math.acos(cos_t)
+            sin_t = math.sqrt(1.0 - cos_t * cos_t)
+            if sin_t < 1e-8:  # _MIN_SIN collinearity guard
+                sin_t = 1e-8
+            diff = theta - p1[p]
+            energy += kpar[p] * diff * diff
+            dE = 2.0 * kpar[p] * diff
+            ci = -dE / (na * sin_t)
+            ck = -dE / (nc * sin_t)
+            fix = ci * (cos_t * ahx - chx)
+            fiy = ci * (cos_t * ahy - chy)
+            fiz = ci * (cos_t * ahz - chz)
+            fkx = ck * (cos_t * chx - ahx)
+            fky = ck * (cos_t * chy - ahy)
+            fkz = ck * (cos_t * chz - ahz)
+            a = sidx[p, 0]
+            b = sidx[p, 1]
+            c = sidx[p, 2]
+            forces[a, 0] += fix
+            forces[a, 1] += fiy
+            forces[a, 2] += fiz
+            forces[b, 0] -= fix + fkx
+            forces[b, 1] -= fiy + fky
+            forces[b, 2] -= fiz + fkz
+            forces[c, 0] += fkx
+            forces[c, 1] += fky
+            forces[c, 2] += fkz
+        return energy
+
+    @njit(cache=True)
+    def _torsions_jit(pos, box, improper, idx, kpar, p1, p2, forces, sidx):
+        bx, by, bz = box[0], box[1], box[2]
+        energy = 0.0
+        for p in range(idx.shape[0]):
+            i = idx[p, 0]
+            j = idx[p, 1]
+            k3 = idx[p, 2]
+            ll = idx[p, 3]
+            b1x = _min_image_1d(pos[j, 0] - pos[i, 0], bx)
+            b1y = _min_image_1d(pos[j, 1] - pos[i, 1], by)
+            b1z = _min_image_1d(pos[j, 2] - pos[i, 2], bz)
+            b2x = _min_image_1d(pos[k3, 0] - pos[j, 0], bx)
+            b2y = _min_image_1d(pos[k3, 1] - pos[j, 1], by)
+            b2z = _min_image_1d(pos[k3, 2] - pos[j, 2], bz)
+            b3x = _min_image_1d(pos[ll, 0] - pos[k3, 0], bx)
+            b3y = _min_image_1d(pos[ll, 1] - pos[k3, 1], by)
+            b3z = _min_image_1d(pos[ll, 2] - pos[k3, 2], bz)
+            mx = b1y * b2z - b1z * b2y
+            my = b1z * b2x - b1x * b2z
+            mz = b1x * b2y - b1y * b2x
+            nx = b2y * b3z - b2z * b3y
+            ny = b2z * b3x - b2x * b3z
+            nz = b2x * b3y - b2y * b3x
+            nb2 = math.sqrt(b2x * b2x + b2y * b2y + b2z * b2z)
+            mxnx = my * nz - mz * ny
+            mxny = mz * nx - mx * nz
+            mxnz = mx * ny - my * nx
+            nb2safe = nb2 if nb2 > 1e-12 else 1e-12
+            sin_term = (mxnx * b2x + mxny * b2y + mxnz * b2z) / nb2safe
+            cos_term = mx * nx + my * ny + mz * nz
+            phi = math.atan2(sin_term, cos_term)
+            m2 = mx * mx + my * my + mz * mz
+            if m2 < 1e-12:
+                m2 = 1e-12
+            n2 = nx * nx + ny * ny + nz * nz
+            if n2 < 1e-12:
+                n2 = 1e-12
+            if improper:
+                diff = phi - p1[p]
+                diff = (diff + math.pi) % (2.0 * math.pi) - math.pi
+                energy += kpar[p] * diff * diff
+                dE = 2.0 * kpar[p] * diff
+            else:
+                arg = p1[p] * phi - p2[p]
+                energy += kpar[p] * (1.0 + math.cos(arg))
+                dE = -kpar[p] * p1[p] * math.sin(arg)
+            b2sq = nb2 * nb2
+            if b2sq < 1e-12:
+                b2sq = 1e-12
+            sm = -nb2 / m2
+            sn = nb2 / n2
+            drix = sm * mx
+            driy = sm * my
+            driz = sm * mz
+            drlx = sn * nx
+            drly = sn * ny
+            drlz = sn * nz
+            t = (b1x * b2x + b1y * b2y + b1z * b2z) / b2sq
+            s = (b3x * b2x + b3y * b2y + b3z * b2z) / b2sq
+            drjx = -(1.0 + t) * drix + s * drlx
+            drjy = -(1.0 + t) * driy + s * drly
+            drjz = -(1.0 + t) * driz + s * drlz
+            drkx = -(1.0 + s) * drlx + t * drix
+            drky = -(1.0 + s) * drly + t * driy
+            drkz = -(1.0 + s) * drlz + t * driz
+            scale = -dE
+            a = sidx[p, 0]
+            b = sidx[p, 1]
+            c = sidx[p, 2]
+            d = sidx[p, 3]
+            forces[a, 0] += scale * drix
+            forces[a, 1] += scale * driy
+            forces[a, 2] += scale * driz
+            forces[b, 0] += scale * drjx
+            forces[b, 1] += scale * drjy
+            forces[b, 2] += scale * drjz
+            forces[c, 0] += scale * drkx
+            forces[c, 1] += scale * drky
+            forces[c, 2] += scale * drkz
+            forces[d, 0] += scale * drlx
+            forces[d, 1] += scale * drly
+            forces[d, 2] += scale * drlz
+        return energy
+
+    @njit(cache=True)
     def _ewald_recip_jit(pos, q, kvecs, ak, pref, forces):
         n = pos.shape[0]
         nk = kvecs.shape[0]
@@ -270,6 +439,32 @@ def _ewald_recip(pos, q, kvecs, ak, pref, forces):
     ))
 
 
+#: Every k-vector contributes independently, so the shard kernel is the
+#: full reciprocal kernel applied to sliced tables (same as the reference).
+_ewald_recip_shard = _ewald_recip
+
+
+def _bonded_terms(pos, box, kind, idx, kpar, p1, p2, forces, sidx):
+    if len(idx) == 0:
+        return 0.0
+    pos8, box8 = _as_f8(pos), _as_f8(box)
+    idx8, sidx8 = _as_i8(idx), _as_i8(sidx)
+    kpar8, p18 = _as_f8(kpar), _as_f8(p1)
+    if kind == 0:
+        return float(_bonds_jit(pos8, box8, idx8, kpar8, p18, forces, sidx8))
+    if kind == 1:
+        return float(_angles_jit(pos8, box8, idx8, kpar8, p18, forces, sidx8))
+    if kind == 2:
+        return float(_torsions_jit(
+            pos8, box8, False, idx8, kpar8, p18, _as_f8(p2), forces, sidx8
+        ))
+    if kind == 3:
+        return float(_torsions_jit(
+            pos8, box8, True, idx8, kpar8, p18, _as_f8(p2), forces, sidx8
+        ))
+    raise ValueError(f"unknown bonded term kind {kind!r}")
+
+
 def build_backend() -> KernelBackend:
     """The numba backend instance (raises ``ImportError`` without numba)."""
     if not HAS_NUMBA:
@@ -282,4 +477,6 @@ def build_backend() -> KernelBackend:
         segment_add=_segment_add,
         ewald_real=_ewald_real,
         ewald_recip=_ewald_recip,
+        bonded_terms=_bonded_terms,
+        ewald_recip_shard=_ewald_recip_shard,
     )

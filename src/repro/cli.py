@@ -141,6 +141,18 @@ def cmd_md(args) -> int:
     backend = set_default_backend(args.backend)
     if args.backend != "auto" or backend.name != "numpy":
         print(f"kernel backend: {backend.name}")
+    ewald = None
+    if args.kmax < 0:
+        raise SystemExit("--kmax must be >= 0")
+    if args.ewald:
+        from repro.md.ewald import EwaldOptions
+
+        ewald = EwaldOptions(cutoff=args.cutoff, kmax=args.kmax)
+        print(
+            f"electrostatics: Ewald (alpha {ewald.alpha_value():.4f}, "
+            f"kmax {ewald.kmax})"
+        )
+    distribute = not args.no_distribute
     if args.skew > 0:
         system = skewed_water_box(args.waters, seed=args.seed, skew=args.skew)
     else:
@@ -164,6 +176,7 @@ def cmd_md(args) -> int:
             pairlist=pairlist,
             checkpoint_every=args.checkpoint_every,
             checkpoint_path=args.checkpoint_path,
+            ewald=ewald,
         )
     else:
         pairlist = None
@@ -180,6 +193,8 @@ def cmd_md(args) -> int:
                 fault_plan=fault_plan,
                 checkpoint_every=args.checkpoint_every,
                 checkpoint_path=args.checkpoint_path,
+                ewald=ewald,
+                distribute=distribute,
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
@@ -188,6 +203,9 @@ def cmd_md(args) -> int:
             if engine.parallel
             else "parallel pool unavailable; running sequentially"
         )
+        if engine.parallel and distribute:
+            extra = " and Ewald k-space shards" if ewald is not None else ""
+            print(f"distributing bonded term groups{extra} onto the pool")
         if engine.parallel and args.grainsize_ms:
             rep = engine._nb.split_report()
             print(
@@ -249,6 +267,22 @@ def cmd_md(args) -> int:
                         engine.workdb, engine.workers, width=72
                     )
                 )
+            drep = engine.driver_report()
+            if drep["n_evals"]:
+                print(
+                    f"driver share: {drep['driver_share'] * 100:.1f}% "
+                    f"({drep['driver_s'] * 1e3:.1f} ms driver compute of "
+                    f"{drep['wall_s'] * 1e3:.1f} ms force wall; "
+                    "one-core hosts time-slice, so only multi-core "
+                    "numbers are meaningful)"
+                )
+            if ewald is not None:
+                ks = engine.kspace_cache_stats()
+                print(
+                    f"k-space cache: driver {ks['driver']['builds']} builds/"
+                    f"{ks['driver']['hits']} hits, workers "
+                    f"{ks['worker_builds']} builds/{ks['worker_hits']} hits"
+                )
         res = getattr(engine, "resilience", None)
         if res is not None and (res.events or res.mode != "full"):
             print(
@@ -259,6 +293,12 @@ def cmd_md(args) -> int:
                 f"{res.degraded_steps} degraded steps, "
                 f"{res.recovery_time_s * 1e3:.1f} ms recovering"
             )
+            if res.reassigned_by_kind:
+                kinds = ", ".join(
+                    f"{k} {v}"
+                    for k, v in sorted(res.reassigned_by_kind.items())
+                )
+                print(f"  reassigned by kind: {kinds}")
             for ev in res.events:
                 who = f"worker {ev.worker}" if ev.worker >= 0 else "pool"
                 print(
@@ -478,6 +518,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore --checkpoint-path before stepping; the resumed "
              "trajectory is bit-identical to the original run's "
              "continuation",
+    )
+    p_md.add_argument(
+        "--ewald", action="store_true",
+        help="replace the cutoff point-charge electrostatics with full "
+             "periodic Ewald summation (real-space within --cutoff, "
+             "reciprocal sum to --kmax); with --workers > 1 the k-space "
+             "sum runs as sharded tasks on the pool unless "
+             "--no-distribute",
+    )
+    p_md.add_argument(
+        "--kmax", type=int, default=8, metavar="K",
+        help="Ewald reciprocal-space extent: k-vectors with |m| <= K per "
+             "axis (only with --ewald)",
+    )
+    p_md.add_argument(
+        "--no-distribute", action="store_true",
+        help="keep bonded terms (and the Ewald k-space sum) on the driver "
+             "instead of distributing them onto the worker pool; only "
+             "meaningful with --workers > 1",
     )
 
     p_sc = sub.add_parser("scaling", help="scaling table for one system")

@@ -61,6 +61,10 @@ class TaskRecord:
     parent: int = -1
     part: int = 0
     n_parts: int = 1
+    #: task kind: "cell" (half-shell pair task), "bonded" (per-cell bonded
+    #: term group), "kspace" (Ewald reciprocal shard) — lets per-kind
+    #: measured times feed the balancer and analysis tooling
+    kind: str = "cell"
 
     @property
     def last(self) -> float:
@@ -129,11 +133,13 @@ class WorkDB:
         parent: int = -1,
         part: int = 0,
         n_parts: int = 1,
+        kind: str = "cell",
     ) -> TaskRecord:
         """Declare a task (idempotent); updates affinity/prior if given.
 
         ``parent``/``part``/``n_parts`` declare a grainsize slice (see
-        :class:`TaskRecord`); they default to "not a slice".
+        :class:`TaskRecord`); they default to "not a slice".  ``kind``
+        classifies the task ("cell", "bonded", "kspace").
         """
         rec = self.tasks.get(task_id)
         if rec is None:
@@ -147,6 +153,7 @@ class WorkDB:
                 parent=int(parent),
                 part=int(part),
                 n_parts=int(n_parts),
+                kind=str(kind),
             )
         else:
             if patches:
@@ -159,7 +166,31 @@ class WorkDB:
                 rec.parent = int(parent)
                 rec.part = int(part)
                 rec.n_parts = int(n_parts)
+            if kind != "cell":
+                rec.kind = str(kind)
         return rec
+
+    def kind_loads(self) -> dict[str, float]:
+        """Predicted load summed per task kind (balancer/report input)."""
+        out: dict[str, float] = {}
+        scale = self._prior_scale()
+        for tid, rec in self.tasks.items():
+            out[rec.kind] = out.get(rec.kind, 0.0) + self.load(tid, scale)
+        return out
+
+    def fixed_owner_loads(self, n_workers: int) -> np.ndarray:
+        """Per-worker predicted load of *non-migratable* tasks only.
+
+        This is the background term :func:`repro.instrument.adapter.
+        build_lb_problem` packs migratable work around: fixed inter-cell
+        bonded groups stay with their owner, so the balancer must see their
+        load as immovable."""
+        out = np.zeros(int(n_workers), dtype=np.float64)
+        scale = self._prior_scale()
+        for tid, rec in self.tasks.items():
+            if not rec.migratable and 0 <= rec.owner < len(out):
+                out[rec.owner] += self.load(tid, scale)
+        return out
 
     def record(
         self,
@@ -362,6 +393,7 @@ class WorkDB:
                     "parent": rec.parent,
                     "part": rec.part,
                     "n_parts": rec.n_parts,
+                    "kind": rec.kind,
                 }
                 for rec in self.tasks.values()
             ],
@@ -412,6 +444,7 @@ class WorkDB:
                 parent=int(t.get("parent", -1)),
                 part=int(t.get("part", 0)),
                 n_parts=int(t.get("n_parts", 1)),
+                kind=str(t.get("kind", "cell")),
             )
             db.tasks[rec.task_id] = rec
         return db

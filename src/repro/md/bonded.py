@@ -10,6 +10,13 @@ Every kernel is vectorized over its term array and accepts an optional
 terms owned by one patch (paper §3: the upstream-ownership rule assigns each
 term to a unique patch).  Forces are *accumulated* into the caller's array,
 matching how home patches combine force messages.
+
+The per-term math lives in the backend layer (``backend.bonded_terms``, with
+a numpy reference bit-identical to the historical inline code and a numba
+JIT twin) so the parallel engine's worker processes can evaluate bonded
+tasks through the same kernel registry as the pair kernel.  These wrappers
+keep the md-facing API: term arrays come from the topology, forces scatter
+at the global atom indices.
 """
 
 from __future__ import annotations
@@ -18,12 +25,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.md.scatter import segment_add
+from repro.backend import KernelBackend, get_backend
 from repro.md.system import MolecularSystem
-from repro.util.pbc import minimum_image
 
 __all__ = [
     "BondedEnergies",
+    "BONDED_KINDS",
+    "bonded_term_arrays",
     "compute_bonds",
     "compute_angles",
     "compute_dihedrals",
@@ -32,7 +40,8 @@ __all__ = [
     "dihedral_angles",
 ]
 
-_MIN_SIN = 1e-8  # guard against collinear angle configurations
+#: Kind codes of the ``backend.bonded_terms`` contract, in evaluation order.
+BONDED_KINDS = ("bond", "angle", "dihedral", "improper")
 
 
 @dataclass
@@ -54,187 +63,117 @@ def _take(arr: np.ndarray, subset: np.ndarray | None) -> np.ndarray:
     return arr if subset is None else arr[subset]
 
 
+def bonded_term_arrays(
+    system: MolecularSystem, kind: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The ``(idx, k, p1, p2)`` arrays of one bonded-term kind.
+
+    This is the kernel-ready form of the topology's term tables, matching
+    the ``backend.bonded_terms`` contract: ``p1`` is the equilibrium
+    parameter (``r0``/``theta0``/periodicity/``psi0``), ``p2`` the dihedral
+    phase (zeros for other kinds).  The parallel engine partitions these
+    arrays into per-cell tasks.
+    """
+    topo = system.topology
+    if kind == 0:
+        idx, k, r0 = topo.bond_arrays()
+        return idx, k, r0, np.zeros(len(k))
+    if kind == 1:
+        idx, k, theta0 = topo.angle_arrays()
+        return idx, k, theta0, np.zeros(len(k))
+    if kind == 2:
+        idx, k, n_per, delta = topo.dihedral_arrays()
+        return idx, k, n_per, delta
+    if kind == 3:
+        idx, k, psi0 = topo.improper_arrays()
+        return idx, k, psi0, np.zeros(len(k))
+    raise ValueError(f"unknown bonded term kind {kind!r}")
+
+
+def _compute_kind(
+    system: MolecularSystem,
+    kind: int,
+    forces: np.ndarray,
+    subset: np.ndarray | None,
+    backend: KernelBackend | str | None,
+) -> float:
+    idx, k, p1, p2 = bonded_term_arrays(system, kind)
+    idx, k = _take(idx, subset), _take(k, subset)
+    p1, p2 = _take(p1, subset), _take(p2, subset)
+    if len(idx) == 0:
+        return 0.0
+    return get_backend(backend).bonded_terms(
+        system.positions, system.box, kind, idx, k, p1, p2, forces, idx
+    )
+
+
 def compute_bonds(
     system: MolecularSystem,
     forces: np.ndarray,
     subset: np.ndarray | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> float:
     """Harmonic bonds ``E = k (r - r0)²``; returns energy, accumulates forces."""
-    idx, k, r0 = system.topology.bond_arrays()
-    idx, k, r0 = _take(idx, subset), _take(k, subset), _take(r0, subset)
-    if len(idx) == 0:
-        return 0.0
-    pos = system.positions
-    delta = minimum_image(pos[idx[:, 1]] - pos[idx[:, 0]], system.box)
-    r = np.linalg.norm(delta, axis=1)
-    stretch = r - r0
-    energy = float(np.dot(k, stretch * stretch))
-    # F_i = 2 k (r - r0) * delta / r  (toward j when stretched)
-    fmag = (2.0 * k * stretch / np.maximum(r, 1e-12))[:, None]
-    fvec = fmag * delta
-    segment_add(forces, idx[:, 0], fvec)
-    segment_add(forces, idx[:, 1], -fvec)
-    return energy
+    return _compute_kind(system, 0, forces, subset, backend)
 
 
 def compute_angles(
     system: MolecularSystem,
     forces: np.ndarray,
     subset: np.ndarray | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> float:
     """Harmonic angles ``E = k (θ - θ0)²`` centred on the middle atom."""
-    idx, k, theta0 = system.topology.angle_arrays()
-    idx, k, theta0 = _take(idx, subset), _take(k, subset), _take(theta0, subset)
-    if len(idx) == 0:
-        return 0.0
-    pos = system.positions
-    a = minimum_image(pos[idx[:, 0]] - pos[idx[:, 1]], system.box)
-    b = minimum_image(pos[idx[:, 2]] - pos[idx[:, 1]], system.box)
-    na = np.linalg.norm(a, axis=1)
-    nb = np.linalg.norm(b, axis=1)
-    ah = a / na[:, None]
-    bh = b / nb[:, None]
-    cos_t = np.clip(np.einsum("ij,ij->i", ah, bh), -1.0, 1.0)
-    theta = np.arccos(cos_t)
-    sin_t = np.maximum(np.sqrt(1.0 - cos_t * cos_t), _MIN_SIN)
-    diff = theta - theta0
-    energy = float(np.dot(k, diff * diff))
-    dE_dtheta = 2.0 * k * diff
-    # dθ/dri = (cosθ â - b̂) / (|a| sinθ);  F_i = -dE/dθ dθ/dri
-    fi = (-dE_dtheta / (na * sin_t))[:, None] * (cos_t[:, None] * ah - bh)
-    fk = (-dE_dtheta / (nb * sin_t))[:, None] * (cos_t[:, None] * bh - ah)
-    fj = -(fi + fk)
-    segment_add(forces, idx[:, 0], fi)
-    segment_add(forces, idx[:, 1], fj)
-    segment_add(forces, idx[:, 2], fk)
-    return energy
-
-
-def _torsion_geometry(
-    system: MolecularSystem, idx: np.ndarray
-) -> tuple[np.ndarray, ...]:
-    """Shared dihedral/improper geometry.
-
-    Returns ``(phi, m, n, b1, b2, b3, nb2, m2, n2)`` for the torsion defined
-    by atom quadruples ``idx``.
-    """
-    pos = system.positions
-    box = system.box
-    b1 = minimum_image(pos[idx[:, 1]] - pos[idx[:, 0]], box)
-    b2 = minimum_image(pos[idx[:, 2]] - pos[idx[:, 1]], box)
-    b3 = minimum_image(pos[idx[:, 3]] - pos[idx[:, 2]], box)
-    m = np.cross(b1, b2)
-    n = np.cross(b2, b3)
-    nb2 = np.linalg.norm(b2, axis=1)
-    # phi = atan2((m × n)·b̂2, m·n)
-    mxn = np.cross(m, n)
-    sin_term = np.einsum("ij,ij->i", mxn, b2) / np.maximum(nb2, 1e-12)
-    cos_term = np.einsum("ij,ij->i", m, n)
-    phi = np.arctan2(sin_term, cos_term)
-    m2 = np.maximum(np.einsum("ij,ij->i", m, m), 1e-12)
-    n2 = np.maximum(np.einsum("ij,ij->i", n, n), 1e-12)
-    return phi, m, n, b1, b2, b3, nb2, m2, n2
-
-
-def _torsion_forces(
-    dE_dphi: np.ndarray,
-    m: np.ndarray,
-    n: np.ndarray,
-    b1: np.ndarray,
-    b2: np.ndarray,
-    b3: np.ndarray,
-    nb2: np.ndarray,
-    m2: np.ndarray,
-    n2: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Cartesian forces for a torsion given ``dE/dφ`` (standard gradient).
-
-    Uses the classic analytic gradient (Bekker et al.):
-    ``dφ/dr_i = -|b2| m / |m|²``, ``dφ/dr_l = |b2| n / |n|²``, with the
-    middle-atom gradients fixed by translation invariance.
-    """
-    b2sq = np.maximum(nb2 * nb2, 1e-12)
-    dphi_dri = (-nb2 / m2)[:, None] * m
-    dphi_drl = (nb2 / n2)[:, None] * n
-    t = (np.einsum("ij,ij->i", b1, b2) / b2sq)[:, None]
-    s = (np.einsum("ij,ij->i", b3, b2) / b2sq)[:, None]
-    # middle-atom gradients fixed by translation invariance (validated
-    # against numerical differentiation in tests/test_md/test_bonded.py)
-    dphi_drj = -(1.0 + t) * dphi_dri + s * dphi_drl
-    dphi_drk = -(1.0 + s) * dphi_drl + t * dphi_dri
-    scale = (-dE_dphi)[:, None]
-    return scale * dphi_dri, scale * dphi_drj, scale * dphi_drk, scale * dphi_drl
+    return _compute_kind(system, 1, forces, subset, backend)
 
 
 def compute_dihedrals(
     system: MolecularSystem,
     forces: np.ndarray,
     subset: np.ndarray | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> float:
     """Cosine torsions ``E = k (1 + cos(n φ - δ))``."""
-    idx, k, n_per, delta = system.topology.dihedral_arrays()
-    idx, k = _take(idx, subset), _take(k, subset)
-    n_per, delta = _take(n_per, subset), _take(delta, subset)
-    if len(idx) == 0:
-        return 0.0
-    phi, m, n, b1, b2, b3, nb2, m2, n2 = _torsion_geometry(system, idx)
-    arg = n_per * phi - delta
-    energy = float(np.dot(k, 1.0 + np.cos(arg)))
-    dE_dphi = -k * n_per * np.sin(arg)
-    fi, fj, fk, fl = _torsion_forces(dE_dphi, m, n, b1, b2, b3, nb2, m2, n2)
-    segment_add(forces, idx[:, 0], fi)
-    segment_add(forces, idx[:, 1], fj)
-    segment_add(forces, idx[:, 2], fk)
-    segment_add(forces, idx[:, 3], fl)
-    return energy
+    return _compute_kind(system, 2, forces, subset, backend)
 
 
 def compute_impropers(
     system: MolecularSystem,
     forces: np.ndarray,
     subset: np.ndarray | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> float:
     """Harmonic impropers ``E = k (ψ - ψ0)²`` on the torsion angle ψ.
 
     The deviation is wrapped into ``[-π, π)`` so that ψ0 near ±π behaves
     continuously.
     """
-    idx, k, psi0 = system.topology.improper_arrays()
-    idx, k, psi0 = _take(idx, subset), _take(k, subset), _take(psi0, subset)
-    if len(idx) == 0:
-        return 0.0
-    psi, m, n, b1, b2, b3, nb2, m2, n2 = _torsion_geometry(system, idx)
-    diff = psi - psi0
-    diff = (diff + np.pi) % (2.0 * np.pi) - np.pi
-    energy = float(np.dot(k, diff * diff))
-    dE_dpsi = 2.0 * k * diff
-    fi, fj, fk, fl = _torsion_forces(dE_dpsi, m, n, b1, b2, b3, nb2, m2, n2)
-    segment_add(forces, idx[:, 0], fi)
-    segment_add(forces, idx[:, 1], fj)
-    segment_add(forces, idx[:, 2], fk)
-    segment_add(forces, idx[:, 3], fl)
-    return energy
+    return _compute_kind(system, 3, forces, subset, backend)
 
 
 def compute_bonded(
-    system: MolecularSystem, forces: np.ndarray | None = None
+    system: MolecularSystem,
+    forces: np.ndarray | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> tuple[BondedEnergies, np.ndarray]:
     """All bonded terms; returns energies and the (possibly new) force array."""
     if forces is None:
         forces = np.zeros((system.n_atoms, 3), dtype=np.float64)
     energies = BondedEnergies(
-        bond=compute_bonds(system, forces),
-        angle=compute_angles(system, forces),
-        dihedral=compute_dihedrals(system, forces),
-        improper=compute_impropers(system, forces),
+        bond=compute_bonds(system, forces, backend=backend),
+        angle=compute_angles(system, forces, backend=backend),
+        dihedral=compute_dihedrals(system, forces, backend=backend),
+        improper=compute_impropers(system, forces, backend=backend),
     )
     return energies, forces
 
 
 def dihedral_angles(system: MolecularSystem) -> np.ndarray:
     """Torsion angles φ (radians) of every dihedral, for analysis/tests."""
+    from repro.backend import reference as _reference
+
     idx, _, _, _ = system.topology.dihedral_arrays()
     if len(idx) == 0:
         return np.zeros(0)
-    phi = _torsion_geometry(system, idx)[0]
+    phi = _reference._torsion_geometry(system.positions, system.box, idx)[0]
     return phi

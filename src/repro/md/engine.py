@@ -70,6 +70,7 @@ class SequentialEngine:
         checkpoint_every: int = 0,
         checkpoint_path=None,
         backend=None,
+        ewald=None,
     ) -> None:
         """``pairlist`` may be a :class:`repro.md.pairlist.VerletPairList`
         (built for this engine's cutoff) to amortize pair enumeration.  The
@@ -88,7 +89,14 @@ class SequentialEngine:
         ``backend`` selects the kernel backend (``"numpy"``/``"numba"``/
         ``"auto"``/instance); ``None`` uses the session default (see
         :mod:`repro.backend`).  Resolved once here so every evaluation of
-        this engine runs the same kernels."""
+        this engine runs the same kernels.
+
+        ``ewald`` (an :class:`repro.md.ewald.EwaldOptions`) *replaces* the
+        cutoff point-charge electrostatics with the full periodic Ewald sum:
+        the pair kernel then computes LJ only, the scaled 1-4 electrostatic
+        term is dropped (the Ewald sum includes those pairs at full
+        strength), and the reported ``elec`` energy is the total over all
+        Ewald components."""
         from repro.backend import get_backend
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -103,6 +111,8 @@ class SequentialEngine:
                 raise ValueError(f"unknown pairlist mode {pairlist!r}")
             pairlist = VerletPairList(self.options.cutoff)
         self.pairlist = pairlist
+        self.ewald = ewald
+        self._last_ewald = None
         self.checkpoint_every = int(checkpoint_every)
         self.checkpoint_path = checkpoint_path
         self.n_checkpoints = 0
@@ -116,10 +126,21 @@ class SequentialEngine:
         """Evaluate the full force field at the current positions."""
         self.system.wrap()
         nb = compute_nonbonded(
-            self.system, self.options, pairlist=self.pairlist, backend=self.backend
+            self.system,
+            self.options,
+            pairlist=self.pairlist,
+            backend=self.backend,
+            coulomb=self.ewald is None,
         )
-        bonded_e, forces = compute_bonded(self.system)
+        bonded_e, forces = compute_bonded(self.system, backend=self.backend)
         forces += nb.forces
+        if self.ewald is not None:
+            from repro.md.ewald import compute_ewald
+
+            ew = compute_ewald(self.system, self.ewald, backend=self.backend)
+            forces += ew.forces
+            nb.energy_elec += ew.energy
+            self._last_ewald = ew
         self._last_nonbonded = nb
         self._last_bonded = bonded_e
         return forces
@@ -182,6 +203,20 @@ class SequentialEngine:
         save_run_checkpoint(self.checkpoint_path, self)
         self.n_checkpoints += 1
 
+    def kspace_cache_stats(self) -> dict:
+        """Ewald k-space table cache counters (``builds``/``hits``) as seen
+        by this engine's process.  The parallel engine overrides this to
+        fold in per-worker counters from the shared stats segment."""
+        from repro.md.ewald import kspace_cache_stats
+
+        return kspace_cache_stats()
+
+    def clear_kspace_cache(self) -> None:
+        """Drop the memoized k-space tables and reset the counters."""
+        from repro.md.ewald import clear_kspace_cache
+
+        clear_kspace_cache()
+
     def run(self, n_steps: int) -> list[StepReport]:
         """Advance ``n_steps`` and return the per-step reports."""
         return [self.step() for _ in range(n_steps)]
@@ -209,22 +244,49 @@ def make_engine(
     integrator: VelocityVerlet | None = None,
     workers: int = 1,
     backend=None,
+    ewald=None,
     **parallel_kwargs,
 ) -> SequentialEngine:
-    """Engine factory: sequential for ``workers <= 1``, parallel otherwise.
+    """Engine factory: sequential for ``workers == 1``, parallel otherwise.
 
     ``workers == 0`` requests one worker per CPU (respecting cgroup/affinity
-    limits).  ``backend`` selects the kernel backend for either engine.
-    Extra keyword arguments (``skin``, ``timeout``, ``cost_model``) go to
-    :class:`repro.md.parallel.ParallelEngine`.  Both returned engines share
-    the :class:`SequentialEngine` interface and work as context managers, so
-    callers need no engine-specific cleanup logic.
+    limits).  ``backend`` selects the kernel backend for either engine and
+    ``ewald`` enables full periodic electrostatics on either engine.
+
+    Keyword arguments both engines understand (``skin``,
+    ``checkpoint_every``, ``checkpoint_path``) are honoured on the
+    sequential path too — ``skin`` configures its Verlet pair list.
+    Parallel-only keywords (``timeout``, ``cost_model``, ``fault_plan``,
+    ``distribute``, ...) raise ``TypeError`` when ``workers == 1`` instead
+    of being silently dropped, so a config typed for the pool cannot
+    quietly change meaning on a one-worker run.  Both returned engines
+    share the :class:`SequentialEngine` interface and work as context
+    managers, so callers need no engine-specific cleanup logic.
     """
     if workers == 1:
-        return SequentialEngine(system, options, integrator, backend=backend)
+        seq_kwargs = {}
+        skin = parallel_kwargs.pop("skin", None)
+        if skin is not None:
+            opts = options or NonbondedOptions()
+            seq_kwargs["pairlist"] = (
+                VerletPairList(opts.cutoff, skin=skin) if skin > 0 else None
+            )
+        for key in ("pairlist", "checkpoint_every", "checkpoint_path"):
+            if key in parallel_kwargs:
+                seq_kwargs[key] = parallel_kwargs.pop(key)
+        if parallel_kwargs:
+            names = ", ".join(sorted(parallel_kwargs))
+            raise TypeError(
+                f"make_engine(workers=1) got parallel-only keyword "
+                f"argument(s): {names}"
+            )
+        return SequentialEngine(
+            system, options, integrator, backend=backend, ewald=ewald,
+            **seq_kwargs
+        )
     from repro.md.parallel import ParallelEngine
 
     return ParallelEngine(
         system, options, integrator, workers=workers, backend=backend,
-        **parallel_kwargs
+        ewald=ewald, **parallel_kwargs
     )

@@ -215,12 +215,11 @@ def _exclusion_correction(
     from scipy.special import erf
 
     excl = system.exclusions
-    keys = excl.excluded_keys
-    if len(keys) == 0:
+    if excl.n_excluded == 0:
         return 0.0
-    n = excl.n_atoms
-    i_c = (keys // n).astype(np.int64)
-    j_c = (keys % n).astype(np.int64)
+    # decoded (i, j) arrays are cached per Exclusions instance — the table
+    # only changes when a topology edit rebuilds the exclusions object
+    i_c, j_c = excl.excluded_pairs()
     pos = system.positions
     delta = minimum_image(pos[j_c] - pos[i_c], system.box)
     r2 = np.einsum("ij,ij->i", delta, delta)
@@ -242,8 +241,15 @@ def compute_ewald(
     system: MolecularSystem,
     options: EwaldOptions | None = None,
     backend: KernelBackend | str | None = None,
+    recip: bool = True,
 ) -> EwaldResult:
-    """Full periodic electrostatic energy and forces via Ewald summation."""
+    """Full periodic electrostatic energy and forces via Ewald summation.
+
+    ``recip=False`` skips the reciprocal-space sum (``energy_recip`` is 0
+    and its forces are absent): the parallel engine computes that component
+    on the worker pool as sharded k-space tasks and combines it with this
+    driver-side remainder.
+    """
     options = options or EwaldOptions()
     be = get_backend(backend)
     alpha = options.alpha_value()
@@ -254,7 +260,11 @@ def compute_ewald(
 
     system.wrap()
     e_real = _real_space(system, alpha, options.cutoff, forces, be)
-    e_recip = _reciprocal_space(system, alpha, options.kmax, forces, be)
+    e_recip = (
+        _reciprocal_space(system, alpha, options.kmax, forces, be)
+        if recip
+        else 0.0
+    )
     e_excl = _exclusion_correction(system, alpha, forces)
     e_self = float(-COULOMB_CONSTANT * alpha / np.sqrt(np.pi) * np.sum(q * q))
     total_charge = float(q.sum())

@@ -69,6 +69,12 @@ class MTSEngine:
         Kernel backend spec for the in-process slow-force path (see
         :mod:`repro.backend`); ignored when an external ``nonbonded``
         evaluator is supplied (that evaluator carries its own backend).
+    ewald:
+        Optional :class:`repro.md.ewald.EwaldOptions`; replaces the cutoff
+        point-charge electrostatics of the in-process slow path with the
+        full periodic Ewald sum (as the slow component — standard r-RESPA
+        practice).  Ignored when an external ``nonbonded`` evaluator is
+        supplied: construct that evaluator with its own ``ewald``.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class MTSEngine:
         options: NonbondedOptions | None = None,
         nonbonded=None,
         backend=None,
+        ewald=None,
     ) -> None:
         from repro.backend import get_backend
 
@@ -92,6 +99,7 @@ class MTSEngine:
         self.options = options or NonbondedOptions()
         self.nonbonded = nonbonded
         self.backend = get_backend(backend)
+        self.ewald = ewald if nonbonded is None else None
         self._outer = 0
         self._slow_forces: np.ndarray | None = None
         self._last: MTSReport | None = None
@@ -105,8 +113,18 @@ class MTSEngine:
         self.system.wrap()
         if self.nonbonded is not None:
             res = self.nonbonded.compute()
-        else:
-            res = compute_nonbonded(self.system, self.options, backend=self.backend)
+            return res.energy_lj, res.energy_elec, res.forces
+        res = compute_nonbonded(
+            self.system,
+            self.options,
+            backend=self.backend,
+            coulomb=self.ewald is None,
+        )
+        if self.ewald is not None:
+            from repro.md.ewald import compute_ewald
+
+            ew = compute_ewald(self.system, self.ewald, backend=self.backend)
+            return res.energy_lj, ew.energy, res.forces + ew.forces
         return res.energy_lj, res.energy_elec, res.forces
 
     def _kick(self, forces: np.ndarray, dt: float) -> None:

@@ -185,8 +185,13 @@ def nonbonded_kernel(
     scatter_i: np.ndarray | None = None,
     scatter_j: np.ndarray | None = None,
     backend: KernelBackend | str | None = None,
+    coulomb: bool = True,
 ) -> tuple[float, float, int]:
     """Main-loop LJ + electrostatics over candidate pairs.
+
+    ``coulomb=False`` zeroes the charge products so the kernel evaluates
+    the switched LJ term only — the mode used when full electrostatics come
+    from the Ewald sum instead of the shifted-Coulomb cutoff form.
 
     Distance-filters ``(i_cand, j_cand)`` to the cutoff, removes excluded
     (1-2/1-3) and modified (1-4) pairs, evaluates the switched/shifted
@@ -234,6 +239,8 @@ def nonbonded_kernel(
     if len(i_c) == 0:
         return 0.0, 0.0, 0
     eps_ij, rmin_ij, qq = _combined_params(system, i_c, j_c)
+    if not coulomb:
+        qq = np.zeros_like(qq)
     return be.nb_pairs(
         system.positions, system.box, i_c, j_c, eps_ij, rmin_ij, qq,
         options.cutoff, options.switch, forces,
@@ -247,8 +254,12 @@ def nonbonded_14(
     options: NonbondedOptions,
     forces: np.ndarray,
     backend: KernelBackend | str | None = None,
+    coulomb: bool = True,
 ) -> tuple[float, float, int]:
     """Scaled 1-4 pass: modified pairs with the ``scale14_*`` factors.
+
+    ``coulomb=False`` drops the scaled 1-4 electrostatics (the Ewald sum
+    covers 1-4 pairs at full strength); the scaled 1-4 LJ term remains.
 
     Always computed with the plain (unswitched at short range, but the
     switching/shift factors still apply) kernel; scatters into ``forces``
@@ -263,9 +274,10 @@ def nonbonded_14(
     i14 = excl.pairs14[:, 0]
     j14 = excl.pairs14[:, 1]
     eps_ij, rmin_ij, qq = _combined_params(system, i14, j14)
+    scale_el = ff.scale14_elec if coulomb else 0.0
     return get_backend(backend).nb_pairs(
         system.positions, system.box, i14, j14,
-        eps_ij * ff.scale14_lj, rmin_ij, qq * ff.scale14_elec,
+        eps_ij * ff.scale14_lj, rmin_ij, qq * scale_el,
         options.cutoff, options.switch, forces, i14, j14,
     )
 
@@ -275,8 +287,13 @@ def compute_nonbonded(
     options: NonbondedOptions | None = None,
     pairlist=None,
     backend: KernelBackend | str | None = None,
+    coulomb: bool = True,
 ) -> NonbondedResult:
     """Full non-bonded evaluation for a system (cell-list based).
+
+    ``coulomb=False`` evaluates the LJ terms only (main loop and scaled
+    1-4 pass) — the pairing mode for engines whose electrostatics come
+    from :func:`repro.md.ewald.compute_ewald`.
 
     Handles exclusions (1-2/1-3 removed entirely) and modified 1-4 pairs
     (computed with the force field's ``scale14_*`` factors regardless of
@@ -301,9 +318,11 @@ def compute_nonbonded(
     else:
         i_cand, j_cand = candidate_pairs(pos, box, options.cutoff)
     e_lj_total, e_el_total, n_pairs = nonbonded_kernel(
-        system, i_cand, j_cand, options, forces, backend=backend
+        system, i_cand, j_cand, options, forces, backend=backend, coulomb=coulomb
     )
-    e_lj14, e_el14, n14 = nonbonded_14(system, options, forces, backend=backend)
+    e_lj14, e_el14, n14 = nonbonded_14(
+        system, options, forces, backend=backend, coulomb=coulomb
+    )
     return NonbondedResult(
         e_lj_total + e_lj14, e_el_total + e_el14, forces, n_pairs + n14
     )

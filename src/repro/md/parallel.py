@@ -122,9 +122,22 @@ from collections import defaultdict
 import numpy as np
 
 from repro.backend import get_backend
-from repro.md.bonded import compute_bonded
+from repro.md.bonded import (
+    BONDED_KINDS,
+    BondedEnergies,
+    bonded_term_arrays,
+    compute_bonded,
+)
 from repro.md.cells import CellGrid
+from repro.md.constants import COULOMB_CONSTANT
 from repro.md.engine import SequentialEngine
+from repro.md.ewald import (
+    EwaldOptions,
+    EwaldResult,
+    _kspace_tables,
+    compute_ewald,
+    kspace_cache_stats,
+)
 from repro.md.nonbonded import (
     NonbondedOptions,
     NonbondedResult,
@@ -162,12 +175,78 @@ _STAT_E_LJ, _STAT_E_EL, _STAT_N_PAIRS, _STAT_TIME_NS = range(4)
 #: descriptors do not, so the engine caps lower than GrainsizeConfig's 64
 _MAX_SPLIT_PARTS = 16
 
+#: Ewald k-space sharding: target k-vectors per shard and shard-count cap.
+#: Both derive from the k-table size only — never from the worker count —
+#: so the task structure (and with it the reduction order) is identical at
+#: any pool size; that is what keeps trajectories bit-identical across
+#: worker counts with k-space distribution on.
+_KSHARD_TARGET = 512
+_KSHARD_MAX = 8
+
+
+def _kspace_shards(nk: int) -> list[tuple[str, int, int]]:
+    """Worker-count-independent ``("kspace", lo, hi)`` shard descriptors."""
+    if nk <= 0:
+        return []
+    n_shards = min(_KSHARD_MAX, max(1, -(-nk // _KSHARD_TARGET)))
+    bounds = np.linspace(0, nk, n_shards + 1).round().astype(np.int64)
+    return [
+        ("kspace", int(bounds[s]), int(bounds[s + 1]))
+        for s in range(n_shards)
+        if bounds[s + 1] > bounds[s]
+    ]
+
+
+def _xtask_rows(
+    xtasks: list[tuple],
+    term_data: dict[int, tuple],
+    flat: np.ndarray,
+    n_atoms: int,
+) -> tuple[list, list]:
+    """Term selections and scatter rows of every extra task, one binning.
+
+    Extra tasks ride after the cell tasks in the global task order:
+
+    * ``("bonded", kind, cell, intra)`` — the bonded terms of ``kind``
+      whose *home cell* (the cell of the term's first atom under the
+      reference binning) is ``cell``, split into the intra group (every
+      atom of the term in that cell, ``intra=1``) and the inter group
+      (``intra=0``).  For each kind the groups partition the term list
+      exactly, so energies and forces are independent of the binning; the
+      block rows are the flattened global atom indices of the selected
+      terms (duplicates are fine — the driver reduces with a segment sum).
+    * ``("kspace", lo, hi)`` — a reciprocal-vector shard; its forces touch
+      every atom, so the block is a full ``(n_atoms, 3)`` slab.
+
+    Returns ``(sels, rows)`` aligned with ``xtasks``; ``sels[x]`` is None
+    for k-space shards.  Driver and workers both call this on the same
+    reference binning, so layouts agree without communicating.
+    """
+    sels: list = []
+    rows: list = []
+    all_rows = np.arange(n_atoms, dtype=np.int64)
+    for xt in xtasks:
+        if xt[0] == "kspace":
+            sels.append(None)
+            rows.append(all_rows)
+            continue
+        _, kind, cell, intra = xt
+        idx = term_data[kind][0]
+        home = flat[idx[:, 0]]
+        same = np.all(flat[idx] == home[:, None], axis=1)
+        sel = np.flatnonzero((home == cell) & (same == bool(intra)))
+        sels.append(sel)
+        rows.append(idx[sel].reshape(-1))
+    return sels, rows
+
 
 # --------------------------------------------------------------------------- #
 # task layout: shared between driver (reduction) and workers (block writes)
 # --------------------------------------------------------------------------- #
 def _task_layout(
-    buckets: list[np.ndarray], tasks: list[tuple[int, int, int, int]]
+    buckets: list[np.ndarray],
+    tasks: list[tuple[int, int, int, int]],
+    xrows: list[np.ndarray] = (),
 ) -> tuple[np.ndarray, np.ndarray]:
     """Task-ordered block layout of the shared force scratch.
 
@@ -184,8 +263,14 @@ def _task_layout(
     without communicating; because the layout (and the driver's
     segment-sum over it) is in task order, the reduced forces are bitwise
     independent of the task→worker assignment.
+
+    ``xrows`` appends extra-task blocks (bonded term groups and k-space
+    shards, see :func:`_xtask_rows`) after the cell blocks: extra task
+    ``x`` occupies global task slot ``len(tasks) + x`` and its block rows
+    are exactly ``xrows[x]``.
     """
-    n_tasks = len(tasks)
+    n_nb = len(tasks)
+    n_tasks = n_nb + len(xrows)
     sizes = np.zeros(n_tasks, dtype=np.int64)
     for t, (a, b, part, n_parts) in enumerate(tasks):
         na = len(buckets[a])
@@ -193,6 +278,8 @@ def _task_layout(
             sizes[t] = na
         else:
             sizes[t] = len(buckets[a][part::n_parts]) + len(buckets[b])
+    for x, rows in enumerate(xrows):
+        sizes[n_nb + x] = len(rows)
     offsets = np.zeros(n_tasks + 1, dtype=np.int64)
     np.cumsum(sizes, out=offsets[1:])
     gather = np.empty(int(offsets[-1]), dtype=np.int64)
@@ -206,6 +293,9 @@ def _task_layout(
             atoms_b = buckets[b]
             gather[lo : lo + len(rows_a)] = rows_a
             gather[lo + len(rows_a) : lo + len(rows_a) + len(atoms_b)] = atoms_b
+    for x, rows in enumerate(xrows):
+        lo = int(offsets[n_nb + x])
+        gather[lo : lo + len(rows)] = rows
     return offsets, gather
 
 
@@ -288,7 +378,9 @@ def _attach_shared(name: str):
     return _shm.SharedMemory(name=name)
 
 
-def _build_task_lists(system, tasks, my_tasks, buckets, r_list, backend=None):
+def _build_task_lists(
+    system, tasks, my_tasks, buckets, r_list, backend=None, coulomb=True
+):
     """Per-task prefiltered pair lists with local scatter indices.
 
     For each owned sub-task ``(a, b, part, n_parts)``: global candidate
@@ -301,6 +393,10 @@ def _build_task_lists(system, tasks, my_tasks, buckets, r_list, backend=None):
     stripe's rows (block rows ``0..ns-1``) against all of cell ``b``
     (rows ``ns..``).  The slices are an exact partition of the parent
     task's candidate set.
+
+    ``coulomb=False`` zeroes the combined charge products so the pair
+    kernel runs LJ-only — the Ewald path owns the full electrostatics and
+    the shifted point-charge term must not double count it.
     """
     triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
     lists: dict[int, tuple | None] = {}
@@ -344,6 +440,8 @@ def _build_task_lists(system, tasks, my_tasks, buckets, r_list, backend=None):
             lists[t] = None
             continue
         eps, rmin, qq = _combined_params(system, i_f, j_f)
+        if not coulomb:
+            qq = np.zeros_like(qq)
         lists[t] = (
             i_f,
             j_f,
@@ -371,6 +469,64 @@ def _task_kernel(system, entry, options, block, backend) -> tuple[float, float, 
     )
 
 
+def _build_xtask_entries(xtasks, xsels, term_data, my_tasks, n_nb):
+    """Kernel-ready entries for this worker's extra tasks, one rebuild.
+
+    Bonded entries pre-slice the kind's term arrays to the group's
+    selection and carry local scatter indices (block row ``r`` of a group
+    with terms of arity ``m`` holds atom ``idx[r // m, r % m]`` — exactly
+    the row order of :func:`_xtask_rows`).  K-space entries are just the
+    shard descriptor; the tables are memoized per process.
+    """
+    entries: dict[int, tuple] = {}
+    for t in my_tasks:
+        if t < n_nb:
+            continue
+        xt = xtasks[t - n_nb]
+        if xt[0] == "kspace":
+            entries[t] = xt
+            continue
+        _, kind, _cell, _intra = xt
+        idx, kpar, p1, p2 = term_data[kind]
+        sel = xsels[t - n_nb]
+        arity = idx.shape[1]
+        sidx = np.arange(len(sel) * arity, dtype=np.int64).reshape(-1, arity)
+        entries[t] = (
+            "bonded", kind, idx[sel], kpar[sel], p1[sel], p2[sel], sidx
+        )
+    return entries
+
+
+def _eval_xtask(system, entry, ewald_cfg, block, backend):
+    """One extra task into its block; returns ``(energy, n_items)``.
+
+    Bonded groups report their term count, k-space shards their k-vector
+    count — measurement context for the WorkDB, never added to the pair
+    total.  The shard prefactor uses the *current* box (the driver forces a
+    rebuild on any box change, so tables and volume always agree).
+    """
+    if entry[0] == "kspace":
+        _, lo, hi = entry
+        alpha, kmax = ewald_cfg
+        box = np.asarray(system.box, dtype=np.float64)
+        k_tab, _k2, ak = _kspace_tables(box, kmax, alpha)
+        if hi <= lo or len(k_tab) == 0:
+            return 0.0, 0
+        pref = COULOMB_CONSTANT * 2.0 * np.pi / float(np.prod(box))
+        energy = backend.ewald_recip_shard(
+            system.positions, system.charges, k_tab[lo:hi], ak[lo:hi],
+            pref, block,
+        )
+        return float(energy), hi - lo
+    _, kind, idx, kpar, p1, p2, sidx = entry
+    if len(idx) == 0:
+        return 0.0, 0
+    energy = backend.bonded_terms(
+        system.positions, system.box, kind, idx, kpar, p1, p2, block, sidx
+    )
+    return float(energy), len(idx)
+
+
 def _worker_main(
     worker_id,
     n_workers,
@@ -388,6 +544,10 @@ def _worker_main(
     backend_name,
     assignment,
     slow_windows,
+    xtasks=(),
+    term_data=None,
+    ewald_cfg=None,
+    coulomb=True,
 ):
     """Worker loop: attach shared arrays, then serve step/rebuild commands.
 
@@ -403,6 +563,16 @@ def _worker_main(
     reconstructs exactly the state every other worker derived at the last
     rebuild, which is what makes recovery bit-identical.  The kernel, of
     course, evaluates at the live positions.
+
+    ``xtasks`` appends bonded term groups and Ewald k-space shards after
+    the cell tasks (global slots ``len(tasks)..``).  Their partitions are
+    re-derived from the same reference binning at every rebuild, so a
+    respawned or reassigned worker reconstructs them bit-identically too.
+    Bonded group energies land in the ``E_LJ`` stats column, shard
+    energies in ``E_EL``; the driver separates them by task-id range.
+    With Ewald enabled each worker also publishes its process-local
+    k-space table cache counters (builds, hits since spawn) into the
+    per-worker stats rows after the task rows.
     """
     from repro.core.decomposition import bin_atoms
 
@@ -417,13 +587,16 @@ def _worker_main(
     scratch_seg = _attach_shared(scratch_name)
     stats_seg = _attach_shared(stats_name)
     n = system.n_atoms
-    n_tasks = len(tasks)
+    n_nb = len(tasks)
+    n_tasks = n_nb + len(xtasks)
     positions = np.ndarray((n, 3), dtype=np.float64, buffer=pos_seg.buf)
     ref_positions = np.ndarray((n, 3), dtype=np.float64, buffer=ref_seg.buf)
     scratch = np.ndarray(
         (scratch_seg.size // 24, 3), dtype=np.float64, buffer=scratch_seg.buf
     )
-    stats = np.ndarray((n_tasks, 4), dtype=np.float64, buffer=stats_seg.buf)
+    stats = np.ndarray(
+        (n_tasks + n_workers, 4), dtype=np.float64, buffer=stats_seg.buf
+    )
     # the worker's system aliases the shared positions; the driver owns the
     # contents and guarantees they are wrapped before each command
     system.positions = positions
@@ -432,6 +605,10 @@ def _worker_main(
     my_tasks: list[int] = []
     offsets = None
     lists: dict[int, tuple | None] = {}
+    xentries: dict[int, tuple] = {}
+    # cache counters are cumulative per process; under fork the child
+    # inherits the parent's, so report deltas from this baseline
+    cache_base = kspace_cache_stats() if ewald_cfg is not None else None
     perf = time.perf_counter_ns
     try:
         while True:
@@ -455,16 +632,22 @@ def _worker_main(
                     # result is independent of *when* this worker (re)built
                     system.positions = ref_positions
                     try:
-                        _, _, buckets = bin_atoms(
+                        _, flat, buckets = bin_atoms(
                             ref_positions, system.box, dims
                         )
-                        offsets, _ = _task_layout(buckets, tasks)
+                        xsels, xrows = _xtask_rows(xtasks, term_data, flat, n)
+                        offsets, _ = _task_layout(buckets, tasks, xrows)
                         my_tasks = np.flatnonzero(
                             assignment == worker_id
                         ).tolist()
                         lists = _build_task_lists(
-                            system, tasks, my_tasks, buckets, r_list,
-                            backend=backend,
+                            system, tasks,
+                            [t for t in my_tasks if t < n_nb],
+                            buckets, r_list,
+                            backend=backend, coulomb=coulomb,
+                        )
+                        xentries = _build_xtask_entries(
+                            xtasks, xsels, term_data, my_tasks, n_nb
                         )
                     finally:
                         system.positions = positions
@@ -473,14 +656,24 @@ def _worker_main(
                     t0 = perf()
                     block = scratch[offsets[t] : offsets[t + 1]]
                     block[...] = 0.0
-                    entry = lists[t]
-                    if entry is None:
-                        e_lj = e_el = 0.0
-                        n_pairs = 0
-                    else:
-                        e_lj, e_el, n_pairs = _task_kernel(
-                            system, entry, options, block, backend
+                    if t >= n_nb:
+                        energy, n_items = _eval_xtask(
+                            system, xentries[t], ewald_cfg, block, backend
                         )
+                        if xentries[t][0] == "kspace":
+                            e_lj, e_el = 0.0, energy
+                        else:
+                            e_lj, e_el = energy, 0.0
+                        n_pairs = n_items
+                    else:
+                        entry = lists[t]
+                        if entry is None:
+                            e_lj = e_el = 0.0
+                            n_pairs = 0
+                        else:
+                            e_lj, e_el, n_pairs = _task_kernel(
+                                system, entry, options, block, backend
+                            )
                     elapsed = perf() - t0
                     if factor > 1.0:
                         # busy-spin: the CPU "runs factor times slower", so
@@ -493,6 +686,14 @@ def _worker_main(
                     stats[t, _STAT_E_EL] = e_el
                     stats[t, _STAT_N_PAIRS] = n_pairs
                     stats[t, _STAT_TIME_NS] = elapsed
+                if cache_base is not None:
+                    cs = kspace_cache_stats()
+                    stats[n_tasks + worker_id, 0] = (
+                        cs["builds"] - cache_base["builds"]
+                    )
+                    stats[n_tasks + worker_id, 1] = (
+                        cs["hits"] - cache_base["hits"]
+                    )
                 res_conn.send(("ok", worker_id, seq, epoch))
             except Exception:
                 try:
@@ -587,10 +788,30 @@ class ParallelNonbonded:
         fault_plan: WorkerFaultPlan | str | None = None,
         recovery: RecoveryPolicy | None = None,
         backend=None,
+        bonded: bool = False,
+        ewald: EwaldOptions | None = None,
+        kspace: bool = True,
     ) -> None:
         """``n_workers <= 0`` means "one per CPU" (the CPUs this process may
         run on, affinity/cgroup aware); ``timeout`` (seconds) bounds every
         wait on the pool so a hung worker fails fast.
+
+        ``bonded=True`` distributes the bonded terms onto the pool as extra
+        tasks (per home cell, intra/inter term groups) — :meth:`collect`'s
+        forces then *include* the bonded contribution and
+        :attr:`last_bonded` reports the per-kind energies, so the engine
+        must not add them again.  ``ewald`` (an
+        :class:`~repro.md.ewald.EwaldOptions`) makes this evaluator own the
+        *full* electrostatics: the pair kernel runs LJ-only, the scaled 1-4
+        electrostatic term is dropped (the Ewald sum covers those pairs at
+        full strength), and ``energy_elec`` is the complete Ewald total.
+        With ``kspace=True`` (default) the reciprocal sum is sharded over
+        k-vector ranges and evaluated on the pool, overlapped with the pair
+        tasks, while the driver computes the real-space/self/background/
+        exclusion remainder; ``kspace=False`` keeps the whole Ewald sum on
+        the driver (still overlapped with the workers).  All of these keep
+        the task-ordered reduction, so trajectories stay bit-identical
+        across repeats, remaps, worker counts, and recovery.
 
         ``rebalance_every=N`` runs a load-balancing decision every N
         evaluations (0 disables); ``lb_strategy`` overrides the default
@@ -656,6 +877,22 @@ class ParallelNonbonded:
         self.resilience = ResilienceStats()
         self.workdb = WorkDB()
         self.workdb.set_backend(self.backend.name)
+        self.bonded_tasks = bool(bonded)
+        self.ewald = ewald
+        self.kspace_tasks = bool(kspace) and ewald is not None
+        self._coulomb = ewald is None
+        self.last_bonded: BondedEnergies | None = None
+        self.last_ewald: EwaldResult | None = None
+        self._n_nb = 0
+        self._n_total = 0
+        self._xtasks: list[tuple] = []
+        self._term_data: dict[int, tuple] = {}
+        self._bonded_ids: dict[int, np.ndarray] = {}
+        self._kspace_ids: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._kspace_stat_base: np.ndarray | None = None
+        self.driver_compute_s = 0.0
+        self.pool_wall_s = 0.0
+        self.n_evals = 0
         self.n_workers = 1
         self.task_bounds: np.ndarray | None = None
         self.n_rebuilds = 0
@@ -750,7 +987,7 @@ class ParallelNonbonded:
         from repro.core.decomposition import bin_atoms
         from repro.costmodel.model import estimate_block_costs
 
-        _, _, buckets = bin_atoms(wrapped, box, self._dims)
+        _, flat0, buckets = bin_atoms(wrapped, box, self._dims)
         model = cost_model
         if model is None and self.grainsize_ms > 0:
             # grainsize_ms is a physical target: need real (reference-
@@ -799,18 +1036,66 @@ class ParallelNonbonded:
                 sub_parents.append(pt)
         sub_cost_arr = np.asarray(sub_costs, dtype=np.float64)
 
-        n_workers = min(requested, len(tasks))
+        # extra force tasks: bonded term groups and Ewald k-space shards.
+        # Their structure is fixed here, once, from topology/grid/kmax only
+        # (never from the worker count or measurements), so the scratch
+        # layout — and the reduction order — is identical at any pool size.
+        n_cells = int(np.prod(self._dims))
+        xtasks: list[tuple] = []
+        x_costs: list[float] = []
+        term_data: dict[int, tuple] = {}
+        mean_nb = float(sub_cost_arr.mean()) if len(sub_costs) else 1.0
+        if self.bonded_tasks:
+            for kind in range(len(BONDED_KINDS)):
+                idx, kpar, p1, p2 = bonded_term_arrays(system, kind)
+                if len(idx) == 0:
+                    continue
+                term_data[kind] = (idx, kpar, p1, p2)
+                home = flat0[idx[:, 0]]
+                same = np.all(flat0[idx] == home[:, None], axis=1)
+                for cell in range(n_cells):
+                    in_cell = home == cell
+                    for intra in (1, 0):
+                        n_terms = int(
+                            np.count_nonzero(in_cell & (same == bool(intra)))
+                        )
+                        xtasks.append(("bonded", kind, cell, intra))
+                        # heuristic prior (a bonded term is far cheaper
+                        # than a cell block); measurements take over after
+                        # the first step
+                        x_costs.append(
+                            mean_nb * (n_terms / 64.0) + mean_nb * 1e-3
+                        )
+        nk = 0
+        if self.kspace_tasks:
+            nk = (2 * self.ewald.kmax + 1) ** 3 - 1
+            shards = _kspace_shards(nk)
+            for lo_hi in shards:
+                xtasks.append(lo_hi)
+                x_costs.append(mean_nb)
+        all_costs = (
+            np.concatenate([sub_cost_arr, np.asarray(x_costs)])
+            if x_costs
+            else sub_cost_arr
+        )
+
+        n_total = len(tasks) + len(xtasks)
+        n_workers = min(requested, n_total)
         if n_workers <= 1:
             self.n_workers = 1
             return
 
-        bounds = _contiguous_partition(sub_cost_arr, n_workers)
+        bounds = _contiguous_partition(all_costs, n_workers)
         assignment = np.repeat(
             np.arange(n_workers, dtype=np.int64), np.diff(bounds)
         )
         self._tasks = tasks
+        self._xtasks = xtasks
+        self._term_data = term_data
+        self._n_nb = len(tasks)
+        self._n_total = n_total
         self._parents = parents
-        self._n_cells = int(np.prod(self._dims))
+        self._n_cells = n_cells
         self._self_task_of = {
             a: t
             for t, (a, b, part, _np) in enumerate(tasks)
@@ -827,6 +1112,30 @@ class ParallelNonbonded:
                 part=part,
                 n_parts=n_parts,
             )
+        bonded_ids: dict[int, list[int]] = {}
+        kspace_ids: list[int] = []
+        for x, xt in enumerate(xtasks):
+            t = self._n_nb + x
+            if xt[0] == "kspace":
+                kspace_ids.append(t)
+                self.workdb.ensure_task(
+                    t, (), prior=float(x_costs[x]),
+                    owner=int(assignment[t]), kind="kspace",
+                )
+            else:
+                _, kind, cell, intra = xt
+                bonded_ids.setdefault(kind, []).append(t)
+                # inter-cell groups stay with their initial owner: the
+                # balancer sees their load as background (fixed_owner_loads)
+                self.workdb.ensure_task(
+                    t, (cell,), prior=float(x_costs[x]),
+                    owner=int(assignment[t]), migratable=bool(intra),
+                    kind="bonded",
+                )
+        self._bonded_ids = {
+            k: np.asarray(v, dtype=np.int64) for k, v in bonded_ids.items()
+        }
+        self._kspace_ids = np.asarray(kspace_ids, dtype=np.int64)
 
         if start_method is None:
             start_method = (
@@ -835,8 +1144,14 @@ class ParallelNonbonded:
         ctx = mp.get_context(start_method)
         self._ctx = ctx
         n = system.n_atoms
-        n_tasks = len(tasks)
-        scratch_rows = _scratch_rows_bound(tasks, self._n_cells, n)
+        # extra-task scratch bound is topology-only too: per kind, each
+        # term lands in exactly one group under any binning (idx.size rows
+        # in total), and each k-shard always writes one full (n, 3) slab
+        x_rows = sum(td[0].size for td in term_data.values())
+        x_rows += len(kspace_ids) * n
+        # task rows, then one row per worker for the k-space cache counters
+        n_stat_rows = n_total + n_workers
+        scratch_rows = _scratch_rows_bound(tasks, self._n_cells, n) + x_rows
         self._pos_seg = _shm.SharedMemory(create=True, size=n * 3 * 8)
         # reference positions: the coordinates the pair lists were last
         # built from.  Workers always bin/build from this segment, so a
@@ -846,7 +1161,9 @@ class ParallelNonbonded:
         self._scratch_seg = _shm.SharedMemory(
             create=True, size=scratch_rows * 3 * 8
         )
-        self._stats_seg = _shm.SharedMemory(create=True, size=n_tasks * 4 * 8)
+        self._stats_seg = _shm.SharedMemory(
+            create=True, size=n_stat_rows * 4 * 8
+        )
         self._positions_view = np.ndarray(
             (n, 3), dtype=np.float64, buffer=self._pos_seg.buf
         )
@@ -857,7 +1174,12 @@ class ParallelNonbonded:
             (scratch_rows, 3), dtype=np.float64, buffer=self._scratch_seg.buf
         )
         self._stats_view = np.ndarray(
-            (n_tasks, 4), dtype=np.float64, buffer=self._stats_seg.buf
+            (n_stat_rows, 4), dtype=np.float64, buffer=self._stats_seg.buf
+        )
+        ewald_cfg = (
+            (self.ewald.alpha_value(), int(self.ewald.kmax))
+            if self.kspace_tasks
+            else None
         )
         self._worker_static = (
             n_workers,
@@ -871,6 +1193,10 @@ class ParallelNonbonded:
             tasks,
             r_list,
             self.backend.name,
+            xtasks,
+            term_data,
+            ewald_cfg,
+            self._coulomb,
         )
         self._procs = [None] * n_workers
         self._cmd_conns = [None] * n_workers
@@ -902,6 +1228,10 @@ class ParallelNonbonded:
             tasks,
             r_list,
             backend_name,
+            xtasks,
+            term_data,
+            ewald_cfg,
+            coulomb,
         ) = self._worker_static
         ctx = self._ctx
         cmd_recv, cmd_send = ctx.Pipe(duplex=False)
@@ -925,6 +1255,10 @@ class ParallelNonbonded:
                 backend_name,
                 self._assignment,
                 self._slow_windows.get(w, []),
+                xtasks,
+                term_data,
+                ewald_cfg,
+                coulomb,
             ),
             daemon=True,
             name=f"repro-nb-worker-{w}",
@@ -1033,10 +1367,17 @@ class ParallelNonbonded:
             # both bin the same published reference positions
             from repro.core.decomposition import bin_atoms
 
-            _, _, buckets = bin_atoms(
+            _, flat, buckets = bin_atoms(
                 pos, np.asarray(self.system.box, dtype=np.float64), self._dims
             )
-            self._offsets, self._gather = _task_layout(buckets, self._tasks)
+            xrows: list = []
+            if self._xtasks:
+                _, xrows = _xtask_rows(
+                    self._xtasks, self._term_data, flat, len(pos)
+                )
+            self._offsets, self._gather = _task_layout(
+                buckets, self._tasks, xrows
+            )
             assignment_payload = self._assignment
         else:
             self.n_reuses += 1
@@ -1076,8 +1417,48 @@ class ParallelNonbonded:
         except (OSError, ValueError, BrokenPipeError):
             return False
 
+    def _fallback_compute(self) -> NonbondedResult:
+        """One complete evaluation on the in-process path.
+
+        Serves the same contract as :meth:`collect` under the current
+        configuration: bonded terms are folded into the forces (and
+        :attr:`last_bonded` set) when this evaluator owns them, and with
+        Ewald enabled the full periodic electrostatics replace the
+        point-charge term.  Equivalent to the pool result to ~1e-9 (the
+        sequential reduction order differs — the documented caveat of the
+        ladder's bottom rung).
+        """
+        from repro.md.nonbonded import compute_nonbonded
+
+        if self._fallback_pairlist is None:
+            self._fallback_pairlist = VerletPairList(
+                self.options.cutoff, skin=self.skin
+            )
+        nb = compute_nonbonded(
+            self.system, self.options,
+            pairlist=self._fallback_pairlist, backend=self.backend,
+            coulomb=self._coulomb,
+        )
+        forces = nb.forces
+        e_el = nb.energy_elec
+        if self.bonded_tasks:
+            self.last_bonded, _ = compute_bonded(
+                self.system, forces, backend=self.backend
+            )
+        if self.ewald is not None:
+            ew = compute_ewald(self.system, self.ewald, backend=self.backend)
+            forces += ew.forces
+            e_el += ew.energy
+            self.last_ewald = ew
+        return NonbondedResult(nb.energy_lj, e_el, forces, nb.n_pairs)
+
     def collect(self) -> NonbondedResult:
-        """Finish the outstanding evaluation: 1-4 pass, gather, reduce.
+        """Finish the outstanding evaluation: driver remainder, gather, reduce.
+
+        The driver-side remainder — the scaled 1-4 pass and, with Ewald
+        enabled, the real-space/self/background/exclusion components —
+        overlaps with the workers, which are evaluating the pair blocks
+        plus any distributed bonded groups and k-space shards.
 
         Worker death, hang, or error during the wait is *recovered*, not
         fatal: the supervisor respawns or reassigns (see module docstring)
@@ -1090,39 +1471,33 @@ class ParallelNonbonded:
                 # dispatch() found the pool unhealable; honor the
                 # dispatch/collect pairing by serving sequentially
                 self._degraded_dispatch = False
-                from repro.md.nonbonded import compute_nonbonded
-
-                if self._fallback_pairlist is None:
-                    self._fallback_pairlist = VerletPairList(
-                        self.options.cutoff, skin=self.skin
-                    )
-                return compute_nonbonded(
-                    self.system, self.options,
-                    pairlist=self._fallback_pairlist, backend=self.backend,
-                )
+                return self._fallback_compute()
             raise RuntimeError("collect() called without a dispatch()")
         n = self.system.n_atoms
         forces = np.zeros((n, 3), dtype=np.float64)
-        # overlap with the workers: the scaled 1-4 pass runs on the driver
+        # overlap with the workers: the scaled 1-4 pass (and the Ewald
+        # remainder) runs on the driver
+        t_d0 = time.monotonic()
         e_lj14, e_el14, n14 = nonbonded_14(
-            self.system, self.options, forces, backend=self.backend
+            self.system, self.options, forces, backend=self.backend,
+            coulomb=self._coulomb,
         )
+        ew_rem = None
+        if self.ewald is not None:
+            # recip=False with distributed shards: the workers are summing
+            # the reciprocal component right now
+            ew_rem = compute_ewald(
+                self.system, self.ewald, backend=self.backend,
+                recip=not self.kspace_tasks,
+            )
+        driver_s = time.monotonic() - t_d0
 
         if not self._await_workers():
             # degraded to sequential mid-step: recompute the whole
-            # evaluation on the fallback path (includes the 1-4 terms)
+            # evaluation on the fallback path (includes the driver terms)
             self._pending = None
             self._deadline = None
-            from repro.md.nonbonded import compute_nonbonded
-
-            if self._fallback_pairlist is None:
-                self._fallback_pairlist = VerletPairList(
-                    self.options.cutoff, skin=self.skin
-                )
-            return compute_nonbonded(
-                self.system, self.options,
-                pairlist=self._fallback_pairlist, backend=self.backend,
-            )
+            return self._fallback_compute()
         step_wall = time.monotonic() - self._t_dispatch
         self._pending = None
         self._deadline = None
@@ -1140,28 +1515,65 @@ class ParallelNonbonded:
 
         # task-ordered segment-sum reduction: bitwise independent of the
         # task→worker assignment (see module docstring)
+        t_r0 = time.monotonic()
         used = int(self._offsets[-1])
         scratch = self._scratch_view[:used]
         for k in range(3):
             forces[:, k] += np.bincount(
                 self._gather, weights=scratch[:, k], minlength=n
             )
-        stats = self._stats_view
-        e_lj = float(stats[:, _STAT_E_LJ].sum())
-        e_el = float(stats[:, _STAT_E_EL].sum())
-        n_pairs = int(round(float(stats[:, _STAT_N_PAIRS].sum())))
+        stats = self._stats_view[: self._n_total]
+        n_nb = self._n_nb
+        e_lj = float(stats[:n_nb, _STAT_E_LJ].sum())
+        e_el = float(stats[:n_nb, _STAT_E_EL].sum())
+        n_pairs = int(round(float(stats[:n_nb, _STAT_N_PAIRS].sum())))
+        if self.bonded_tasks:
+            self.last_bonded = BondedEnergies(
+                **{
+                    name: float(
+                        stats[self._bonded_ids[kind], _STAT_E_LJ].sum()
+                    )
+                    if kind in self._bonded_ids
+                    else 0.0
+                    for kind, name in enumerate(BONDED_KINDS)
+                }
+            )
+        e_el_total = e_el + e_el14
+        if ew_rem is not None:
+            e_recip = (
+                float(stats[self._kspace_ids, _STAT_E_EL].sum())
+                if len(self._kspace_ids)
+                else ew_rem.energy_recip
+            )
+            forces += ew_rem.forces
+            self.last_ewald = EwaldResult(
+                energy_real=ew_rem.energy_real,
+                energy_recip=e_recip,
+                energy_self=ew_rem.energy_self,
+                energy_background=ew_rem.energy_background,
+                energy_exclusion=ew_rem.energy_exclusion,
+                forces=ew_rem.forces,
+            )
+            e_el_total += self.last_ewald.energy
 
         # feed the measurement database and run the LB schedule
         self.workdb.record_many(
-            range(len(self._tasks)),
+            range(self._n_total),
             stats[:, _STAT_TIME_NS] * 1e-9,
             self._assignment,
         )
         self.workdb.mark_step()
         if self.rebalance_every > 0 and self._seq % self.rebalance_every == 0:
             self._plan_rebalance()
+        t_red = time.monotonic() - t_r0
+        driver_s += t_red
+        self.driver_compute_s += driver_s
+        # the reduction runs after the await that ends step_wall; fold it
+        # into the wall too so driver_share stays a true fraction (<= 1)
+        self.pool_wall_s += step_wall + t_red
+        self.n_evals += 1
         return NonbondedResult(
-            e_lj + e_lj14, e_el + e_el14, forces, n_pairs + n14
+            e_lj + e_lj14, e_el_total, forces, n_pairs + n14
         )
 
     # ------------------------------------------------------------------ #
@@ -1393,14 +1805,30 @@ class ParallelNonbonded:
             if placed:
                 for tid, proc in placed.items():
                     new_assignment[tid] = proc
-            else:
-                # least-loaded greedy fallback, deterministic tie-break
+            # least-loaded greedy for whatever the LB path did not place
+            # (all orphans when it failed outright) — every orphan MUST
+            # leave the dead slot or its force block would silently never
+            # be computed.  Fixed-owner bonded groups are reassigned here
+            # too: their owner pin survives remaps, not death.
+            leftovers = [
+                tid for tid in orphans.tolist() if new_assignment[tid] == w
+            ]
+            if leftovers:
                 loads = self.workdb.owner_loads(self.n_workers)
                 load_of = {s: float(loads[s]) for s in survivors}
-                for tid in orphans.tolist():
+                for tid in leftovers:
                     tgt = min(survivors, key=lambda s: (load_of[s], s))
                     new_assignment[tid] = tgt
                     load_of[tgt] += max(float(self.workdb.load(tid)), 1e-12)
+            for tid in orphans.tolist():
+                rec = self.workdb.tasks.get(tid)
+                kind = rec.kind if rec is not None else "cell"
+                self.resilience.reassigned_by_kind[kind] = (
+                    self.resilience.reassigned_by_kind.get(kind, 0) + 1
+                )
+                if rec is not None and not rec.migratable:
+                    # the group is pinned to its (new) owner from here on
+                    rec.owner = int(new_assignment[tid])
         self._assignment = new_assignment
         self.resilience.tasks_reassigned += int(len(orphans))
         self.workdb.note_recovery("reassigned", int(len(orphans)))
@@ -1453,20 +1881,94 @@ class ParallelNonbonded:
         return False
 
     def compute(self) -> NonbondedResult:
-        """One full non-bonded evaluation at the system's current positions."""
+        """One full force-task evaluation at the system's current positions."""
         if not self.active:
-            if self._fallback_pairlist is None:
-                self._fallback_pairlist = VerletPairList(
-                    self.options.cutoff, skin=self.skin
-                )
-            from repro.md.nonbonded import compute_nonbonded
-
-            return compute_nonbonded(
-                self.system, self.options,
-                pairlist=self._fallback_pairlist, backend=self.backend,
-            )
+            return self._fallback_compute()
         self.dispatch()
         return self.collect()
+
+    # ------------------------------------------------------------------ #
+    # driver-share and k-space cache instrumentation
+    # ------------------------------------------------------------------ #
+    def note_driver_time(self, seconds: float) -> None:
+        """Charge driver-side compute done *outside* collect() to the share.
+
+        The engine calls this for work it performs between dispatch and
+        collect (e.g. bonded terms when they are not distributed), so
+        :meth:`driver_report` compares like with like across modes.
+        """
+        self.driver_compute_s += float(seconds)
+
+    def driver_report(self) -> dict:
+        """Cumulative driver-vs-pool wall-time split over all evaluations.
+
+        ``driver_s`` is time the driver spent *computing* (1-4 pass, Ewald
+        remainder, reduction, plus anything charged via
+        :meth:`note_driver_time`); ``wall_s`` the total dispatch→collect
+        wall time.  ``driver_share`` is their ratio — the serial fraction
+        the distribution work is trying to kill.  On a one-core host the
+        share stays high regardless (workers and driver time-slice one
+        CPU); the number is meaningful on multi-core machines.
+        """
+        wall = self.pool_wall_s
+        return {
+            "n_evals": self.n_evals,
+            "driver_s": self.driver_compute_s,
+            "wall_s": wall,
+            "driver_share": self.driver_compute_s / wall if wall > 0 else 0.0,
+        }
+
+    def kspace_cache_stats(self) -> dict:
+        """Driver and per-worker k-space table cache counters.
+
+        The driver counters are the process-global
+        :func:`repro.md.ewald.kspace_cache_stats`; worker counters come
+        from the shared stats rows each worker publishes after its step
+        (cumulative since spawn, minus any :meth:`clear_kspace_cache`
+        baseline).
+        """
+        from repro.md.ewald import kspace_cache_stats as _driver_stats
+
+        out: dict = {
+            "driver": _driver_stats(),
+            "workers": {},
+            "worker_builds": 0,
+            "worker_hits": 0,
+        }
+        if (
+            self.active
+            and self._stats_view is not None
+            and self.ewald is not None
+        ):
+            rows = self._stats_view[
+                self._n_total : self._n_total + self.n_workers, :2
+            ]
+            if self._kspace_stat_base is not None:
+                rows = np.maximum(rows - self._kspace_stat_base, 0.0)
+            for w in range(self.n_workers):
+                out["workers"][w] = {
+                    "builds": int(rows[w, 0]),
+                    "hits": int(rows[w, 1]),
+                }
+            out["worker_builds"] = int(rows[:, 0].sum())
+            out["worker_hits"] = int(rows[:, 1].sum())
+        return out
+
+    def clear_kspace_cache(self) -> None:
+        """Reset the k-space cache and counters as seen by this engine.
+
+        Clears the driver process's memoized tables and zeroes the
+        reported worker counters by snapshotting their current values as a
+        baseline (worker process caches are bounded LRUs owned by each
+        process; they are rebuilt on demand and dropped on respawn).
+        """
+        from repro.md.ewald import clear_kspace_cache as _clear
+
+        _clear()
+        if self.active and self._stats_view is not None:
+            self._kspace_stat_base = self._stats_view[
+                self._n_total : self._n_total + self.n_workers, :2
+            ].copy()
 
     # ------------------------------------------------------------------ #
     # measurement-based load balancing
@@ -1482,7 +1984,11 @@ class ParallelNonbonded:
             self.workdb,
             self.n_workers,
             patch_home,
-            background=np.zeros(self.n_workers),
+            # non-migratable bonded groups never move during a periodic
+            # rebalance (the adapter's default task set filters them out),
+            # but their measured cost is real — feed it in as per-worker
+            # background so the balancer packs movable work around it
+            background=self.workdb.fixed_owner_loads(self.n_workers),
             dead_procs=frozenset(self._dead_workers),
         )
 
@@ -1713,6 +2219,8 @@ class ParallelEngine(SequentialEngine):
         checkpoint_every: int = 0,
         checkpoint_path=None,
         backend=None,
+        ewald: EwaldOptions | None = None,
+        distribute: bool = False,
     ) -> None:
         """``workers <= 0`` means one worker per CPU; ``skin`` is the Verlet
         margin of the per-worker pair lists (and of the sequential fallback's
@@ -1724,7 +2232,15 @@ class ParallelEngine(SequentialEngine):
         :class:`ParallelNonbonded`); ``checkpoint_every``/``checkpoint_path``
         enable periodic atomic run checkpoints (see
         :class:`~repro.md.engine.SequentialEngine`); ``backend`` selects the
-        :mod:`repro.backend` kernel set for the driver and all workers."""
+        :mod:`repro.backend` kernel set for the driver and all workers.
+
+        ``ewald`` replaces the cutoff point-charge electrostatics with full
+        periodic Ewald summation (see :class:`SequentialEngine`).
+        ``distribute=True`` moves the bonded terms — and, with ``ewald``,
+        the reciprocal-space sum — onto the worker pool as additional force
+        tasks; the driver keeps only the 1-4 pass, the Ewald remainder and
+        the reduction.  Off by default: trajectories of existing
+        configurations are bitwise unchanged."""
         super().__init__(
             system, options, integrator, pairlist=VerletPairList(
                 (options or NonbondedOptions()).cutoff, skin=skin
@@ -1732,7 +2248,9 @@ class ParallelEngine(SequentialEngine):
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
             backend=backend,
+            ewald=ewald,
         )
+        self.distribute = bool(distribute)
         self._nb = ParallelNonbonded(
             system,
             self.options,
@@ -1747,6 +2265,9 @@ class ParallelEngine(SequentialEngine):
             fault_plan=fault_plan,
             recovery=recovery,
             backend=self.backend,
+            bonded=self.distribute,
+            ewald=ewald,
+            kspace=self.distribute,
         )
 
     # ------------------------------------------------------------------ #
@@ -1785,19 +2306,44 @@ class ParallelEngine(SequentialEngine):
         """One record per LB decision: strategy, moves, predicted loads."""
         return self._nb.rebalance_log
 
+    def driver_report(self) -> dict:
+        """Driver-vs-pool wall-time split (see
+        :meth:`ParallelNonbonded.driver_report`)."""
+        return self._nb.driver_report()
+
+    def kspace_cache_stats(self) -> dict:
+        """K-space table cache counters, aggregated over driver and workers
+        (see :meth:`ParallelNonbonded.kspace_cache_stats`)."""
+        return self._nb.kspace_cache_stats()
+
+    def clear_kspace_cache(self) -> None:
+        """Reset this engine's view of the k-space cache counters (see
+        :meth:`ParallelNonbonded.clear_kspace_cache`)."""
+        self._nb.clear_kspace_cache()
+
     def compute_forces(self) -> np.ndarray:
-        """Evaluate the force field; non-bonded terms on the worker pool."""
+        """Evaluate the force field; force tasks run on the worker pool."""
         if not self._nb.active:
             return super().compute_forces()
         self.system.wrap()
         self._nb.dispatch()
-        # overlap: bonded terms run on the driver while the workers evaluate
-        # the pair blocks
-        bonded_e, forces = compute_bonded(self.system)
-        nb = self._nb.collect()
-        forces += nb.forces
+        if self.distribute:
+            # bonded terms (and the k-space sum, with Ewald) arrive inside
+            # the pool's reduced result; collect() separates their energies
+            nb = self._nb.collect()
+            forces = nb.forces
+            self._last_bonded = self._nb.last_bonded
+        else:
+            # overlap: bonded terms run on the driver while the workers
+            # evaluate the pair blocks; charge the time to the driver share
+            t0 = time.monotonic()
+            bonded_e, forces = compute_bonded(self.system, backend=self.backend)
+            self._nb.note_driver_time(time.monotonic() - t0)
+            nb = self._nb.collect()
+            forces += nb.forces
+            self._last_bonded = bonded_e
         self._last_nonbonded = nb
-        self._last_bonded = bonded_e
+        self._last_ewald = self._nb.last_ewald
         return forces
 
     # ------------------------------------------------------------------ #

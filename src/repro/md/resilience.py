@@ -350,6 +350,7 @@ class ResilienceStats:
     respawns: int = 0
     respawn_failures: int = 0
     tasks_reassigned: int = 0
+    reassigned_by_kind: dict[str, int] = field(default_factory=dict)
     steps_redone: int = 0
     recovery_time_s: float = 0.0
     degraded_steps: int = 0
@@ -382,6 +383,7 @@ class ResilienceStats:
             "respawns": self.respawns,
             "respawn_failures": self.respawn_failures,
             "tasks_reassigned": self.tasks_reassigned,
+            "reassigned_by_kind": dict(self.reassigned_by_kind),
             "steps_redone": self.steps_redone,
             "recovery_time_s": self.recovery_time_s,
             "degraded_steps": self.degraded_steps,

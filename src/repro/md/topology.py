@@ -62,6 +62,27 @@ class Exclusions:
             return np.zeros(keys.shape, dtype=bool)
         return self.excluded_keys[pos] == keys
 
+    def excluded_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(i, j)`` index arrays of every fully excluded pair.
+
+        Decoding the sorted pair keys costs two integer-divide passes over
+        the whole exclusion table; the Ewald exclusion correction needs the
+        decoded form every evaluation, so it is computed once per
+        ``Exclusions`` instance and cached (read-only).  Topology edits
+        rebuild exclusions via ``MolecularSystem.invalidate_exclusions``,
+        which replaces this object — and with it the cache.
+        """
+        cached = getattr(self, "_pair_table", None)
+        if cached is None:
+            n = np.int64(self.n_atoms)
+            i_c = (self.excluded_keys // n).astype(np.int64)
+            j_c = (self.excluded_keys % n).astype(np.int64)
+            for arr in (i_c, j_c):
+                arr.setflags(write=False)
+            cached = (i_c, j_c)
+            object.__setattr__(self, "_pair_table", cached)
+        return cached
+
     @property
     def n_excluded(self) -> int:
         """Number of fully excluded (1-2/1-3) pairs."""

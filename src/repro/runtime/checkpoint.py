@@ -415,6 +415,7 @@ def restore_run_checkpoint(engine, cp: RunCheckpoint) -> None:
     )
     engine._last_nonbonded = None
     engine._last_bonded = None
+    engine._last_ewald = None
     nb = getattr(engine, "_nb", None)
     if nb is not None and nb.active:
         # align the pool's evaluation counter so step-indexed events

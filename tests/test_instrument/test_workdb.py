@@ -381,3 +381,44 @@ class TestBackendField:
         db.reset()
         assert db.backend is None
         assert db.worker_backends == {}
+
+
+class TestTaskKinds:
+    """The kind field: per-kind load report, fixed-owner background, and
+    serialization round-trip."""
+
+    def test_kind_defaults_to_cell(self):
+        db = WorkDB()
+        db.ensure_task(0, prior=1.0)
+        assert db.tasks[0].kind == "cell"
+
+    def test_kind_loads_sum_per_kind(self):
+        db = WorkDB()
+        db.ensure_task(0, prior=1.0, kind="cell")
+        db.ensure_task(1, prior=2.0, kind="bonded")
+        db.ensure_task(2, prior=3.0, kind="bonded")
+        db.ensure_task(3, prior=4.0, kind="kspace")
+        loads = db.kind_loads()
+        assert loads["cell"] == pytest.approx(1.0)
+        assert loads["bonded"] == pytest.approx(5.0)
+        assert loads["kspace"] == pytest.approx(4.0)
+
+    def test_fixed_owner_loads_counts_only_pinned_tasks(self):
+        db = WorkDB()
+        db.ensure_task(0, prior=1.0, owner=0, migratable=True, kind="cell")
+        db.ensure_task(1, prior=2.0, owner=1, migratable=False, kind="bonded")
+        db.ensure_task(2, prior=3.0, owner=1, migratable=False, kind="bonded")
+        db.ensure_task(3, prior=4.0, owner=5, migratable=False)  # out of range
+        bg = db.fixed_owner_loads(2)
+        assert bg.shape == (2,)
+        assert bg[0] == 0.0  # task 0 is migratable
+        assert bg[1] == pytest.approx(5.0)
+
+    def test_kind_round_trips_through_dump(self):
+        db = WorkDB()
+        db.ensure_task(0, prior=1.0, kind="kspace")
+        db.ensure_task(1, prior=2.0, kind="bonded", migratable=False, owner=1)
+        clone = WorkDB.from_dict(db.to_dict())
+        assert clone.tasks[0].kind == "kspace"
+        assert clone.tasks[1].kind == "bonded"
+        assert clone.tasks[1].migratable is False

@@ -1,0 +1,379 @@
+"""Distributed bonded and Ewald k-space force tasks.
+
+The generalized force-task protocol moves bonded term groups and the Ewald
+reciprocal sum onto the worker pool.  Coverage here: cross-engine agreement
+with full electrostatics at several worker counts (1e-9 vs the sequential
+engine), bit-identical repeats and worker-count invariance, bit-identical
+recovery after a mid-run worker kill (respawn and reassignment rungs), and
+bit-identical resume from a run checkpoint — plus unit tests for the task
+decomposition helpers and the ``make_engine`` keyword normalization.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.builder import small_water_box
+from repro.md.bonded import BONDED_KINDS, bonded_term_arrays
+from repro.md.engine import SequentialEngine, make_engine
+from repro.md.ewald import EwaldOptions, _kspace_tables, compute_ewald
+from repro.md.nonbonded import NonbondedOptions
+from repro.md.parallel import (
+    HAS_SHARED_MEMORY,
+    ParallelEngine,
+    _kspace_shards,
+    _xtask_rows,
+)
+from repro.md.resilience import RecoveryPolicy
+
+pytestmark = pytest.mark.skipif(
+    not HAS_SHARED_MEMORY, reason="platform lacks multiprocessing.shared_memory"
+)
+
+OPTS = NonbondedOptions(cutoff=6.0)
+EWALD = EwaldOptions(cutoff=6.0, kmax=4)
+
+
+def fresh_water(n=64, seed=3):
+    s = small_water_box(n, seed=seed, relax=False)
+    s.assign_velocities(300.0, seed=5)
+    return s
+
+
+def run_trajectory(engine, n_steps=3):
+    with engine:
+        reports = engine.run(n_steps)
+    return engine.system.positions.copy(), reports[-1]
+
+
+class TestCrossEngineAgreement:
+    """Distributed bonded + k-space vs the sequential engine at 1e-9."""
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_forces_and_energies_with_ewald(self, workers):
+        base = fresh_water()
+        seq = SequentialEngine(base.copy(), OPTS, pairlist=None, ewald=EWALD)
+        f_ref = seq.compute_forces()
+        rep_ref = seq.report()
+
+        with ParallelEngine(
+            base.copy(), OPTS, workers=workers, ewald=EWALD, distribute=True
+        ) as eng:
+            assert eng.parallel
+            f_par = eng.compute_forces()
+            rep_par = eng.report()
+        scale = np.abs(f_ref).max()
+        assert np.allclose(f_par, f_ref, rtol=1e-9, atol=1e-9 * scale)
+        assert rep_par.lj == pytest.approx(rep_ref.lj, rel=1e-9)
+        assert rep_par.elec == pytest.approx(rep_ref.elec, rel=1e-9)
+        assert rep_par.bonded.total == pytest.approx(
+            rep_ref.bonded.total, rel=1e-9
+        )
+
+    def test_all_bonded_kinds_on_the_assembly(self, assembly):
+        """Dihedrals and impropers (present in the protein) distribute too."""
+        opts = NonbondedOptions(cutoff=8.0)
+        seq = SequentialEngine(assembly.copy(), opts, pairlist=None)
+        f_ref = seq.compute_forces()
+        rep_ref = seq.report()
+        assert rep_ref.bonded.dihedral != 0.0  # the case exercises them
+
+        with ParallelEngine(
+            assembly.copy(), opts, workers=3, distribute=True
+        ) as eng:
+            assert eng.parallel
+            f_par = eng.compute_forces()
+            rep_par = eng.report()
+        scale = np.abs(f_ref).max()
+        assert np.allclose(f_par, f_ref, rtol=1e-9, atol=1e-9 * scale)
+        for name in ("bond", "angle", "dihedral", "improper"):
+            assert getattr(rep_par.bonded, name) == pytest.approx(
+                getattr(rep_ref.bonded, name), rel=1e-9, abs=1e-12
+            )
+
+    def test_trajectory_tracks_sequential(self):
+        p_seq, r_seq = run_trajectory(
+            SequentialEngine(fresh_water(), OPTS, pairlist=None, ewald=EWALD)
+        )
+        p_par, r_par = run_trajectory(
+            ParallelEngine(
+                fresh_water(), OPTS, workers=2, skin=0.0,
+                ewald=EWALD, distribute=True,
+            )
+        )
+        assert np.allclose(p_par, p_seq, rtol=0, atol=1e-9)
+        assert r_par.total == pytest.approx(r_seq.total, rel=1e-9)
+
+    def test_ewald_without_distribution_also_agrees(self):
+        """distribute=False keeps the full Ewald sum on the driver."""
+        p_seq, r_seq = run_trajectory(
+            SequentialEngine(fresh_water(), OPTS, pairlist=None, ewald=EWALD)
+        )
+        p_par, r_par = run_trajectory(
+            ParallelEngine(
+                fresh_water(), OPTS, workers=2, skin=0.0,
+                ewald=EWALD, distribute=False,
+            )
+        )
+        assert np.allclose(p_par, p_seq, rtol=0, atol=1e-9)
+        assert r_par.total == pytest.approx(r_seq.total, rel=1e-9)
+
+
+class TestDeterminism:
+    def _run(self, **kw):
+        eng = ParallelEngine(
+            fresh_water(), OPTS, ewald=EWALD, distribute=True, **kw
+        )
+        return run_trajectory(eng, n_steps=4)[0]
+
+    def test_repeats_are_bit_identical(self):
+        a = self._run(workers=2)
+        b = self._run(workers=2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_worker_count_does_not_change_bits(self):
+        """Task structure derives from topology/grid/kmax only, so the
+        task-ordered reduction gives identical bits at any pool size."""
+        a = self._run(workers=2)
+        b = self._run(workers=3)
+        c = self._run(workers=4)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(a, c)
+
+    def test_rebalance_remaps_do_not_change_bits(self):
+        a = self._run(workers=3)
+        b = self._run(workers=3, rebalance_every=2)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRecovery:
+    def _run(self, **kw):
+        eng = ParallelEngine(
+            fresh_water(), OPTS, workers=3, ewald=EWALD, distribute=True, **kw
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            pos, _ = run_trajectory(eng, n_steps=5)
+        return pos, eng.resilience
+
+    def test_respawn_after_kill_is_bit_identical(self):
+        clean, _ = self._run()
+        faulted, res = self._run(fault_plan="kill=1@2")
+        assert res.respawns >= 1
+        np.testing.assert_array_equal(faulted, clean)
+
+    def test_reassignment_after_kill_is_bit_identical(self):
+        """With respawn disabled, orphaned cell/bonded/kspace tasks are
+        redistributed to survivors and the trajectory keeps its bits."""
+        clean, _ = self._run()
+        faulted, res = self._run(
+            fault_plan="kill=1@2", recovery=RecoveryPolicy(max_respawns=0)
+        )
+        assert res.tasks_reassigned >= 1
+        assert sum(res.reassigned_by_kind.values()) == res.tasks_reassigned
+        assert set(res.reassigned_by_kind) <= {"cell", "bonded", "kspace"}
+        assert "reassigned_by_kind" in res.to_dict()
+        np.testing.assert_array_equal(faulted, clean)
+
+
+class TestCheckpointResume:
+    def test_resume_is_bit_identical(self, tmp_path):
+        from repro.runtime.checkpoint import (
+            load_run_checkpoint,
+            restore_run_checkpoint,
+        )
+
+        path = tmp_path / "dist.ckpt"
+        s_a = fresh_water()
+        with ParallelEngine(
+            s_a, OPTS, workers=2, ewald=EWALD, distribute=True,
+            checkpoint_every=3, checkpoint_path=path,
+        ) as eng:
+            for _ in range(5):
+                rep_a = eng.step()
+            assert eng.n_checkpoints == 1
+
+        cp = load_run_checkpoint(path)
+        assert cp.step == 3
+        s_b = fresh_water()
+        with ParallelEngine(
+            s_b, OPTS, workers=2, ewald=EWALD, distribute=True
+        ) as eng:
+            restore_run_checkpoint(eng, cp)
+            for _ in range(2):
+                rep_b = eng.step()
+        np.testing.assert_array_equal(s_b.positions, s_a.positions)
+        np.testing.assert_array_equal(s_b.velocities, s_a.velocities)
+        assert rep_b.total == rep_a.total
+
+
+class TestTaskDecomposition:
+    """Unit coverage for the shard and bonded-group helpers."""
+
+    def test_kspace_shards_cover_exactly(self):
+        for nk in (0, 1, 511, 512, 513, 4096, 100000):
+            shards = _kspace_shards(nk)
+            if nk == 0:
+                assert shards == []
+                continue
+            assert shards[0][1] == 0 and shards[-1][2] == nk
+            for (_, lo, hi), (_, lo2, _hi2) in zip(shards, shards[1:]):
+                assert hi == lo2
+            assert all(hi > lo for _, lo, hi in shards)
+            assert len(shards) <= 8
+
+    def test_shard_sum_matches_full_reciprocal(self):
+        from repro.backend import get_backend
+        from repro.md.constants import COULOMB_CONSTANT
+
+        s = fresh_water()
+        be = get_backend("numpy")
+        alpha = EWALD.alpha_value()
+        k_tab, _k2, ak = _kspace_tables(s.box, EWALD.kmax, alpha)
+        pref = COULOMB_CONSTANT * 2.0 * np.pi / float(np.prod(s.box))
+
+        f_full = np.zeros((s.n_atoms, 3))
+        e_full = be.ewald_recip(s.positions, s.charges, k_tab, ak, pref, f_full)
+
+        e_sum, f_sum = 0.0, np.zeros((s.n_atoms, 3))
+        for _, lo, hi in _kspace_shards(len(k_tab)):
+            block = np.zeros((s.n_atoms, 3))
+            e_sum += be.ewald_recip_shard(
+                s.positions, s.charges, k_tab[lo:hi], ak[lo:hi], pref, block
+            )
+            f_sum += block
+        assert e_sum == pytest.approx(e_full, rel=1e-12)
+        assert np.allclose(f_sum, f_full, rtol=1e-12, atol=1e-12)
+
+    def test_bonded_groups_partition_every_term(self):
+        """(kind, cell, intra) groups are disjoint and exhaustive under any
+        atom->cell map, so no term is dropped or double-counted."""
+        s = fresh_water()
+        rng = np.random.default_rng(0)
+        n_cells = 8
+        flat = rng.integers(0, n_cells, s.n_atoms).astype(np.int64)
+        term_data = {
+            kind: bonded_term_arrays(s, kind)
+            for kind in range(len(BONDED_KINDS))
+            if len(bonded_term_arrays(s, kind)[0])
+        }
+        for kind, (idx, *_rest) in term_data.items():
+            xtasks = [
+                ("bonded", kind, cell, intra)
+                for cell in range(n_cells)
+                for intra in (1, 0)
+            ]
+            sels, _rows = _xtask_rows(xtasks, term_data, flat, s.n_atoms)
+            combined = np.concatenate([sel for sel in sels])
+            assert len(combined) == len(idx)
+            np.testing.assert_array_equal(np.sort(combined), np.arange(len(idx)))
+
+    def test_kspace_rows_span_all_atoms(self):
+        s = fresh_water()
+        sels, rows = _xtask_rows(
+            [("kspace", 0, 10)], {}, np.zeros(s.n_atoms, np.int64), s.n_atoms
+        )
+        assert sels == [None]
+        np.testing.assert_array_equal(rows[0], np.arange(s.n_atoms))
+
+
+class TestEngineFactory:
+    """make_engine keyword normalization (no silently dropped kwargs)."""
+
+    def test_sequential_honours_skin(self):
+        s = fresh_water()
+        eng = make_engine(s, OPTS, workers=1, skin=2.5)
+        assert eng.pairlist is not None and eng.pairlist.skin == 2.5
+        eng = make_engine(s, OPTS, workers=1, skin=0.0)
+        assert eng.pairlist is None
+
+    def test_sequential_accepts_checkpoint_kwargs(self, tmp_path):
+        s = fresh_water()
+        path = tmp_path / "seq.ckpt"
+        eng = make_engine(
+            s, OPTS, workers=1, checkpoint_every=2, checkpoint_path=path
+        )
+        assert eng.checkpoint_every == 2 and eng.checkpoint_path == path
+
+    def test_sequential_rejects_parallel_only_kwargs(self):
+        s = fresh_water()
+        with pytest.raises(TypeError, match="timeout"):
+            make_engine(s, OPTS, workers=1, timeout=5.0)
+        with pytest.raises(TypeError, match="distribute"):
+            make_engine(s, OPTS, workers=1, distribute=True)
+
+    def test_ewald_accepted_on_both_paths(self):
+        seq = make_engine(fresh_water(), OPTS, workers=1, ewald=EWALD)
+        assert isinstance(seq, SequentialEngine) and seq.ewald is EWALD
+        with make_engine(
+            fresh_water(), OPTS, workers=2, ewald=EWALD, distribute=True
+        ) as par:
+            assert isinstance(par, ParallelEngine)
+            assert par.ewald is EWALD and par.distribute
+
+    def test_constructor_parity_across_engines(self):
+        """Every engine entry point accepts the shared configuration
+        surface (options, backend, ewald) without engine-specific spelling."""
+        from repro.md.mts import MTSEngine
+
+        shared = dict(options=OPTS, backend="numpy", ewald=EWALD)
+        s = fresh_water()
+        seq = SequentialEngine(s.copy(), **{
+            "options" if k == "options" else k: v for k, v in shared.items()
+        })
+        assert seq.ewald is EWALD
+        mts = MTSEngine(s.copy(), **shared)
+        assert mts.ewald is EWALD
+        with ParallelEngine(s.copy(), workers=2, **shared) as par:
+            assert par.ewald is EWALD
+
+
+class TestMTSEwald:
+    def test_slow_component_includes_full_ewald(self):
+        from repro.md.mts import MTSEngine
+
+        s = fresh_water()
+        ref = compute_ewald(s.copy(), EWALD).energy
+        eng = MTSEngine(s, options=OPTS, ewald=EWALD, n_inner=2)
+        e_lj, e_el, _f = eng._slow()
+        assert e_el == pytest.approx(ref, rel=1e-9)
+
+    def test_external_evaluator_wins_over_ewald(self):
+        from repro.md.mts import MTSEngine
+
+        class Dummy:
+            def compute(self):  # pragma: no cover - never called here
+                raise AssertionError
+
+        eng = MTSEngine(fresh_water(), nonbonded=Dummy(), ewald=EWALD)
+        assert eng.ewald is None
+
+
+class TestDriverShareInstrumentation:
+    def test_driver_report_accumulates(self):
+        with ParallelEngine(
+            fresh_water(), OPTS, workers=2, ewald=EWALD, distribute=True
+        ) as eng:
+            eng.run(2)
+            rep = eng.driver_report()
+        assert rep["n_evals"] >= 2
+        assert 0.0 <= rep["driver_share"] <= 1.0
+        assert rep["wall_s"] > 0.0
+
+    def test_kspace_cache_stats_aggregate_workers(self):
+        with ParallelEngine(
+            fresh_water(), OPTS, workers=2, ewald=EWALD, distribute=True
+        ) as eng:
+            eng.run(2)
+            stats = eng.kspace_cache_stats()
+            total = (
+                stats["driver"]["builds"] + stats["driver"]["hits"]
+                + stats["worker_builds"] + stats["worker_hits"]
+            )
+            assert total > 0
+            assert set(stats["workers"]) == set(range(eng.workers))
+            eng.clear_kspace_cache()
+            cleared = eng.kspace_cache_stats()
+            assert cleared["worker_builds"] == 0
+            assert cleared["worker_hits"] == 0

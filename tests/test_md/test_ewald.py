@@ -216,3 +216,49 @@ class TestKspaceCache:
         fresh = compute_ewald(s, opts)
         assert mutated.energy == pytest.approx(fresh.energy, rel=0, abs=0)
         assert np.array_equal(mutated.forces, fresh.forces)
+
+
+class TestExclusionPairCache:
+    """The decoded (i, j) exclusion table is cached per Exclusions object."""
+
+    def water(self):
+        from repro.builder import small_water_box
+
+        return small_water_box(27, seed=2, relax=False)
+
+    def test_cached_decode_matches_fresh(self):
+        s = self.water()
+        excl = s.exclusions
+        i_a, j_a = excl.excluded_pairs()
+        # fresh decode straight from the sorted keys
+        n = np.int64(excl.n_atoms)
+        np.testing.assert_array_equal(i_a, excl.excluded_keys // n)
+        np.testing.assert_array_equal(j_a, excl.excluded_keys % n)
+        # second call serves the exact same (read-only) arrays
+        i_b, j_b = excl.excluded_pairs()
+        assert i_b is i_a and j_b is j_a
+        assert not i_a.flags.writeable and not j_a.flags.writeable
+
+    def test_cached_path_matches_uncached_ewald(self):
+        """Regression: the correction with the cached table equals the one
+        computed against a freshly rebuilt exclusions object."""
+        s = self.water()
+        opts = EwaldOptions(cutoff=6.0, kmax=4)
+        s.exclusions.excluded_pairs()  # warm the cache
+        warm = compute_ewald(s, opts)
+        s.invalidate_exclusions()  # rebuild: brand-new Exclusions, cold cache
+        cold = compute_ewald(s, opts)
+        assert warm.energy_exclusion == pytest.approx(
+            cold.energy_exclusion, rel=0, abs=0
+        )
+        assert np.array_equal(warm.forces, cold.forces)
+
+    def test_topology_change_invalidates(self):
+        s = self.water()
+        old = s.exclusions
+        old_pairs = old.excluded_pairs()
+        s.invalidate_exclusions()
+        new = s.exclusions
+        assert new is not old
+        assert getattr(new, "_pair_table", None) is None
+        np.testing.assert_array_equal(new.excluded_pairs()[0], old_pairs[0])
