@@ -2,775 +2,105 @@
 
 Everything else in this repository *models* the paper's parallelism on a
 simulated machine; this module actually runs it.  :class:`ParallelEngine`
-is API-compatible with :class:`~repro.md.engine.SequentialEngine` (same
-:class:`~repro.md.engine.StepReport`, same integrator contract) but
+is API-compatible with :class:`~repro.md.engine.SequentialEngine` but
 evaluates the non-bonded force field — "eighty percent or more" of a step,
 paper §4.2.1 — across a persistent pool of worker *processes*.
 
-Design, mirroring the paper's hybrid decomposition on real hardware:
+The implementation is layered (see DESIGN.md): :mod:`repro.pool` is the
+generic supervised pool runtime (spawn/respawn, collision-free segments,
+the epoch'd dispatch/collect protocol, the respawn → reassign → degrade
+recovery ladder; MD-free by contract); :mod:`repro.md.tasks` holds the
+MD force tasks behind the :class:`repro.pool.protocol.TaskProvider`
+interface; :mod:`repro.md.lb_driver` makes the measurement-driven
+placement decisions; this module is the orchestration — the cost-seeded
+partition, WorkDB-fed load balancing (§2.2), the pack-once position
+multicast (§4.2.3), the driver-overlapped remainder, and the
+task-ordered assignment-independent reduction.
 
-* **Patches**: space is divided into the same half-shell cell grid the
-  sequential pairlist uses (:mod:`repro.md.cells`), sized to
-  ``cutoff + skin``; the compute *tasks* are the per-cell self blocks and
-  the 13-per-cell neighbour pair blocks, exactly the paper's "one compute
-  object per cube and per neighbouring-cube pair" (§3).
-* **Measurement-based load balancing** (§2.2): every worker times each of
-  its tasks with ``perf_counter_ns`` and ships the samples back with the
-  force data; the driver records them in a shared
-  :class:`~repro.instrument.WorkDB` whose priors come from
-  :func:`repro.costmodel.model.estimate_block_costs` (the cost model used
-  "before the first measurement").  With ``rebalance_every > 0`` the driver
-  periodically builds an :class:`~repro.balancer.problem.LBProblem` from
-  the database and runs the paper's strategies — the ``greedy`` seed on the
-  first cycle, ``refine`` thereafter (or any registry schedule via
-  ``lb_strategy``) — and installs the new task→worker map at the next
-  pair-list rebuild.
-* **Pack-once multicast**: positions are packed once per step into a
-  ``multiprocessing.shared_memory`` array that every worker maps — the
-  §4.2.3 optimization realized by the operating system's shared pages
-  instead of per-destination message copies.
-* **Per-worker Verlet lists**: each worker keeps the pair list for *its*
-  tasks, prefiltered at build time to ``r < cutoff + skin`` with exclusions
-  and 1-4 pairs already removed (:func:`repro.md.nonbonded.filter_candidates`)
-  and with the Lorentz-Berthelot parameters pre-combined; between
-  driver-coordinated rebuilds the hot loop is distance test + kernel only.
-* **Grainsize control** (§4.2.1–2, Figures 1→2): with ``grainsize_ms > 0``
-  any cell task whose cost-model-prior execution time exceeds the target is
-  split into *sub-block tasks* — row stripes of the task's first cell, the
-  same :mod:`repro.core.grainsize` arithmetic the simulated layer uses — so
-  no single dense cell pair caps the achievable load balance.  Sub-tasks
-  are real schedulable units: the static partition, the WorkDB (sub-task
-  identity = parent task + slice index, priors inherited pro-rata by
-  candidate count), and every LB decision operate on them.  The split
-  structure is decided *once, at construction, from the deterministic
-  cost-model prior* — never from noisy wall-clock measurements — because
-  the scratch layout (and therefore the floating-point reduction order)
-  follows the task list: a measurement-driven split would make repeat runs
-  bitwise diverge.  Measured sub-task times still drive *placement*, and
-  :func:`repro.analysis.grainsize.histogram_from_workdb` turns them into
-  the Figure 1→2 histograms on real processes.
-* **Assignment-independent deterministic reduction**: each task writes its
-  forces into a *compact per-task block* of a shared scratch buffer whose
-  layout (task-ordered, offsets from the deterministic atom binning) is
-  fixed at every rebuild.  The driver reduces with a task-ordered
-  segment-sum, so the bitwise result does not depend on which worker ran
-  which task — repeated runs are bit-identical *even while measured times
-  (and therefore rebalanced assignments) jitter*, and remaps never perturb
-  the trajectory.  Remap points themselves are step-indexed: a rebalance
-  decision at step ``k·rebalance_every`` always forces a rebuild at the
-  next evaluation, whether or not the placement changed.
-
-The driver overlaps its own work (bonded terms and the scaled 1-4 pass)
-with the workers' non-bonded evaluation, then adds the reduced blocks.
-
-Falls back to the sequential path when ``workers <= 1``, when the platform
-lacks POSIX shared memory, or when the pool cannot start; ``close()`` (also
-wired to a context manager, ``atexit``, and the finalizer) shuts the pool
-down so tests never leak processes.  A configurable ``timeout`` makes a hung
-worker fail fast instead of stalling the caller.
-
-For tests and experiments, ``slowdown`` injects an artificial per-worker
-CPU slowdown with the semantics of
-:class:`repro.runtime.faults.SlowdownWindow` (step-indexed windows during
-which the worker runs ``factor`` times slower, realized as a busy spin
-after each task so the slowdown is *measured* by the WorkDB like any real
-background load).
-
-**Self-healing supervision** (:mod:`repro.md.resilience`): the pool is
-supervised.  Worker results travel over per-worker pipes (a process killed
-mid-send can corrupt only its own channel, never a shared queue), and the
-driver waits on those pipes *and* the workers' process sentinels, so a
-SIGKILL'd worker is detected within milliseconds — not at the step
-timeout.  Detection triggers the recovery ladder of
-:class:`~repro.md.resilience.RecoveryPolicy`: respawn the worker (bounded
-retry, exponential backoff) and re-issue the in-flight evaluation to it,
-or — past the respawn budget — mark the slot permanently dead and reassign
-its tasks to survivors through the WorkDB → LBProblem path with
-``dead_procs`` marked, exactly like the simulated runtime.  Only when no
-workers survive (or recovery itself thrashes) does the pool degrade to the
-sequential path, and it does so by *serving the result*, not by raising.
-
-Recovery is **bit-identical** to an unfaulted run on the first two rungs
-of that ladder.  Two properties make this work: the scratch reduction is
-task-ordered and assignment-independent (who computed a block never
-matters), and workers always derive their binning and pair lists from the
-*reference* positions of the last rebuild — published in their own shared
-segment — never from the current positions.  A respawned or newly assigned
-worker therefore reconstructs exactly the lists the dead worker was using,
-and re-executes its tasks to the same bits, without perturbing the rebuild
-schedule.  (The final rung, sequential fallback, reduces in a different
-order and is equivalent only to ~1e-9, the same caveat PR 1 documents for
-the simulated recovery path.)
-
-Deterministic *real-process* fault injection rides on the same machinery:
-``fault_plan`` takes a :class:`~repro.md.resilience.WorkerFaultPlan`
-(SIGKILL / SIGSTOP-hang / slowdown, step-indexed) that the driver fires
-against its own children right after dispatching the scheduled step.
+Determinism, in brief: task structure is fixed at construction from
+deterministic priors only; both sides derive the task-ordered scratch
+layout from the same published *reference* positions; the driver reduces
+with a task-ordered segment-sum, so who computed a block never matters.
+Recovery re-issues work against the same reference data and is therefore
+bit-identical on the respawn and reassign rungs; only the sequential
+fallback reduces in a different order and is equivalent to ~1e-9.
 """
 
 from __future__ import annotations
 
-import atexit
-import multiprocessing as mp
-import multiprocessing.connection as mp_connection
-import os
 import time
-import traceback
 import warnings
-from collections import defaultdict
 
 import numpy as np
 
 from repro.backend import get_backend
-from repro.md.bonded import (
-    BONDED_KINDS,
-    BondedEnergies,
-    bonded_term_arrays,
-    compute_bonded,
-)
-from repro.md.cells import CellGrid
-from repro.md.constants import COULOMB_CONSTANT
+from repro.md import lb_driver as _lb_driver
+from repro.md.bonded import BondedEnergies, BONDED_KINDS, compute_bonded
 from repro.md.engine import SequentialEngine
-from repro.md.ewald import (
-    EwaldOptions,
-    EwaldResult,
-    _kspace_tables,
-    compute_ewald,
-    kspace_cache_stats,
-)
+from repro.md.ewald import EwaldOptions, EwaldResult, compute_ewald
 from repro.md.nonbonded import (
     NonbondedOptions,
     NonbondedResult,
-    _combined_params,
-    filter_candidates,
     nonbonded_14,
 )
 from repro.md.pairlist import VerletPairList
 from repro.md.resilience import (
-    FaultInjector,
-    RecoveryEventLog,
     RecoveryPolicy,
     ResilienceStats,
     WorkerFaultPlan,
 )
-from repro.core.grainsize import GrainsizeConfig, stripe_candidate_counts
+from repro.md.tasks import (
+    KSHARD_MAX as _KSHARD_MAX,  # noqa: F401  (back-compat re-export)
+    KSHARD_TARGET as _KSHARD_TARGET,  # noqa: F401
+    MAX_SPLIT_PARTS as _MAX_SPLIT_PARTS,  # noqa: F401
+    build_force_tasks,
+    build_task_lists as _build_task_lists,  # noqa: F401
+    build_xtask_entries as _build_xtask_entries,  # noqa: F401
+    eval_xtask as _eval_xtask,  # noqa: F401
+    kspace_shards as _kspace_shards,  # noqa: F401
+    scratch_rows_bound as _scratch_rows_bound,  # noqa: F401
+    task_kernel as _task_kernel,  # noqa: F401
+    task_layout as _task_layout,  # noqa: F401
+    xtask_rows as _xtask_rows,  # noqa: F401
+)
+from repro.pool import (
+    HAS_SHARED_MEMORY,
+    SupervisedPool,
+    attach_segment as _attach_shared,  # noqa: F401
+    contiguous_partition as _contiguous_partition,
+    normalize_slowdown as _normalize_slowdown,
+    slowdown_factor as _slowdown_factor,  # noqa: F401
+)
+from repro.pool.protocol import (
+    STAT_TIME_NS as _STAT_TIME_NS,
+    STAT_V0 as _STAT_E_LJ,
+    STAT_V1 as _STAT_E_EL,
+    STAT_V2 as _STAT_N_PAIRS,
+)
 from repro.util.cpus import available_cpu_count
-from repro.util.pbc import minimum_image, wrap_positions
-
-try:  # pragma: no cover - import guard exercised only on exotic platforms
-    from multiprocessing import shared_memory as _shm
-
-    HAS_SHARED_MEMORY = True
-except ImportError:  # pragma: no cover
-    _shm = None
-    HAS_SHARED_MEMORY = False
+from repro.util.pbc import minimum_image
 
 __all__ = ["ParallelEngine", "ParallelNonbonded", "HAS_SHARED_MEMORY"]
 
-#: columns of the shared per-task stats array
-_STAT_E_LJ, _STAT_E_EL, _STAT_N_PAIRS, _STAT_TIME_NS = range(4)
-
-#: hard cap on grainsize slices per cell task in the real engine — real
-#: sub-tasks carry per-part list/scatter overhead the simulated layer's
-#: descriptors do not, so the engine caps lower than GrainsizeConfig's 64
-_MAX_SPLIT_PARTS = 16
-
-#: Ewald k-space sharding: target k-vectors per shard and shard-count cap.
-#: Both derive from the k-table size only — never from the worker count —
-#: so the task structure (and with it the reduction order) is identical at
-#: any pool size; that is what keeps trajectories bit-identical across
-#: worker counts with k-space distribution on.
-_KSHARD_TARGET = 512
-_KSHARD_MAX = 8
-
-
-def _kspace_shards(nk: int) -> list[tuple[str, int, int]]:
-    """Worker-count-independent ``("kspace", lo, hi)`` shard descriptors."""
-    if nk <= 0:
-        return []
-    n_shards = min(_KSHARD_MAX, max(1, -(-nk // _KSHARD_TARGET)))
-    bounds = np.linspace(0, nk, n_shards + 1).round().astype(np.int64)
-    return [
-        ("kspace", int(bounds[s]), int(bounds[s + 1]))
-        for s in range(n_shards)
-        if bounds[s + 1] > bounds[s]
-    ]
-
-
-def _xtask_rows(
-    xtasks: list[tuple],
-    term_data: dict[int, tuple],
-    flat: np.ndarray,
-    n_atoms: int,
-) -> tuple[list, list]:
-    """Term selections and scatter rows of every extra task, one binning.
-
-    Extra tasks ride after the cell tasks in the global task order:
-
-    * ``("bonded", kind, cell, intra)`` — the bonded terms of ``kind``
-      whose *home cell* (the cell of the term's first atom under the
-      reference binning) is ``cell``, split into the intra group (every
-      atom of the term in that cell, ``intra=1``) and the inter group
-      (``intra=0``).  For each kind the groups partition the term list
-      exactly, so energies and forces are independent of the binning; the
-      block rows are the flattened global atom indices of the selected
-      terms (duplicates are fine — the driver reduces with a segment sum).
-    * ``("kspace", lo, hi)`` — a reciprocal-vector shard; its forces touch
-      every atom, so the block is a full ``(n_atoms, 3)`` slab.
-
-    Returns ``(sels, rows)`` aligned with ``xtasks``; ``sels[x]`` is None
-    for k-space shards.  Driver and workers both call this on the same
-    reference binning, so layouts agree without communicating.
-    """
-    sels: list = []
-    rows: list = []
-    all_rows = np.arange(n_atoms, dtype=np.int64)
-    for xt in xtasks:
-        if xt[0] == "kspace":
-            sels.append(None)
-            rows.append(all_rows)
-            continue
-        _, kind, cell, intra = xt
-        idx = term_data[kind][0]
-        home = flat[idx[:, 0]]
-        same = np.all(flat[idx] == home[:, None], axis=1)
-        sel = np.flatnonzero((home == cell) & (same == bool(intra)))
-        sels.append(sel)
-        rows.append(idx[sel].reshape(-1))
-    return sels, rows
-
-
-# --------------------------------------------------------------------------- #
-# task layout: shared between driver (reduction) and workers (block writes)
-# --------------------------------------------------------------------------- #
-def _task_layout(
-    buckets: list[np.ndarray],
-    tasks: list[tuple[int, int, int, int]],
-    xrows: list[np.ndarray] = (),
-) -> tuple[np.ndarray, np.ndarray]:
-    """Task-ordered block layout of the shared force scratch.
-
-    Tasks are grainsize sub-blocks ``(a, b, part, n_parts)`` — the unsplit
-    case is ``(a, b, 0, 1)``.  Block ``t`` holds the force rows its kernel
-    can touch: for a *self* sub-task every row of cell ``a`` (a stripe's
-    pairs ``(i, j)``, ``i`` in the stripe, scatter onto arbitrary ``j``);
-    for a *pair* sub-task the stripe ``part::n_parts`` of cell ``a``'s rows
-    followed by all of cell ``b``'s.  Returns ``(offsets, gather)`` where
-    ``offsets`` has ``n_tasks + 1`` entries and
-    ``gather[offsets[t]:offsets[t+1]]`` are the *global* atom indices of
-    block ``t``'s rows.  Both driver and workers derive this from the same
-    deterministic binning of the same published positions, so they agree
-    without communicating; because the layout (and the driver's
-    segment-sum over it) is in task order, the reduced forces are bitwise
-    independent of the task→worker assignment.
-
-    ``xrows`` appends extra-task blocks (bonded term groups and k-space
-    shards, see :func:`_xtask_rows`) after the cell blocks: extra task
-    ``x`` occupies global task slot ``len(tasks) + x`` and its block rows
-    are exactly ``xrows[x]``.
-    """
-    n_nb = len(tasks)
-    n_tasks = n_nb + len(xrows)
-    sizes = np.zeros(n_tasks, dtype=np.int64)
-    for t, (a, b, part, n_parts) in enumerate(tasks):
-        na = len(buckets[a])
-        if b == a:
-            sizes[t] = na
-        else:
-            sizes[t] = len(buckets[a][part::n_parts]) + len(buckets[b])
-    for x, rows in enumerate(xrows):
-        sizes[n_nb + x] = len(rows)
-    offsets = np.zeros(n_tasks + 1, dtype=np.int64)
-    np.cumsum(sizes, out=offsets[1:])
-    gather = np.empty(int(offsets[-1]), dtype=np.int64)
-    for t, (a, b, part, n_parts) in enumerate(tasks):
-        lo = int(offsets[t])
-        if b == a:
-            atoms_a = buckets[a]
-            gather[lo : lo + len(atoms_a)] = atoms_a
-        else:
-            rows_a = buckets[a][part::n_parts]
-            atoms_b = buckets[b]
-            gather[lo : lo + len(rows_a)] = rows_a
-            gather[lo + len(rows_a) : lo + len(rows_a) + len(atoms_b)] = atoms_b
-    for x, rows in enumerate(xrows):
-        lo = int(offsets[n_nb + x])
-        gather[lo : lo + len(rows)] = rows
-    return offsets, gather
-
-
-def _scratch_rows_bound(
-    tasks: list[tuple[int, int, int, int]], n_cells: int, n_atoms: int
-) -> int:
-    """Upper bound on scratch rows any future layout of ``tasks`` can need.
-
-    Counts, per cell, how many block rows it can contribute: a self parent
-    split ``n`` ways keeps *all* of cell ``a``'s rows in each slice
-    (``n`` full blocks); a pair parent contributes cell ``a`` once (its
-    stripes partition the rows exactly) and cell ``b`` once per slice.
-    The bound is topology-only — independent of where atoms sit — so the
-    shared segment sized at construction stays valid across rebuilds.
-    """
-    if not n_cells:
-        return 1
-    mult = np.zeros(n_cells, dtype=np.int64)
-    for a, b, part, n_parts in tasks:
-        if part != 0:  # count each parent task once
-            continue
-        if b == a:
-            mult[a] += n_parts
-        else:
-            mult[a] += 1
-            mult[b] += n_parts
-    return max(n_atoms * int(mult.max()), 1)
-
-
-def _normalize_slowdown(slowdown) -> dict[int, list[tuple[float, float, float]]]:
-    """Per-worker slowdown windows ``(start_step, end_step, factor)``.
-
-    Accepts ``{worker: factor}`` (permanent slowdown) or an iterable of
-    :class:`repro.runtime.faults.SlowdownWindow`-like objects whose
-    ``start``/``end`` are *step* indices (1-based evaluation sequence).
-    """
-    windows: dict[int, list[tuple[float, float, float]]] = defaultdict(list)
-    if not slowdown:
-        return {}
-    if isinstance(slowdown, dict):
-        for proc, factor in slowdown.items():
-            if float(factor) <= 0:
-                raise ValueError("slowdown factor must be positive")
-            windows[int(proc)].append((0.0, float("inf"), float(factor)))
-    else:
-        for w in slowdown:
-            if w.factor <= 0:
-                raise ValueError("slowdown factor must be positive")
-            windows[int(w.proc)].append(
-                (float(w.start), float(w.end), float(w.factor))
-            )
-    return dict(windows)
-
-
-def _slowdown_factor(
-    windows: list[tuple[float, float, float]], step: int
-) -> float:
-    """Combined slowdown at ``step`` (mirrors ``FaultPlan.slowdown_factor``:
-    overlapping windows multiply)."""
-    factor = 1.0
-    for start, end, f in windows:
-        if start <= step < end:
-            factor *= f
-    return factor
-
-
-# --------------------------------------------------------------------------- #
-# worker side
-# --------------------------------------------------------------------------- #
-def _attach_shared(name: str):
-    """Attach to an existing shared block without adopting ownership.
-
-    Python < 3.13 registers every attach with the resource tracker; our
-    workers are always children of the driver and therefore share *its*
-    tracker (both fork and spawn inherit the tracker fd), where the extra
-    register is an idempotent no-op.  Crucially the workers must NOT
-    unregister — that would strip the driver's own registration and turn
-    its later ``unlink()`` into tracker noise.
-    """
-    return _shm.SharedMemory(name=name)
-
-
-def _build_task_lists(
-    system, tasks, my_tasks, buckets, r_list, backend=None, coulomb=True
-):
-    """Per-task prefiltered pair lists with local scatter indices.
-
-    For each owned sub-task ``(a, b, part, n_parts)``: global candidate
-    index arrays filtered to ``r < r_list`` minus exclusions/1-4, the
-    matching *local* block-row indices, and the pre-combined LJ/charge
-    parameters (position-independent, so combined once per rebuild instead
-    of every step).  A self sub-task keeps the triu pairs whose row ``i``
-    lands in the stripe (rows ``0..na-1`` of the block, so all slices of
-    one self cell share scatter indexing); a pair sub-task enumerates its
-    stripe's rows (block rows ``0..ns-1``) against all of cell ``b``
-    (rows ``ns..``).  The slices are an exact partition of the parent
-    task's candidate set.
-
-    ``coulomb=False`` zeroes the combined charge products so the pair
-    kernel runs LJ-only — the Ewald path owns the full electrostatics and
-    the shifted point-charge term must not double count it.
-    """
-    triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    lists: dict[int, tuple | None] = {}
-    for t in my_tasks:
-        a, b, part, n_parts = tasks[t]
-        atoms_a = buckets[a]
-        na = len(atoms_a)
-        if a == b:
-            if na < 2:
-                lists[t] = None
-                continue
-            if na not in triu_cache:
-                triu_cache[na] = np.triu_indices(na, k=1)
-            si, sj = triu_cache[na]
-            if n_parts > 1:
-                keep = si % n_parts == part
-                si = np.ascontiguousarray(si[keep])
-                sj = np.ascontiguousarray(sj[keep])
-                if len(si) == 0:
-                    lists[t] = None
-                    continue
-            i_g = atoms_a[si]
-            j_g = atoms_a[sj]
-        else:
-            atoms_b = buckets[b]
-            nb = len(atoms_b)
-            rows_a = np.arange(part, na, n_parts, dtype=np.int64)
-            ns = len(rows_a)
-            if ns == 0 or nb == 0:
-                lists[t] = None
-                continue
-            i_g = np.repeat(atoms_a[rows_a], nb)
-            j_g = np.tile(atoms_b, ns)
-            si = np.repeat(np.arange(ns, dtype=np.int64), nb)
-            sj = np.tile(np.arange(nb, dtype=np.int64) + ns, ns)
-        i_f, j_f, kept = filter_candidates(
-            system, i_g.astype(np.int32), j_g.astype(np.int32), r_list,
-            return_kept=True, backend=backend,
-        )
-        if len(i_f) == 0:
-            lists[t] = None
-            continue
-        eps, rmin, qq = _combined_params(system, i_f, j_f)
-        if not coulomb:
-            qq = np.zeros_like(qq)
-        lists[t] = (
-            i_f,
-            j_f,
-            np.ascontiguousarray(si[kept], dtype=np.int64),
-            np.ascontiguousarray(sj[kept], dtype=np.int64),
-            eps,
-            rmin,
-            qq,
-        )
-    return lists
-
-
-def _task_kernel(system, entry, options, block, backend) -> tuple[float, float, int]:
-    """One task's switched LJ + shifted Coulomb into its compact block.
-
-    Identical per-pair arithmetic to :func:`repro.md.nonbonded.
-    nonbonded_kernel` (same fused ``backend.nb_pairs`` kernel, same
-    segment-sum scatter), but over a prefiltered list with pre-combined
-    parameters and local scatter indices — the parallel hot loop.
-    """
-    i_g, j_g, si, sj, eps, rmin, qq = entry
-    return backend.nb_pairs(
-        system.positions, system.box, i_g, j_g, eps, rmin, qq,
-        options.cutoff, options.switch, block, si, sj,
-    )
-
-
-def _build_xtask_entries(xtasks, xsels, term_data, my_tasks, n_nb):
-    """Kernel-ready entries for this worker's extra tasks, one rebuild.
-
-    Bonded entries pre-slice the kind's term arrays to the group's
-    selection and carry local scatter indices (block row ``r`` of a group
-    with terms of arity ``m`` holds atom ``idx[r // m, r % m]`` — exactly
-    the row order of :func:`_xtask_rows`).  K-space entries are just the
-    shard descriptor; the tables are memoized per process.
-    """
-    entries: dict[int, tuple] = {}
-    for t in my_tasks:
-        if t < n_nb:
-            continue
-        xt = xtasks[t - n_nb]
-        if xt[0] == "kspace":
-            entries[t] = xt
-            continue
-        _, kind, _cell, _intra = xt
-        idx, kpar, p1, p2 = term_data[kind]
-        sel = xsels[t - n_nb]
-        arity = idx.shape[1]
-        sidx = np.arange(len(sel) * arity, dtype=np.int64).reshape(-1, arity)
-        entries[t] = (
-            "bonded", kind, idx[sel], kpar[sel], p1[sel], p2[sel], sidx
-        )
-    return entries
-
-
-def _eval_xtask(system, entry, ewald_cfg, block, backend):
-    """One extra task into its block; returns ``(energy, n_items)``.
-
-    Bonded groups report their term count, k-space shards their k-vector
-    count — measurement context for the WorkDB, never added to the pair
-    total.  The shard prefactor uses the *current* box (the driver forces a
-    rebuild on any box change, so tables and volume always agree).
-    """
-    if entry[0] == "kspace":
-        _, lo, hi = entry
-        alpha, kmax = ewald_cfg
-        box = np.asarray(system.box, dtype=np.float64)
-        k_tab, _k2, ak = _kspace_tables(box, kmax, alpha)
-        if hi <= lo or len(k_tab) == 0:
-            return 0.0, 0
-        pref = COULOMB_CONSTANT * 2.0 * np.pi / float(np.prod(box))
-        energy = backend.ewald_recip_shard(
-            system.positions, system.charges, k_tab[lo:hi], ak[lo:hi],
-            pref, block,
-        )
-        return float(energy), hi - lo
-    _, kind, idx, kpar, p1, p2, sidx = entry
-    if len(idx) == 0:
-        return 0.0, 0
-    energy = backend.bonded_terms(
-        system.positions, system.box, kind, idx, kpar, p1, p2, block, sidx
-    )
-    return float(energy), len(idx)
-
-
-def _worker_main(
-    worker_id,
-    n_workers,
-    cmd_conn,
-    res_conn,
-    pos_name,
-    ref_name,
-    scratch_name,
-    stats_name,
-    system,
-    options,
-    dims,
-    tasks,
-    r_list,
-    backend_name,
-    assignment,
-    slow_windows,
-    xtasks=(),
-    term_data=None,
-    ewald_cfg=None,
-    coulomb=True,
-):
-    """Worker loop: attach shared arrays, then serve step/rebuild commands.
-
-    Commands and acks travel over per-worker pipes: ``("step", seq, epoch,
-    rebuild, box, assignment_or_None)`` in, ``("ok"|"error", worker_id,
-    seq, epoch[, traceback])`` out.  The epoch lets the driver re-issue an
-    evaluation to a respawned/reassigned worker and discard any stale ack
-    the previous incarnation may have left in flight.
-
-    Binning and pair-list construction always use the *reference* positions
-    (the ``ref`` shared segment, written by the driver at each rebuild),
-    never the live ones — so a worker (re)building its lists mid-window
-    reconstructs exactly the state every other worker derived at the last
-    rebuild, which is what makes recovery bit-identical.  The kernel, of
-    course, evaluates at the live positions.
-
-    ``xtasks`` appends bonded term groups and Ewald k-space shards after
-    the cell tasks (global slots ``len(tasks)..``).  Their partitions are
-    re-derived from the same reference binning at every rebuild, so a
-    respawned or reassigned worker reconstructs them bit-identically too.
-    Bonded group energies land in the ``E_LJ`` stats column, shard
-    energies in ``E_EL``; the driver separates them by task-id range.
-    With Ewald enabled each worker also publishes its process-local
-    k-space table cache counters (builds, hits since spawn) into the
-    per-worker stats rows after the task rows.
-    """
-    from repro.core.decomposition import bin_atoms
-
-    # resolve the kernel backend once per worker process; forked workers
-    # inherit the parent's compiled state, spawned ones recompile from the
-    # on-disk JIT cache — either way every task of this worker runs the
-    # same kernels for its whole life
-    backend = get_backend(backend_name)
-
-    pos_seg = _attach_shared(pos_name)
-    ref_seg = _attach_shared(ref_name)
-    scratch_seg = _attach_shared(scratch_name)
-    stats_seg = _attach_shared(stats_name)
-    n = system.n_atoms
-    n_nb = len(tasks)
-    n_tasks = n_nb + len(xtasks)
-    positions = np.ndarray((n, 3), dtype=np.float64, buffer=pos_seg.buf)
-    ref_positions = np.ndarray((n, 3), dtype=np.float64, buffer=ref_seg.buf)
-    scratch = np.ndarray(
-        (scratch_seg.size // 24, 3), dtype=np.float64, buffer=scratch_seg.buf
-    )
-    stats = np.ndarray(
-        (n_tasks + n_workers, 4), dtype=np.float64, buffer=stats_seg.buf
-    )
-    # the worker's system aliases the shared positions; the driver owns the
-    # contents and guarantees they are wrapped before each command
-    system.positions = positions
-    dims = np.asarray(dims, dtype=np.int64)
-    assignment = np.asarray(assignment, dtype=np.int64)
-    my_tasks: list[int] = []
-    offsets = None
-    lists: dict[int, tuple | None] = {}
-    xentries: dict[int, tuple] = {}
-    # cache counters are cumulative per process; under fork the child
-    # inherits the parent's, so report deltas from this baseline
-    cache_base = kspace_cache_stats() if ewald_cfg is not None else None
-    perf = time.perf_counter_ns
-    try:
-        while True:
-            try:
-                cmd = cmd_conn.recv()
-            except (EOFError, OSError):
-                break  # driver gone
-            if cmd[0] == "stop":
-                break
-            seq = epoch = -1
-            try:
-                _, seq, epoch, rebuild, box, new_assignment = cmd
-                system.box = np.asarray(box, dtype=np.float64)
-                changed = False
-                if new_assignment is not None:
-                    new_assignment = np.asarray(new_assignment, dtype=np.int64)
-                    changed = not np.array_equal(new_assignment, assignment)
-                    assignment = new_assignment
-                if rebuild or changed or offsets is None:
-                    # derive everything from the reference positions so the
-                    # result is independent of *when* this worker (re)built
-                    system.positions = ref_positions
-                    try:
-                        _, flat, buckets = bin_atoms(
-                            ref_positions, system.box, dims
-                        )
-                        xsels, xrows = _xtask_rows(xtasks, term_data, flat, n)
-                        offsets, _ = _task_layout(buckets, tasks, xrows)
-                        my_tasks = np.flatnonzero(
-                            assignment == worker_id
-                        ).tolist()
-                        lists = _build_task_lists(
-                            system, tasks,
-                            [t for t in my_tasks if t < n_nb],
-                            buckets, r_list,
-                            backend=backend, coulomb=coulomb,
-                        )
-                        xentries = _build_xtask_entries(
-                            xtasks, xsels, term_data, my_tasks, n_nb
-                        )
-                    finally:
-                        system.positions = positions
-                factor = _slowdown_factor(slow_windows, seq)
-                for t in my_tasks:
-                    t0 = perf()
-                    block = scratch[offsets[t] : offsets[t + 1]]
-                    block[...] = 0.0
-                    if t >= n_nb:
-                        energy, n_items = _eval_xtask(
-                            system, xentries[t], ewald_cfg, block, backend
-                        )
-                        if xentries[t][0] == "kspace":
-                            e_lj, e_el = 0.0, energy
-                        else:
-                            e_lj, e_el = energy, 0.0
-                        n_pairs = n_items
-                    else:
-                        entry = lists[t]
-                        if entry is None:
-                            e_lj = e_el = 0.0
-                            n_pairs = 0
-                        else:
-                            e_lj, e_el, n_pairs = _task_kernel(
-                                system, entry, options, block, backend
-                            )
-                    elapsed = perf() - t0
-                    if factor > 1.0:
-                        # busy-spin: the CPU "runs factor times slower", so
-                        # the extra time is real, measurable load
-                        target = t0 + elapsed * factor
-                        while perf() < target:
-                            pass
-                        elapsed = perf() - t0
-                    stats[t, _STAT_E_LJ] = e_lj
-                    stats[t, _STAT_E_EL] = e_el
-                    stats[t, _STAT_N_PAIRS] = n_pairs
-                    stats[t, _STAT_TIME_NS] = elapsed
-                if cache_base is not None:
-                    cs = kspace_cache_stats()
-                    stats[n_tasks + worker_id, 0] = (
-                        cs["builds"] - cache_base["builds"]
-                    )
-                    stats[n_tasks + worker_id, 1] = (
-                        cs["hits"] - cache_base["hits"]
-                    )
-                res_conn.send(("ok", worker_id, seq, epoch))
-            except Exception:
-                try:
-                    res_conn.send(
-                        ("error", worker_id, seq, epoch, traceback.format_exc())
-                    )
-                except (OSError, ValueError):  # pragma: no cover
-                    break
-    finally:
-        del positions, ref_positions, scratch, stats, system.positions
-        system.positions = np.zeros((0, 3))
-        pos_seg.close()
-        ref_seg.close()
-        scratch_seg.close()
-        stats_seg.close()
-
-
-# --------------------------------------------------------------------------- #
-# driver side
-# --------------------------------------------------------------------------- #
-def _contiguous_partition(costs: np.ndarray, n_parts: int) -> np.ndarray:
-    """Boundaries of ``n_parts`` contiguous, cost-balanced runs.
-
-    Returns an int array ``bounds`` of length ``n_parts + 1`` with
-    ``bounds[0] == 0`` and ``bounds[-1] == len(costs)``; part ``k`` owns
-    tasks ``bounds[k]:bounds[k+1]``.  Deterministic (prefix-sum splitting at
-    equal cost targets).
-
-    Guarantees beyond the raw prefix cuts: whenever ``n_tasks >= n_parts``
-    every part is nonempty (a single dominant task, or ``searchsorted``
-    landing before a run of zero-cost tasks, would otherwise collapse
-    several cuts onto one index and starve the trailing parts), and with
-    ``n_parts > n_tasks`` the first ``n_tasks`` parts get one task each.
-    The clamp moves a collapsed cut to the nearest admissible index, which
-    never raises the maximum part cost: the part that previously held the
-    dominant prefix only sheds tasks to its (previously empty) successors.
-    """
-    n_tasks = len(costs)
-    if n_parts < 1:
-        raise ValueError("n_parts must be >= 1")
-    prefix = np.concatenate([[0.0], np.cumsum(costs)])
-    total = float(prefix[-1])
-    if total <= 0.0:
-        bounds = np.linspace(0, n_tasks, n_parts + 1).round().astype(np.int64)
-    else:
-        targets = total * np.arange(1, n_parts) / n_parts
-        cuts = np.searchsorted(prefix, targets, side="left")
-        bounds = np.concatenate([[0], cuts, [n_tasks]]).astype(np.int64)
-    # force strictly increasing bounds while tasks last: in the shifted
-    # coordinate d[k] = bounds[k] - k, "every part nonempty" is plain
-    # monotonicity, so one maximum.accumulate plus a clip to the feasible
-    # band [0, n_tasks - n_parts] repairs collapsed cuts with the minimal
-    # moves (and pins bounds[0] = 0, bounds[-1] = n_tasks)
-    k = np.arange(n_parts + 1, dtype=np.int64)
-    d = np.maximum.accumulate(np.clip(bounds, 0, n_tasks) - k)
-    d = np.clip(d, 0, max(n_tasks - n_parts, 0))
-    return np.minimum(d + k, n_tasks)
+# Back-compat note: the underscore aliases above re-export helpers that
+# lived here before the pool/tasks split; external imports keep working.
 
 
 class ParallelNonbonded:
     """Pool-backed non-bonded evaluator over one molecular system.
 
-    Evaluates the same quantity as :func:`repro.md.nonbonded.compute_nonbonded`
-    (main pair loop + scaled 1-4 pass) but distributes the pair work across
-    ``n_workers`` processes.  Split :meth:`dispatch`/:meth:`collect` calls
-    let the caller overlap its own work — the engine computes bonded terms
-    while the workers run — or use :meth:`compute` for the one-shot form.
-
-    Every evaluation feeds per-task ``perf_counter_ns`` samples into
-    :attr:`workdb`; with ``rebalance_every > 0`` the driver re-runs the
-    paper's balancers on that database (see the module docstring) and
-    installs new task→worker maps at step-indexed pair-list rebuilds.
-
-    Falls back to an in-process Verlet-pairlist evaluation when
-    ``n_workers <= 1``, shared memory is unavailable, or pool startup fails;
+    Same quantity as :func:`repro.md.nonbonded.compute_nonbonded`, but the
+    pair work is distributed across ``n_workers`` processes.  Split
+    :meth:`dispatch`/:meth:`collect` calls let the caller overlap its own
+    work; :meth:`compute` is the one-shot form.  Every evaluation feeds
+    per-task timings into :attr:`workdb`, which drives the paper's
+    balancers when ``rebalance_every > 0``.  Falls back to an in-process
+    Verlet-pairlist evaluation when workers are unavailable;
     :attr:`active` tells which mode is live.
     """
+
+    #: teardown latency bound, mirrored from the pool runtime
+    _TEARDOWN_BUDGET_S = SupervisedPool._TEARDOWN_BUDGET_S
 
     def __init__(
         self,
@@ -792,51 +122,20 @@ class ParallelNonbonded:
         ewald: EwaldOptions | None = None,
         kspace: bool = True,
     ) -> None:
-        """``n_workers <= 0`` means "one per CPU" (the CPUs this process may
-        run on, affinity/cgroup aware); ``timeout`` (seconds) bounds every
-        wait on the pool so a hung worker fails fast.
-
-        ``bonded=True`` distributes the bonded terms onto the pool as extra
-        tasks (per home cell, intra/inter term groups) — :meth:`collect`'s
-        forces then *include* the bonded contribution and
-        :attr:`last_bonded` reports the per-kind energies, so the engine
-        must not add them again.  ``ewald`` (an
-        :class:`~repro.md.ewald.EwaldOptions`) makes this evaluator own the
-        *full* electrostatics: the pair kernel runs LJ-only, the scaled 1-4
-        electrostatic term is dropped (the Ewald sum covers those pairs at
-        full strength), and ``energy_elec`` is the complete Ewald total.
-        With ``kspace=True`` (default) the reciprocal sum is sharded over
-        k-vector ranges and evaluated on the pool, overlapped with the pair
-        tasks, while the driver computes the real-space/self/background/
-        exclusion remainder; ``kspace=False`` keeps the whole Ewald sum on
-        the driver (still overlapped with the workers).  All of these keep
-        the task-ordered reduction, so trajectories stay bit-identical
-        across repeats, remaps, worker counts, and recovery.
-
-        ``rebalance_every=N`` runs a load-balancing decision every N
-        evaluations (0 disables); ``lb_strategy`` overrides the default
-        greedy-seed-then-refine schedule with any
-        :data:`repro.balancer.strategies.STRATEGIES` name or ``"+"``-combo;
-        ``slowdown`` injects per-worker artificial slowdowns (dict
-        ``{worker: factor}`` or step-indexed ``SlowdownWindow`` iterable);
-        ``grainsize_ms > 0`` enables grainsize control — cell tasks whose
-        cost-model-prior time exceeds the target (in *cost-model*
-        milliseconds, :data:`repro.core.simulation.DEFAULT_COST_MODEL`
-        unless ``cost_model`` overrides it) are split into row-stripe
-        sub-tasks before the static partition and every LB decision.
-
-        ``fault_plan`` schedules deterministic real-process fault injection
-        (a :class:`~repro.md.resilience.WorkerFaultPlan` or its compact
-        string form, e.g. ``"kill=1@3,hang=0@2x1.5"``); ``recovery``
-        configures the supervision ladder (default
-        :class:`~repro.md.resilience.RecoveryPolicy`).
-
-        ``backend`` selects the :mod:`repro.backend` kernel set used by the
-        driver (candidate filtering, 1-4 pass, fallback path) and by every
-        worker; resolved once here and shipped to workers by *name* so a
-        respawned worker rebuilds the identical kernels.  Recorded in
-        :attr:`workdb` so measurements taken under different backends are
-        never blended.
+        """``n_workers <= 0`` means "one per CPU"; ``timeout`` (seconds)
+        bounds every wait on the pool.  ``bonded=True`` distributes the
+        bonded terms onto the pool as extra tasks; ``ewald`` makes this
+        evaluator own the *full* electrostatics, with ``kspace=True``
+        sharding the reciprocal sum over the pool.  ``rebalance_every=N``
+        runs an LB decision every N evaluations; ``lb_strategy``
+        overrides the greedy-then-refine schedule; ``slowdown`` injects
+        per-worker slowdowns; ``grainsize_ms > 0`` splits expensive cell
+        tasks into row stripes; ``fault_plan`` schedules deterministic
+        fault injection (string form ``"kill=1@3,hang=0@2x1.5"``);
+        ``recovery`` configures the supervision ladder; ``backend``
+        names the kernel set for driver and workers alike.  All modes
+        keep the task-ordered reduction, so trajectories stay
+        bit-identical across repeats, remaps, worker counts and recovery.
         """
         from repro.balancer.strategies import STRATEGIES
         from repro.instrument import WorkDB
@@ -883,57 +182,26 @@ class ParallelNonbonded:
         self._coulomb = ewald is None
         self.last_bonded: BondedEnergies | None = None
         self.last_ewald: EwaldResult | None = None
-        self._n_nb = 0
-        self._n_total = 0
-        self._xtasks: list[tuple] = []
-        self._term_data: dict[int, tuple] = {}
+        self._pool: SupervisedPool | None = None
+        self._provider = None
+        self._n_nb = self._n_total = 0
         self._bonded_ids: dict[int, np.ndarray] = {}
         self._kspace_ids: np.ndarray = np.zeros(0, dtype=np.int64)
         self._kspace_stat_base: np.ndarray | None = None
-        self.driver_compute_s = 0.0
-        self.pool_wall_s = 0.0
+        self.driver_compute_s = self.pool_wall_s = 0.0
         self.n_evals = 0
         self.n_workers = 1
         self.task_bounds: np.ndarray | None = None
-        self.n_rebuilds = 0
-        self.n_reuses = 0
-        self.n_rebalances = 0
+        self.n_rebuilds = self.n_reuses = self.n_rebalances = 0
         self.remap_steps: list[int] = []
         self.rebalance_log: list[dict] = []
-        self._seq = 0
-        self._pending: int | None = None
-        self._pending_assignment: np.ndarray | None = None
-        self._ref_positions: np.ndarray | None = None
-        self._ref_box: np.ndarray | None = None
-        self._procs: list = []
-        self._cmd_conns: list = []
-        self._res_conns: list = []
-        self._worker_epoch: list[int] = []
-        self._dead_workers: set[int] = set()
-        self._respawn_counts: dict[int, int] = {}
-        self._acked: set[int] = set()
-        self._injector: FaultInjector | None = None
-        self._ctx = None
-        self._worker_static: tuple | None = None
-        self._t_dispatch: float | None = None
-        self._step_wall_ewma = 0.0
-        self._recovery_rounds = 0
-        self._force_rebuild = False
-        self._degraded_dispatch = False
-        self._last_reassign_moved = 0
+        self._seq_fallback = 0
+        self._pending_assignment = None
+        self._ref_positions = self._ref_box = None
+        self._force_rebuild = self._degraded_dispatch = False
         self._pending_box: tuple | None = None
-        self._pos_seg = None
-        self._refpos_seg = None
-        self._scratch_seg = None
-        self._stats_seg = None
-        self._positions_view: np.ndarray | None = None
-        self._refpos_view: np.ndarray | None = None
-        self._scratch_view: np.ndarray | None = None
-        self._stats_view: np.ndarray | None = None
-        self._offsets: np.ndarray | None = None
-        self._gather: np.ndarray | None = None
+        self._offsets = self._gather = None
         self._fallback_pairlist: VerletPairList | None = None
-        self._deadline: float | None = None
         self._closed = False
 
         # "one per CPU" must mean CPUs this process may *run on* — on
@@ -943,7 +211,9 @@ class ParallelNonbonded:
             try:
                 self._start_pool(requested, cost_model, start_method)
             except Exception as exc:  # pragma: no cover - platform dependent
-                self._teardown()
+                if self._pool is not None:
+                    self._pool.close()
+                    self._pool = None
                 warnings.warn(
                     f"parallel worker pool unavailable ({exc!r}); "
                     "falling back to the sequential non-bonded path",
@@ -958,322 +228,141 @@ class ParallelNonbonded:
                     f"fault plan targets worker {self.fault_plan.max_worker()}"
                     f", but the pool has {self.n_workers} workers"
                 )
-            self._injector = FaultInjector(self.fault_plan)
+            self._pool.arm_faults(self.fault_plan)
 
-    # ------------------------------------------------------------------ #
     @property
     def active(self) -> bool:
         """True when the worker pool is live (not fallback, not closed)."""
-        return self.n_workers > 1 and not self._closed
+        return (
+            not self._closed
+            and self._pool is not None
+            and self._pool.active
+        )
+
+    # --- supervised-pool state, exposed under the historical names ----- #
+    @property
+    def _pending(self) -> int | None:
+        return self._pool.pending if self._pool is not None else None
+
+    @property
+    def _deadline(self) -> float | None:
+        return self._pool.deadline if self._pool is not None else None
+
+    @property
+    def _procs(self) -> list:
+        return self._pool.procs if self._pool is not None else []
+
+    @property
+    def _assignment(self) -> np.ndarray | None:
+        return self._pool.assignment if self._pool is not None else None
+
+    @property
+    def _seq(self) -> int:
+        return self._pool.seq if self._pool is not None else self._seq_fallback
+
+    @_seq.setter
+    def _seq(self, value: int) -> None:
+        # checkpoint restore realigns the evaluation counter so
+        # step-indexed events land on the same absolute steps
+        if self._pool is not None:
+            self._pool.seq = int(value)
+        else:
+            self._seq_fallback = int(value)
 
     def _start_pool(self, requested, cost_model, start_method) -> None:
-        system = self.system
-        system.exclusions  # build once, before workers copy the system
-        r_list = self.options.cutoff + self.skin
-        # construction must not mutate the caller's system (the sequential
-        # engine's does not): the grid build and cost model see a wrapped
-        # *copy*; the engines wrap before every dispatch as usual
-        box = np.asarray(system.box, dtype=np.float64)
-        wrapped = wrap_positions(system.positions, box)
-        grid = CellGrid.build(wrapped, box, r_list)
-        self._dims = grid.dims.copy()
-        self._init_box = box.copy()
-        ca, cb = grid.neighbor_cell_pair_arrays()
-        parents = list(zip(ca.tolist(), cb.tolist()))
-
-        # static, cost-model-seeded block assignment: exact in-cutoff pair
-        # counts per task become the WorkDB priors (the paper's "before the
-        # first measurement" rule), then contiguous near-equal-cost runs
-        from repro.core.decomposition import bin_atoms
-        from repro.costmodel.model import estimate_block_costs
-
-        _, flat0, buckets = bin_atoms(wrapped, box, self._dims)
-        model = cost_model
-        if model is None and self.grainsize_ms > 0:
-            # grainsize_ms is a physical target: need real (reference-
-            # machine) seconds, not the unitless pair-count default
-            from repro.core.simulation import DEFAULT_COST_MODEL
-
-            model = DEFAULT_COST_MODEL
-        costs = estimate_block_costs(
-            wrapped,
-            box,
-            self.options.cutoff,
-            buckets,
-            parents,
-            model=model,
+        spec = build_force_tasks(
+            self.system,
+            self.options,
+            skin=self.skin,
+            grainsize_ms=self.grainsize_ms,
+            cost_model=cost_model,
+            bonded=self.bonded_tasks,
+            ewald=self.ewald,
+            kspace=self.kspace_tasks,
+            backend=self.backend,
         )
-
-        # grainsize control (§4.2.1–2): split oversized parents into row
-        # stripes — structure decided here, once, from the deterministic
-        # prior (never from noisy measurements: the scratch layout follows
-        # the task list, so a measurement-driven split would break bitwise
-        # repeatability).  Priors are handed down pro-rata by stripe
-        # candidate count.
-        cfg = GrainsizeConfig(
-            target_load_s=self.grainsize_ms * 1e-3, max_parts=_MAX_SPLIT_PARTS
-        )
-        tasks: list[tuple[int, int, int, int]] = []
-        sub_costs: list[float] = []
-        sub_parents: list[int] = []
-        for pt, (a, b) in enumerate(parents):
-            na = len(buckets[a])
-            if self.grainsize_ms > 0:
-                enabled = cfg.split_self if a == b else cfg.split_pairs
-                n_parts = min(
-                    cfg.parts_for(float(costs[pt]), enabled), max(na, 1)
-                )
-            else:
-                n_parts = 1
-            weights = stripe_candidate_counts(
-                na, None if a == b else len(buckets[b]), n_parts
-            )
-            wsum = float(weights.sum())
-            for part in range(n_parts):
-                frac = float(weights[part]) / wsum if wsum > 0 else 1.0 / n_parts
-                tasks.append((a, b, part, n_parts))
-                sub_costs.append(float(costs[pt]) * frac)
-                sub_parents.append(pt)
-        sub_cost_arr = np.asarray(sub_costs, dtype=np.float64)
-
-        # extra force tasks: bonded term groups and Ewald k-space shards.
-        # Their structure is fixed here, once, from topology/grid/kmax only
-        # (never from the worker count or measurements), so the scratch
-        # layout — and the reduction order — is identical at any pool size.
-        n_cells = int(np.prod(self._dims))
-        xtasks: list[tuple] = []
-        x_costs: list[float] = []
-        term_data: dict[int, tuple] = {}
-        mean_nb = float(sub_cost_arr.mean()) if len(sub_costs) else 1.0
-        if self.bonded_tasks:
-            for kind in range(len(BONDED_KINDS)):
-                idx, kpar, p1, p2 = bonded_term_arrays(system, kind)
-                if len(idx) == 0:
-                    continue
-                term_data[kind] = (idx, kpar, p1, p2)
-                home = flat0[idx[:, 0]]
-                same = np.all(flat0[idx] == home[:, None], axis=1)
-                for cell in range(n_cells):
-                    in_cell = home == cell
-                    for intra in (1, 0):
-                        n_terms = int(
-                            np.count_nonzero(in_cell & (same == bool(intra)))
-                        )
-                        xtasks.append(("bonded", kind, cell, intra))
-                        # heuristic prior (a bonded term is far cheaper
-                        # than a cell block); measurements take over after
-                        # the first step
-                        x_costs.append(
-                            mean_nb * (n_terms / 64.0) + mean_nb * 1e-3
-                        )
-        nk = 0
-        if self.kspace_tasks:
-            nk = (2 * self.ewald.kmax + 1) ** 3 - 1
-            shards = _kspace_shards(nk)
-            for lo_hi in shards:
-                xtasks.append(lo_hi)
-                x_costs.append(mean_nb)
-        all_costs = (
-            np.concatenate([sub_cost_arr, np.asarray(x_costs)])
-            if x_costs
-            else sub_cost_arr
-        )
-
-        n_total = len(tasks) + len(xtasks)
+        n_total = spec.n_total
         n_workers = min(requested, n_total)
         if n_workers <= 1:
             self.n_workers = 1
             return
 
-        bounds = _contiguous_partition(all_costs, n_workers)
-        assignment = np.repeat(
-            np.arange(n_workers, dtype=np.int64), np.diff(bounds)
-        )
+        provider = spec.provider
+        tasks = provider.tasks
+        self._dims = spec.dims_array.copy()
+        self._init_box = spec.box.copy()
+        self._provider = provider
         self._tasks = tasks
-        self._xtasks = xtasks
-        self._term_data = term_data
+        self._xtasks = provider.xtasks
+        self._term_data = provider.term_data
         self._n_nb = len(tasks)
         self._n_total = n_total
-        self._parents = parents
-        self._n_cells = n_cells
+        self._parents = spec.parents
+        self._n_cells = spec.n_cells
         self._self_task_of = {
             a: t
             for t, (a, b, part, _np) in enumerate(tasks)
             if a == b and part == 0
         }
+
+        # static, cost-model-seeded block assignment: contiguous
+        # near-equal-cost runs over the deterministic prior
+        bounds = _contiguous_partition(spec.all_costs, n_workers)
+        assignment = np.repeat(
+            np.arange(n_workers, dtype=np.int64), np.diff(bounds)
+        )
         for t, (a, b, part, n_parts) in enumerate(tasks):
             patches = (a,) if a == b else (a, b)
             self.workdb.ensure_task(
                 t,
                 patches,
-                prior=float(sub_cost_arr[t]),
+                prior=float(spec.sub_cost_arr[t]),
                 owner=int(assignment[t]),
-                parent=sub_parents[t],
+                parent=spec.sub_parents[t],
                 part=part,
                 n_parts=n_parts,
             )
-        bonded_ids: dict[int, list[int]] = {}
-        kspace_ids: list[int] = []
-        for x, xt in enumerate(xtasks):
+        for x, xt in enumerate(provider.xtasks):
             t = self._n_nb + x
             if xt[0] == "kspace":
-                kspace_ids.append(t)
                 self.workdb.ensure_task(
-                    t, (), prior=float(x_costs[x]),
+                    t, (), prior=float(spec.x_costs[x]),
                     owner=int(assignment[t]), kind="kspace",
                 )
             else:
                 _, kind, cell, intra = xt
-                bonded_ids.setdefault(kind, []).append(t)
                 # inter-cell groups stay with their initial owner: the
                 # balancer sees their load as background (fixed_owner_loads)
                 self.workdb.ensure_task(
-                    t, (cell,), prior=float(x_costs[x]),
+                    t, (cell,), prior=float(spec.x_costs[x]),
                     owner=int(assignment[t]), migratable=bool(intra),
                     kind="bonded",
                 )
         self._bonded_ids = {
-            k: np.asarray(v, dtype=np.int64) for k, v in bonded_ids.items()
+            k: np.asarray(v, dtype=np.int64)
+            for k, v in spec.bonded_ids.items()
         }
-        self._kspace_ids = np.asarray(kspace_ids, dtype=np.int64)
+        self._kspace_ids = np.asarray(spec.kspace_ids, dtype=np.int64)
 
-        if start_method is None:
-            start_method = (
-                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-            )
-        ctx = mp.get_context(start_method)
-        self._ctx = ctx
-        n = system.n_atoms
-        # extra-task scratch bound is topology-only too: per kind, each
-        # term lands in exactly one group under any binning (idx.size rows
-        # in total), and each k-shard always writes one full (n, 3) slab
-        x_rows = sum(td[0].size for td in term_data.values())
-        x_rows += len(kspace_ids) * n
-        # task rows, then one row per worker for the k-space cache counters
-        n_stat_rows = n_total + n_workers
-        scratch_rows = _scratch_rows_bound(tasks, self._n_cells, n) + x_rows
-        self._pos_seg = _shm.SharedMemory(create=True, size=n * 3 * 8)
-        # reference positions: the coordinates the pair lists were last
-        # built from.  Workers always bin/build from this segment, so a
-        # respawned replacement reconstructs the dead worker's lists
-        # exactly, mid-skin-window, without touching the rebuild schedule.
-        self._refpos_seg = _shm.SharedMemory(create=True, size=n * 3 * 8)
-        self._scratch_seg = _shm.SharedMemory(
-            create=True, size=scratch_rows * 3 * 8
-        )
-        self._stats_seg = _shm.SharedMemory(
-            create=True, size=n_stat_rows * 4 * 8
-        )
-        self._positions_view = np.ndarray(
-            (n, 3), dtype=np.float64, buffer=self._pos_seg.buf
-        )
-        self._refpos_view = np.ndarray(
-            (n, 3), dtype=np.float64, buffer=self._refpos_seg.buf
-        )
-        self._scratch_view = np.ndarray(
-            (scratch_rows, 3), dtype=np.float64, buffer=self._scratch_seg.buf
-        )
-        self._stats_view = np.ndarray(
-            (n_stat_rows, 4), dtype=np.float64, buffer=self._stats_seg.buf
-        )
-        ewald_cfg = (
-            (self.ewald.alpha_value(), int(self.ewald.kmax))
-            if self.kspace_tasks
-            else None
-        )
-        self._worker_static = (
+        self._pool = SupervisedPool(
+            provider,
             n_workers,
-            self._pos_seg.name,
-            self._refpos_seg.name,
-            self._scratch_seg.name,
-            self._stats_seg.name,
-            system,
-            self.options,
-            tuple(int(d) for d in self._dims),
-            tasks,
-            r_list,
-            self.backend.name,
-            xtasks,
-            term_data,
-            ewald_cfg,
-            self._coulomb,
+            assignment,
+            timeout=self.timeout,
+            policy=self.policy,
+            slow_windows=self._slow_windows,
+            start_method=start_method,
+            reassign=self._reassign_orphans,
+            on_recovery_note=self.workdb.note_recovery,
         )
-        self._procs = [None] * n_workers
-        self._cmd_conns = [None] * n_workers
-        self._res_conns = [None] * n_workers
-        self._worker_epoch = [0] * n_workers
+        # the pool's accounting is the engine's accounting — one object,
+        # surviving pool close so post-degrade reports still read it
+        self.resilience = self._pool.resilience
         self.n_workers = n_workers
         self.task_bounds = bounds
-        self._assignment = assignment
         for w in range(n_workers):
-            self._spawn_worker(w)
-        atexit.register(self.close)
+            self.workdb.note_worker_backend(w, self.backend.name)
 
-    def _spawn_worker(self, w: int) -> None:
-        """(Re)start worker ``w``: fresh pipes, fresh process, index slot.
-
-        The child re-attaches the live shared segments and is handed the
-        *current* assignment; its pair lists are rebuilt from the reference
-        positions on the first command that asks for a rebuild.
-        """
-        (
-            n_workers,
-            pos_name,
-            ref_name,
-            scratch_name,
-            stats_name,
-            system,
-            options,
-            dims,
-            tasks,
-            r_list,
-            backend_name,
-            xtasks,
-            term_data,
-            ewald_cfg,
-            coulomb,
-        ) = self._worker_static
-        ctx = self._ctx
-        cmd_recv, cmd_send = ctx.Pipe(duplex=False)
-        res_recv, res_send = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_worker_main,
-            args=(
-                w,
-                n_workers,
-                cmd_recv,
-                res_send,
-                pos_name,
-                ref_name,
-                scratch_name,
-                stats_name,
-                system,
-                options,
-                dims,
-                tasks,
-                r_list,
-                backend_name,
-                self._assignment,
-                self._slow_windows.get(w, []),
-                xtasks,
-                term_data,
-                ewald_cfg,
-                coulomb,
-            ),
-            daemon=True,
-            name=f"repro-nb-worker-{w}",
-        )
-        proc.start()
-        # close the child's pipe ends in the parent so a dead child turns
-        # into EOF on its result conn instead of a silent hang
-        cmd_recv.close()
-        res_send.close()
-        self._procs[w] = proc
-        self._cmd_conns[w] = cmd_send
-        self._res_conns[w] = res_recv
-        self.workdb.note_worker_backend(w, backend_name)
-
-    # ------------------------------------------------------------------ #
     def _needs_rebuild(self) -> bool:
         pos = self.system.positions
         box = np.asarray(self.system.box, dtype=np.float64)
@@ -1300,32 +389,16 @@ class ParallelNonbonded:
         max_disp2 = float(np.einsum("ij,ij->i", delta, delta).max())
         return max_disp2 > (0.5 * self.skin) ** 2
 
-    def _live_workers(self) -> list[int]:
-        return [w for w in range(self.n_workers) if w not in self._dead_workers]
-
     @property
     def n_live(self) -> int:
         """Workers still serving tasks (``n_workers`` minus permanent dead)."""
-        return self.n_workers - len(self._dead_workers) if self.active else 1
+        return self._pool.n_live if self.active else 1
 
     def force_rebuild_next(self) -> None:
-        """Force a pair-list rebuild at the next dispatch.
-
-        Checkpoint/restore uses this to pin the rebuild schedule: both the
-        run that wrote a checkpoint and the run resumed from it rebuild at
-        the evaluation after the checkpoint step, so their trajectories stay
-        bit-identical.
-        """
+        """Force a pair-list rebuild at the next dispatch (checkpoint
+        restore pins the rebuild schedule with this, keeping resumed
+        trajectories bit-identical)."""
         self._force_rebuild = True
-
-    def _repair_idle_deaths(self) -> bool:
-        """Between-steps liveness sweep; heal or degrade before dispatching."""
-        for w in self._live_workers():
-            proc = self._procs[w]
-            if proc is not None and not proc.is_alive():
-                if not self._recover_worker(w, "died", "found dead at dispatch"):
-                    return False
-        return True
 
     def dispatch(self) -> None:
         """Publish positions and start the workers on one evaluation.
@@ -1335,10 +408,10 @@ class ParallelNonbonded:
         """
         if not self.active:
             raise RuntimeError("worker pool is not active")
-        if self._pending is not None:
+        pool = self._pool
+        if pool.pending is not None:
             raise RuntimeError("dispatch() called with a collect() outstanding")
-        self._recovery_rounds = 0
-        if not self._repair_idle_deaths():
+        if not pool.begin_step():
             # pool degraded to sequential between steps; the paired
             # collect() serves the evaluation on the fallback path
             self._degraded_dispatch = True
@@ -1350,83 +423,37 @@ class ParallelNonbonded:
         )
         self._force_rebuild = False
         pos = self.system.positions
-        self._positions_view[...] = pos  # pack once; every worker maps it
-        self._seq += 1
+        pool.view("pos")[...] = pos  # pack once; every worker maps it
         assignment_payload = None
         if rebuild:
             self._ref_positions = pos.copy()
             self._ref_box = np.asarray(self.system.box, dtype=np.float64).copy()
-            self._refpos_view[...] = pos  # workers bin/build from this
+            pool.view("ref")[...] = pos  # workers bin/build from this
             self.n_rebuilds += 1
             if self._pending_assignment is not None:
-                if not np.array_equal(self._pending_assignment, self._assignment):
-                    self.remap_steps.append(self._seq)
-                self._assignment = self._pending_assignment
+                if not np.array_equal(self._pending_assignment, pool.assignment):
+                    self.remap_steps.append(pool.seq + 1)
+                assignment_payload = self._pending_assignment
                 self._pending_assignment = None
+            else:
+                assignment_payload = pool.assignment
             # the driver's reduction layout must match the workers' blocks:
             # both bin the same published reference positions
-            from repro.core.decomposition import bin_atoms
-
-            _, flat, buckets = bin_atoms(
-                pos, np.asarray(self.system.box, dtype=np.float64), self._dims
+            self._offsets, self._gather = self._provider.layout(
+                pos, self.system.box
             )
-            xrows: list = []
-            if self._xtasks:
-                _, xrows = _xtask_rows(
-                    self._xtasks, self._term_data, flat, len(pos)
-                )
-            self._offsets, self._gather = _task_layout(
-                buckets, self._tasks, xrows
-            )
-            assignment_payload = self._assignment
         else:
             self.n_reuses += 1
-        self._pending = self._seq
         self._pending_box = tuple(float(x) for x in self.system.box)
-        self._acked = set()
-        # the timeout budget starts when the workers do — collect() may run
-        # arbitrary driver-side work (the 1-4 pass) before it first waits
-        self._t_dispatch = time.monotonic()
-        self._deadline = self._t_dispatch + self.timeout
-        for w in self._live_workers():
-            # a failed send means the worker just died; don't recover here —
-            # all original commands must be out before any re-issue, or a
-            # replacement could interleave a stale command after its re-sent
-            # one.  collect()'s liveness sweep picks it up immediately.
-            self._send_step(w, rebuild, assignment_payload)
-        if self._injector is not None:
-            pids = {
-                w: self._procs[w].pid
-                for w in self._live_workers()
-                if self._procs[w] is not None
-            }
-            self._injector.inject(self._seq, pids)
-
-    def _send_step(self, w: int, rebuild: bool, assignment_payload) -> bool:
-        cmd = (
-            "step",
-            self._pending,
-            self._worker_epoch[w],
-            rebuild,
-            self._pending_box,
-            assignment_payload,
-        )
-        try:
-            self._cmd_conns[w].send(cmd)
-            return True
-        except (OSError, ValueError, BrokenPipeError):
-            return False
+        pool.dispatch(rebuild, self._pending_box, assignment_payload)
 
     def _fallback_compute(self) -> NonbondedResult:
         """One complete evaluation on the in-process path.
 
-        Serves the same contract as :meth:`collect` under the current
-        configuration: bonded terms are folded into the forces (and
-        :attr:`last_bonded` set) when this evaluator owns them, and with
-        Ewald enabled the full periodic electrostatics replace the
-        point-charge term.  Equivalent to the pool result to ~1e-9 (the
-        sequential reduction order differs — the documented caveat of the
-        ladder's bottom rung).
+        Serves :meth:`collect`'s contract under the current configuration
+        (bonded fold-in, full Ewald when enabled).  Equivalent to the pool
+        result to ~1e-9 — the sequential reduction order differs, the
+        documented caveat of the ladder's bottom rung.
         """
         from repro.md.nonbonded import compute_nonbonded
 
@@ -1453,20 +480,14 @@ class ParallelNonbonded:
         return NonbondedResult(nb.energy_lj, e_el, forces, nb.n_pairs)
 
     def collect(self) -> NonbondedResult:
-        """Finish the outstanding evaluation: driver remainder, gather, reduce.
-
-        The driver-side remainder — the scaled 1-4 pass and, with Ewald
-        enabled, the real-space/self/background/exclusion components —
-        overlaps with the workers, which are evaluating the pair blocks
-        plus any distributed bonded groups and k-space shards.
-
+        """Finish the outstanding evaluation: driver remainder (1-4 pass,
+        Ewald real-space — overlapped with the workers), gather, reduce.
         Worker death, hang, or error during the wait is *recovered*, not
-        fatal: the supervisor respawns or reassigns (see module docstring)
-        and this call still returns the bit-identical result.  Only when the
-        whole ladder is exhausted does the pool close and the evaluation
-        complete on the sequential fallback.
-        """
-        if self._pending is None:
+        fatal — the result stays bit-identical; only when the whole
+        ladder is exhausted does the evaluation complete on the
+        sequential fallback."""
+        pool = self._pool
+        if pool is None or pool.pending is None:
             if self._degraded_dispatch:
                 # dispatch() found the pool unhealable; honor the
                 # dispatch/collect pairing by serving sequentially
@@ -1492,37 +513,22 @@ class ParallelNonbonded:
             )
         driver_s = time.monotonic() - t_d0
 
-        if not self._await_workers():
+        if not pool.collect():
             # degraded to sequential mid-step: recompute the whole
             # evaluation on the fallback path (includes the driver terms)
-            self._pending = None
-            self._deadline = None
             return self._fallback_compute()
-        step_wall = time.monotonic() - self._t_dispatch
-        self._pending = None
-        self._deadline = None
-        self._t_dispatch = None
-        if self._recovery_rounds == 0:
-            # hang detection calibrates on clean steps only — a recovered
-            # step's wall time includes backoff sleeps and re-execution
-            self._step_wall_ewma = (
-                step_wall
-                if self._step_wall_ewma <= 0.0
-                else 0.2 * step_wall + 0.8 * self._step_wall_ewma
-            )
-        if self._dead_workers:
-            self.resilience.degraded_steps += 1
+        step_wall = pool.finish_step()
 
         # task-ordered segment-sum reduction: bitwise independent of the
         # task→worker assignment (see module docstring)
         t_r0 = time.monotonic()
         used = int(self._offsets[-1])
-        scratch = self._scratch_view[:used]
+        scratch = pool.scratch[:used]
         for k in range(3):
             forces[:, k] += np.bincount(
                 self._gather, weights=scratch[:, k], minlength=n
             )
-        stats = self._stats_view[: self._n_total]
+        stats = pool.stats[: self._n_total]
         n_nb = self._n_nb
         e_lj = float(stats[:n_nb, _STAT_E_LJ].sum())
         e_el = float(stats[:n_nb, _STAT_E_EL].sum())
@@ -1560,7 +566,7 @@ class ParallelNonbonded:
         self.workdb.record_many(
             range(self._n_total),
             stats[:, _STAT_TIME_NS] * 1e-9,
-            self._assignment,
+            pool.assignment,
         )
         self.workdb.mark_step()
         if self.rebalance_every > 0 and self._seq % self.rebalance_every == 0:
@@ -1576,309 +582,19 @@ class ParallelNonbonded:
             e_lj + e_lj14, e_el_total, forces, n_pairs + n14
         )
 
-    # ------------------------------------------------------------------ #
-    # supervision: detection, respawn, reassignment, degradation
-    # ------------------------------------------------------------------ #
-    def _await_workers(self) -> bool:
-        """Wait until every live worker acked the pending evaluation.
-
-        Returns False only when the pool degraded all the way to the
-        sequential fallback (the caller then recomputes sequentially).
-        """
-        policy = self.policy
-        while True:
-            if not self.active:
-                return False
-            live = self._live_workers()
-            unacked = [w for w in live if w not in self._acked]
-            if not unacked:
-                return True
-            now = time.monotonic()
-            if self._injector is not None:
-                self._injector.poll()
-            if self._deadline is not None and now >= self._deadline:
-                if not self._recover_worker(
-                    unacked[0],
-                    "hung",
-                    f"no ack within the {self.timeout:.0f}s timeout",
-                ):
-                    return False
-                continue
-            hang_t = policy.hang_threshold(self._step_wall_ewma, self.timeout)
-            if (
-                self._t_dispatch is not None
-                and now - self._t_dispatch > hang_t
-                and self._procs[unacked[0]] is not None
-                and self._procs[unacked[0]].is_alive()
-            ):
-                if not self._recover_worker(
-                    unacked[0],
-                    "hung",
-                    f"silent for {now - self._t_dispatch:.2f}s "
-                    f"(threshold {hang_t:.2f}s)",
-                ):
-                    return False
-                continue
-            wait_objs = []
-            for w in unacked:
-                if self._res_conns[w] is not None:
-                    wait_objs.append(self._res_conns[w])
-                if self._procs[w] is not None:
-                    wait_objs.append(self._procs[w].sentinel)
-            budget = min(
-                policy.poll_interval_s,
-                max(self._deadline - now, 1e-3),
-                max(hang_t - (now - self._t_dispatch), 1e-3),
-            )
-            try:
-                mp_connection.wait(wait_objs, timeout=budget)
-            except OSError:  # pragma: no cover - closed handle race
-                pass
-            # liveness is checked on EVERY iteration: a SIGKILL'd worker is
-            # detected within one poll interval, not at timeout expiry
-            recovered = False
-            for w in list(unacked):
-                proc = self._procs[w]
-                if proc is not None and not proc.is_alive():
-                    if not self._recover_worker(w, "died", "process exited"):
-                        return False
-                    recovered = True
-            if recovered:
-                continue
-            for w in list(unacked):
-                conn = self._res_conns[w]
-                if conn is None:
-                    continue
-                drained_dead = False
-                while True:
-                    try:
-                        if not conn.poll():
-                            break
-                        msg = conn.recv()
-                    except (EOFError, OSError):
-                        drained_dead = True
-                        break
-                    if not self._handle_ack(w, msg):
-                        return False
-                    if self._res_conns[w] is not conn:
-                        break  # worker was respawned; old conn is gone
-                if drained_dead:
-                    if not self._recover_worker(w, "died", "result pipe EOF"):
-                        return False
-
-    def _handle_ack(self, w: int, msg) -> bool:
-        tag, wid, seq, epoch = msg[0], msg[1], msg[2], msg[3]
-        if seq != self._pending or epoch != self._worker_epoch[wid]:
-            return True  # stale ack from before a recovery re-issue
-        if tag == "error":
-            return self._recover_worker(
-                wid, "error", f"worker raised:\n{msg[4]}"
-            )
-        self._acked.add(wid)
-        return True
-
-    def _recover_worker(self, w: int, kind: str, detail: str = "") -> bool:
-        """Heal a failed worker: respawn → reassign → degrade.
-
-        Returns False only when the pool degraded to sequential.
-        """
-        t0 = time.monotonic()
-        detection = (
-            t0 - self._t_dispatch if self._t_dispatch is not None else 0.0
+    # -- recovery hook: permanent reassignment through the WorkDB → LB path -- #
+    def _reassign_orphans(self, w, assignment, survivors) -> np.ndarray:
+        """Pool callback on permanent death: place the dead worker's
+        tasks on survivors (see :func:`repro.md.lb_driver.reassign_orphans`)."""
+        return _lb_driver.reassign_orphans(
+            self.workdb,
+            self.resilience,
+            self.n_workers,
+            self._self_task_of,
+            w,
+            assignment,
+            survivors,
         )
-        self._recovery_rounds += 1
-        if self._recovery_rounds > self.policy.max_recovery_rounds:
-            return self._degrade_to_sequential(
-                f"recovery limit reached ({self.policy.max_recovery_rounds} "
-                f"rounds in one evaluation); last failure: worker {w} {kind}"
-            )
-        # counters live in ResilienceStats.note_event (called below); the
-        # WorkDB mirror feeds the timeline/utilization renders
-        if kind == "died":
-            self.workdb.note_recovery("kills")
-        elif kind == "hung":
-            self.workdb.note_recovery("hangs")
-        else:
-            self.workdb.note_recovery("errors")
-        proc = self._procs[w]
-        if proc is not None and proc.is_alive():
-            # hung or errored: SIGKILL works on stopped processes too
-            proc.kill()
-            proc.join(timeout=5.0)
-        for conn in (self._cmd_conns[w], self._res_conns[w]):
-            if conn is not None:
-                try:
-                    conn.close()
-                except OSError:  # pragma: no cover
-                    pass
-        self._cmd_conns[w] = None
-        self._res_conns[w] = None
-        self._procs[w] = None
-        self._acked.discard(w)
-
-        attempts = self._respawn_counts.get(w, 0)
-        action = None
-        tasks_moved = 0
-        if attempts < self.policy.max_respawns:
-            time.sleep(self.policy.backoff(attempts))
-            self._respawn_counts[w] = attempts + 1
-            try:
-                self._spawn_worker(w)
-            except Exception:  # pragma: no cover - spawn failure is rare
-                self.resilience.respawn_failures += 1
-            else:
-                self.resilience.respawns += 1
-                self.workdb.note_recovery("respawns")
-                action = "respawned"
-                if self._pending is not None:
-                    # re-issue under a fresh epoch; rebuild=True makes the
-                    # replacement reconstruct lists from the reference
-                    # positions (NOT the live ones), so its task blocks are
-                    # bitwise those the dead worker would have written
-                    self._worker_epoch[w] += 1
-                    self.resilience.steps_redone += 1
-                    if not self._send_step(w, True, self._assignment):
-                        # died again before the re-issue landed; next loop
-                        # iteration recovers it (bounded by recovery rounds)
-                        pass
-        if action is None:
-            degraded = not self._reassign_dead(w)
-            if degraded:
-                return False
-            action = "reassigned"
-            tasks_moved = self._last_reassign_moved
-        dt = time.monotonic() - t0
-        event = RecoveryEventLog(
-            step=self._seq,
-            worker=w,
-            kind=kind,
-            action=action,
-            detection_s=detection,
-            recovery_s=dt,
-            tasks_moved=tasks_moved,
-            detail=detail,
-        )
-        self.resilience.note_event(event)
-        # a successful recovery earns a fresh wait budget: the re-issued
-        # evaluation should not inherit a nearly expired deadline
-        if self._pending is not None:
-            self._t_dispatch = time.monotonic()
-            self._deadline = self._t_dispatch + self.timeout
-        return True
-
-    def _reassign_dead(self, w: int) -> bool:
-        """Permanent death: move ``w``'s tasks to survivors via the LB path.
-
-        Returns False when no survivors remain (degraded to sequential).
-        """
-        self._dead_workers.add(w)
-        survivors = self._live_workers()
-        if not survivors:
-            return self._degrade_to_sequential("no workers left")
-        orphans = np.flatnonzero(self._assignment == w)
-        new_assignment = self._assignment.copy()
-        if len(orphans):
-            placed = None
-            try:
-                from repro.balancer.strategies import solve
-                from repro.instrument import build_lb_problem
-
-                patch_home = {
-                    c: int(self._assignment[t])
-                    for c, t in self._self_task_of.items()
-                }
-                background = np.zeros(self.n_workers)
-                loads = self.workdb.owner_loads(self.n_workers)
-                for s in survivors:
-                    background[s] = loads[s]
-                problem = build_lb_problem(
-                    self.workdb,
-                    self.n_workers,
-                    patch_home,
-                    background=background,
-                    dead_procs=frozenset(self._dead_workers),
-                    task_ids=orphans.tolist(),
-                )
-                placed = solve(problem, "greedy")
-            except Exception:  # pragma: no cover - LB path must not be fatal
-                placed = None
-            if placed:
-                for tid, proc in placed.items():
-                    new_assignment[tid] = proc
-            # least-loaded greedy for whatever the LB path did not place
-            # (all orphans when it failed outright) — every orphan MUST
-            # leave the dead slot or its force block would silently never
-            # be computed.  Fixed-owner bonded groups are reassigned here
-            # too: their owner pin survives remaps, not death.
-            leftovers = [
-                tid for tid in orphans.tolist() if new_assignment[tid] == w
-            ]
-            if leftovers:
-                loads = self.workdb.owner_loads(self.n_workers)
-                load_of = {s: float(loads[s]) for s in survivors}
-                for tid in leftovers:
-                    tgt = min(survivors, key=lambda s: (load_of[s], s))
-                    new_assignment[tid] = tgt
-                    load_of[tgt] += max(float(self.workdb.load(tid)), 1e-12)
-            for tid in orphans.tolist():
-                rec = self.workdb.tasks.get(tid)
-                kind = rec.kind if rec is not None else "cell"
-                self.resilience.reassigned_by_kind[kind] = (
-                    self.resilience.reassigned_by_kind.get(kind, 0) + 1
-                )
-                if rec is not None and not rec.migratable:
-                    # the group is pinned to its (new) owner from here on
-                    rec.owner = int(new_assignment[tid])
-        self._assignment = new_assignment
-        self.resilience.tasks_reassigned += int(len(orphans))
-        self.workdb.note_recovery("reassigned", int(len(orphans)))
-        self._last_reassign_moved = int(len(orphans))
-        if self.resilience.mode == "full":
-            self.resilience.mode = "degraded"
-            self.resilience.degraded_since_step = self._seq
-        if self._pending is not None:
-            # survivors whose task set grew must redo the evaluation under
-            # the new map; rebuild=True re-derives lists from the reference
-            # positions so the redone blocks are bitwise unchanged
-            gained = {
-                int(new_assignment[t]) for t in orphans.tolist()
-            } & set(survivors)
-            for s in sorted(gained):
-                self._worker_epoch[s] += 1
-                self._acked.discard(s)
-                self.resilience.steps_redone += 1
-                self._send_step(s, True, self._assignment)
-            # survivors that did not gain tasks still need the new map for
-            # their *next* rebuild; it rides along at the next rebuild via
-            # the normal assignment payload (their current blocks are valid)
-        return True
-
-    def _degrade_to_sequential(self, reason: str) -> bool:
-        """Bottom rung of the ladder: close the pool, serve sequentially."""
-        self.resilience.mode = "sequential"
-        if self.resilience.degraded_since_step is None:
-            self.resilience.degraded_since_step = self._seq
-        self.workdb.note_recovery("degraded")
-        self.resilience.note_event(
-            RecoveryEventLog(
-                step=self._seq,
-                worker=-1,
-                kind="died",
-                action="degraded",
-                detection_s=0.0,
-                recovery_s=0.0,
-                detail=reason,
-            )
-        )
-        warnings.warn(
-            f"parallel worker pool degraded to the sequential path: {reason}",
-            RuntimeWarning,
-            stacklevel=4,
-        )
-        pending = self._pending
-        self.close()
-        self._pending = pending  # close() clears it; collect() still owns it
-        return False
 
     def compute(self) -> NonbondedResult:
         """One full force-task evaluation at the system's current positions."""
@@ -1887,29 +603,18 @@ class ParallelNonbonded:
         self.dispatch()
         return self.collect()
 
-    # ------------------------------------------------------------------ #
-    # driver-share and k-space cache instrumentation
-    # ------------------------------------------------------------------ #
+    # -- driver-share and k-space cache instrumentation -- #
     def note_driver_time(self, seconds: float) -> None:
-        """Charge driver-side compute done *outside* collect() to the share.
-
-        The engine calls this for work it performs between dispatch and
-        collect (e.g. bonded terms when they are not distributed), so
-        :meth:`driver_report` compares like with like across modes.
-        """
+        """Charge driver-side compute done *outside* collect() (e.g.
+        non-distributed bonded terms) to the driver share, so
+        :meth:`driver_report` compares like with like across modes."""
         self.driver_compute_s += float(seconds)
 
     def driver_report(self) -> dict:
-        """Cumulative driver-vs-pool wall-time split over all evaluations.
-
-        ``driver_s`` is time the driver spent *computing* (1-4 pass, Ewald
-        remainder, reduction, plus anything charged via
-        :meth:`note_driver_time`); ``wall_s`` the total dispatch→collect
-        wall time.  ``driver_share`` is their ratio — the serial fraction
-        the distribution work is trying to kill.  On a one-core host the
-        share stays high regardless (workers and driver time-slice one
-        CPU); the number is meaningful on multi-core machines.
-        """
+        """Cumulative driver-vs-pool wall-time split: ``driver_s`` is
+        driver *compute* time, ``wall_s`` the dispatch→collect wall time,
+        ``driver_share`` their ratio — the serial fraction the
+        distribution work is trying to kill."""
         wall = self.pool_wall_s
         return {
             "n_evals": self.n_evals,
@@ -1919,14 +624,10 @@ class ParallelNonbonded:
         }
 
     def kspace_cache_stats(self) -> dict:
-        """Driver and per-worker k-space table cache counters.
-
-        The driver counters are the process-global
-        :func:`repro.md.ewald.kspace_cache_stats`; worker counters come
-        from the shared stats rows each worker publishes after its step
-        (cumulative since spawn, minus any :meth:`clear_kspace_cache`
-        baseline).
-        """
+        """Driver (process-global) and per-worker k-space cache counters;
+        worker counters come from the shared stats rows each worker
+        publishes after its step, minus any :meth:`clear_kspace_cache`
+        baseline."""
         from repro.md.ewald import kspace_cache_stats as _driver_stats
 
         out: dict = {
@@ -1935,14 +636,8 @@ class ParallelNonbonded:
             "worker_builds": 0,
             "worker_hits": 0,
         }
-        if (
-            self.active
-            and self._stats_view is not None
-            and self.ewald is not None
-        ):
-            rows = self._stats_view[
-                self._n_total : self._n_total + self.n_workers, :2
-            ]
+        if self.active and self.ewald is not None:
+            rows = self._worker_stat_rows()
             if self._kspace_stat_base is not None:
                 rows = np.maximum(rows - self._kspace_stat_base, 0.0)
             for w in range(self.n_workers):
@@ -1954,79 +649,47 @@ class ParallelNonbonded:
             out["worker_hits"] = int(rows[:, 1].sum())
         return out
 
-    def clear_kspace_cache(self) -> None:
-        """Reset the k-space cache and counters as seen by this engine.
+    def _worker_stat_rows(self) -> np.ndarray:
+        """The per-worker (builds, hits) rows of the shared stats table."""
+        return self._pool.stats[self._n_total : self._n_total + self.n_workers, :2]
 
-        Clears the driver process's memoized tables and zeroes the
-        reported worker counters by snapshotting their current values as a
-        baseline (worker process caches are bounded LRUs owned by each
-        process; they are rebuilt on demand and dropped on respawn).
-        """
+    def clear_kspace_cache(self) -> None:
+        """Reset the cache counters as seen by this engine: clear the
+        driver's memoized tables and snapshot the worker counters as a
+        baseline (worker caches are per-process LRUs, rebuilt on demand
+        and dropped on respawn)."""
         from repro.md.ewald import clear_kspace_cache as _clear
 
         _clear()
-        if self.active and self._stats_view is not None:
-            self._kspace_stat_base = self._stats_view[
-                self._n_total : self._n_total + self.n_workers, :2
-            ].copy()
+        if self.active:
+            self._kspace_stat_base = self._worker_stat_rows().copy()
 
-    # ------------------------------------------------------------------ #
-    # measurement-based load balancing
-    # ------------------------------------------------------------------ #
+    # -- measurement-based load balancing -- #
     def build_lb_problem(self):
         """The strategy-facing problem at the current measurement state."""
-        from repro.instrument import build_lb_problem
-
-        patch_home = {
-            c: int(self._assignment[t]) for c, t in self._self_task_of.items()
-        }
-        return build_lb_problem(
-            self.workdb,
-            self.n_workers,
-            patch_home,
-            # non-migratable bonded groups never move during a periodic
-            # rebalance (the adapter's default task set filters them out),
-            # but their measured cost is real — feed it in as per-worker
-            # background so the balancer packs movable work around it
-            background=self.workdb.fixed_owner_loads(self.n_workers),
-            dead_procs=frozenset(self._dead_workers),
+        dead = (
+            frozenset(self._pool._dead_workers)
+            if self._pool is not None
+            else frozenset()
+        )
+        return _lb_driver.build_driver_problem(
+            self.workdb, self.n_workers, self._assignment, self._self_task_of, dead
         )
 
     def _plan_rebalance(self) -> None:
-        """One LB decision: build the problem, run the schedule, stage the map.
-
-        The staged assignment is installed at the next dispatch (which it
-        forces to rebuild), so remap points are step-indexed: every run with
-        the same configuration remaps at the same steps even though the
-        *content* of the map depends on noisy wall-clock measurements —
-        and the assignment-independent reduction keeps forces bit-identical
-        regardless of that content.
-        """
-        from repro.balancer.problem import placement_stats
-        from repro.balancer.strategies import solve
-
-        problem = self.build_lb_problem()
+        """One LB decision: build the problem, run the schedule, stage the
+        map.  The staged assignment installs at the next dispatch (which
+        it forces to rebuild), so remap points are step-indexed even
+        though the map *content* depends on noisy measurements — and the
+        assignment-independent reduction keeps forces bit-identical
+        regardless of that content."""
         schedule = self.lb_strategy or (
             "greedy" if self.n_rebalances == 0 else "refine"
         )
-        placement = solve(problem, schedule)
-        new_assignment = self._assignment.copy()
-        for tid, proc in placement.items():
-            new_assignment[tid] = proc
-        current = {c.index: c.proc for c in problem.computes}
-        before = placement_stats(problem, current)
-        after = placement_stats(problem, placement)
-        self.rebalance_log.append(
-            {
-                "step": self._seq,
-                "strategy": schedule,
-                "moved": int(np.count_nonzero(new_assignment != self._assignment)),
-                "max_load_before": before["max_load"],
-                "max_load_after": after["max_load"],
-                "imbalance_ratio_before": before["imbalance_ratio"],
-                "imbalance_ratio_after": after["imbalance_ratio"],
-            }
+        new_assignment, record = _lb_driver.plan_rebalance(
+            self.build_lb_problem(), self._assignment, self._seq, schedule
         )
+        self.rebalance_log.append(record)
         self.n_rebalances += 1
         self._pending_assignment = new_assignment
 
@@ -2036,9 +699,7 @@ class ParallelNonbonded:
             return np.zeros(1)
         return self.workdb.owner_loads(self.n_workers)
 
-    # ------------------------------------------------------------------ #
-    # grainsize diagnostics
-    # ------------------------------------------------------------------ #
+    # -- grainsize diagnostics -- #
     @property
     def n_parent_tasks(self) -> int:
         """Half-shell cell tasks before grainsize splitting (0 = fallback)."""
@@ -2051,125 +712,28 @@ class ParallelNonbonded:
 
     def split_report(self) -> dict:
         """Summary of the construction-time grainsize decision."""
-        if not self.active:
-            return {
-                "grainsize_ms": self.grainsize_ms,
-                "n_parent_tasks": 0,
-                "n_subtasks": 0,
-                "n_split_parents": 0,
-                "max_parts": 0,
-            }
-        n_parts_of = [n_parts for (_a, _b, part, n_parts) in self._tasks if part == 0]
+        parts = (
+            [n for (_a, _b, part, n) in self._tasks if part == 0]
+            if self.active
+            else []
+        )
         return {
             "grainsize_ms": self.grainsize_ms,
-            "n_parent_tasks": len(self._parents),
-            "n_subtasks": len(self._tasks),
-            "n_split_parents": sum(1 for p in n_parts_of if p > 1),
-            "max_parts": max(n_parts_of) if n_parts_of else 0,
+            "n_parent_tasks": len(self._parents) if self.active else 0,
+            "n_subtasks": len(self._tasks) if self.active else 0,
+            "n_split_parents": sum(1 for p in parts if p > 1),
+            "max_parts": max(parts) if parts else 0,
         }
 
-    # ------------------------------------------------------------------ #
-    _TEARDOWN_BUDGET_S = 5.0
-
-    def _teardown(self) -> None:
-        """Best-effort release of pool state, bounded in total latency.
-
-        All workers are joined *concurrently* against one overall deadline
-        (not 5 s serially per worker), escalating ``terminate`` and then
-        ``kill`` for stragglers — so shutdown of an ``n``-worker pool with
-        hung members costs O(budget), not O(n × budget).
-        """
-        if self._injector is not None:
-            # never leave SIGSTOP'd children frozen behind a dead driver
-            self._injector.release_all()
-        for conn in self._cmd_conns:
-            if conn is None:
-                continue
-            try:
-                conn.send(("stop",))
-            except (OSError, ValueError, BrokenPipeError):
-                pass
-        deadline = time.monotonic() + self._TEARDOWN_BUDGET_S
-        procs = [p for p in self._procs if p is not None]
-        pending = [p for p in procs if p.is_alive()]
-        while pending:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
-            try:
-                mp_connection.wait(
-                    [p.sentinel for p in pending],
-                    timeout=min(remaining, 0.2),
-                )
-            except OSError:  # pragma: no cover - sentinel close race
-                pass
-            pending = [p for p in pending if p.is_alive()]
-        for p in pending:
-            p.terminate()
-        if pending:
-            grace = time.monotonic() + 0.5
-            while any(p.is_alive() for p in pending):
-                if time.monotonic() >= grace:
-                    break
-                time.sleep(0.01)
-            for p in pending:
-                if p.is_alive():  # pragma: no cover - terminate refused
-                    p.kill()
-        for p in procs:
-            p.join(timeout=0.2)
-        for conn in [*self._cmd_conns, *self._res_conns]:
-            if conn is None:
-                continue
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._procs = []
-        self._cmd_conns = []
-        self._res_conns = []
-        # numpy views must drop their buffer exports before the mmap closes
-        self._positions_view = None
-        self._refpos_view = None
-        self._scratch_view = None
-        self._stats_view = None
-        for seg in (
-            self._pos_seg,
-            self._refpos_seg,
-            self._scratch_seg,
-            self._stats_seg,
-        ):
-            if seg is None:
-                continue
-            try:
-                seg.close()
-                seg.unlink()
-            except FileNotFoundError:  # pragma: no cover
-                pass
-            except Exception:  # pragma: no cover
-                pass
-        self._pos_seg = None
-        self._refpos_seg = None
-        self._scratch_seg = None
-        self._stats_seg = None
-
     def close(self) -> None:
-        """Stop the workers and release shared memory (idempotent).
-
-        Safe under double-close and close-during-dispatch: an outstanding
-        evaluation is dropped so a later :meth:`compute` routes straight to
-        the sequential fallback instead of tripping the pairing guard.
-        """
+        """Stop the workers and release shared memory (idempotent; safe
+        under close-during-dispatch — an outstanding evaluation is
+        dropped so a later :meth:`compute` routes to the fallback)."""
         if self._closed:
             return
         self._closed = True
-        self._pending = None
-        self._deadline = None
-        self._t_dispatch = None
-        try:
-            atexit.unregister(self.close)
-        except Exception:  # pragma: no cover
-            pass
-        self._teardown()
+        if self._pool is not None:
+            self._pool.close()
 
     def __enter__(self) -> "ParallelNonbonded":
         return self
@@ -2187,18 +751,11 @@ class ParallelNonbonded:
 class ParallelEngine(SequentialEngine):
     """Wall-clock-parallel MD engine, API-compatible with the sequential one.
 
-    Construction, stepping, reports, and the integrator contract are those
-    of :class:`~repro.md.engine.SequentialEngine`; only the non-bonded
-    evaluation differs — it runs on a persistent ``workers``-process pool
-    with shared-memory positions and per-task force blocks (see the module
-    docstring for the decomposition, measurement, and determinism
-    guarantees).
-
-    With ``workers <= 1`` (or when the platform cannot start the pool) the
-    engine *is* the sequential engine: :meth:`compute_forces` falls through
-    to the inherited implementation.  Use as a context manager — or call
-    :meth:`close` — to stop the pool; it is also stopped at interpreter
-    exit and by the finalizer, so stray engines never leak processes.
+    Only the non-bonded evaluation differs — it runs on a persistent
+    ``workers``-process pool (see the module docstring); with
+    ``workers <= 1`` the engine *is* the sequential engine.  Use as a
+    context manager — or call :meth:`close` — to stop the pool; it is
+    also stopped at interpreter exit, so stray engines never leak.
     """
 
     def __init__(
@@ -2222,25 +779,12 @@ class ParallelEngine(SequentialEngine):
         ewald: EwaldOptions | None = None,
         distribute: bool = False,
     ) -> None:
-        """``workers <= 0`` means one worker per CPU; ``skin`` is the Verlet
-        margin of the per-worker pair lists (and of the sequential fallback's
-        list); ``timeout`` bounds every wait on the pool.  ``rebalance_every``,
-        ``lb_strategy``, ``slowdown`` and ``grainsize_ms`` configure
-        measurement-based load balancing, fault injection and grainsize
-        control; ``fault_plan``/``recovery`` configure real-process fault
-        injection and the supervision ladder (see
-        :class:`ParallelNonbonded`); ``checkpoint_every``/``checkpoint_path``
-        enable periodic atomic run checkpoints (see
-        :class:`~repro.md.engine.SequentialEngine`); ``backend`` selects the
-        :mod:`repro.backend` kernel set for the driver and all workers.
-
-        ``ewald`` replaces the cutoff point-charge electrostatics with full
-        periodic Ewald summation (see :class:`SequentialEngine`).
+        """``workers <= 0`` means one worker per CPU; the other knobs are
+        those of :class:`ParallelNonbonded` / :class:`SequentialEngine`.
         ``distribute=True`` moves the bonded terms — and, with ``ewald``,
-        the reciprocal-space sum — onto the worker pool as additional force
-        tasks; the driver keeps only the 1-4 pass, the Ewald remainder and
-        the reduction.  Off by default: trajectories of existing
-        configurations are bitwise unchanged."""
+        the reciprocal-space sum — onto the pool as additional force
+        tasks (off by default: existing configurations stay bitwise
+        unchanged)."""
         super().__init__(
             system, options, integrator, pairlist=VerletPairList(
                 (options or NonbondedOptions()).cutoff, skin=skin
@@ -2270,7 +814,6 @@ class ParallelEngine(SequentialEngine):
             kspace=self.distribute,
         )
 
-    # ------------------------------------------------------------------ #
     @property
     def workers(self) -> int:
         """Live worker-process count (1 = sequential fallback)."""
@@ -2307,18 +850,15 @@ class ParallelEngine(SequentialEngine):
         return self._nb.rebalance_log
 
     def driver_report(self) -> dict:
-        """Driver-vs-pool wall-time split (see
-        :meth:`ParallelNonbonded.driver_report`)."""
+        """See :meth:`ParallelNonbonded.driver_report`."""
         return self._nb.driver_report()
 
     def kspace_cache_stats(self) -> dict:
-        """K-space table cache counters, aggregated over driver and workers
-        (see :meth:`ParallelNonbonded.kspace_cache_stats`)."""
+        """See :meth:`ParallelNonbonded.kspace_cache_stats`."""
         return self._nb.kspace_cache_stats()
 
     def clear_kspace_cache(self) -> None:
-        """Reset this engine's view of the k-space cache counters (see
-        :meth:`ParallelNonbonded.clear_kspace_cache`)."""
+        """See :meth:`ParallelNonbonded.clear_kspace_cache`."""
         self._nb.clear_kspace_cache()
 
     def compute_forces(self) -> np.ndarray:
@@ -2346,7 +886,6 @@ class ParallelEngine(SequentialEngine):
         self._last_ewald = self._nb.last_ewald
         return forces
 
-    # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Shut down the worker pool (idempotent; engine stays usable —
         subsequent steps run on the sequential fallback path)."""

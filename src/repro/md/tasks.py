@@ -1,0 +1,751 @@
+"""MD force tasks for the supervised pool runtime.
+
+This module is the *what* of the real parallel engine: it describes the
+force-field work as a family of schedulable tasks behind the
+:class:`repro.pool.protocol.TaskProvider` interface, leaving the *how*
+(process supervision, shared memory, recovery) to the generic
+:mod:`repro.pool` runtime.  Three task kinds share one global task order:
+
+* **cell tasks** ``(a, b, part, n_parts)`` — the half-shell cell self
+  blocks and 13-per-cell neighbour pair blocks of the paper's spatial
+  decomposition, optionally split into row-stripe sub-tasks by grainsize
+  control (§4.2.1–2); evaluated with per-task prefiltered Verlet lists
+  and pre-combined Lorentz-Berthelot parameters;
+* **bonded groups** ``("bonded", kind, cell, intra)`` — the bonded terms
+  of one kind whose home cell (under the reference binning) is ``cell``,
+  split into intra/inter groups that partition the term list exactly;
+* **k-space shards** ``("kspace", lo, hi)`` — ranges of the Ewald
+  reciprocal sum's k-vector table.
+
+The construction (:func:`build_force_tasks`) is deterministic: task
+structure derives from topology, grid, and the cost-model *prior* only —
+never from the worker count or from noisy measurements — because the
+scratch layout (and therefore the floating-point reduction order)
+follows the task list.  That is what keeps trajectories bit-identical
+across worker counts, remaps, and recovery.
+
+Workers always bin and build their pair lists from the *reference*
+positions segment (label ``"ref"``, written by the driver at each
+rebuild), never from the live ``"pos"`` segment — so a respawned or
+reassigned worker reconstructs exactly the lists every other worker
+derived at the last rebuild.  The kernels, of course, evaluate at the
+live positions.
+
+Stats-column semantics for these tasks: ``STAT_V0`` carries the LJ
+energy (bonded group energies land here too), ``STAT_V1`` the
+electrostatic energy (k-space shard energies land here), ``STAT_V2`` the
+pair/term/k-vector count; the driver separates them by task-id range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.md.bonded import BONDED_KINDS, bonded_term_arrays
+from repro.md.cells import CellGrid
+from repro.md.constants import COULOMB_CONSTANT
+from repro.md.ewald import EwaldOptions, _kspace_tables, kspace_cache_stats
+from repro.md.nonbonded import (
+    NonbondedOptions,
+    _combined_params,
+    filter_candidates,
+)
+from repro.core.grainsize import GrainsizeConfig, stripe_candidate_counts
+from repro.util.pbc import wrap_positions
+
+__all__ = [
+    "KSHARD_MAX",
+    "KSHARD_TARGET",
+    "MAX_SPLIT_PARTS",
+    "ForceTaskEvaluator",
+    "ForceTaskProvider",
+    "ForceTaskSpec",
+    "build_force_tasks",
+    "build_task_lists",
+    "build_xtask_entries",
+    "eval_xtask",
+    "kspace_shards",
+    "scratch_rows_bound",
+    "task_kernel",
+    "task_layout",
+    "xtask_rows",
+]
+
+#: hard cap on grainsize slices per cell task in the real engine — real
+#: sub-tasks carry per-part list/scatter overhead the simulated layer's
+#: descriptors do not, so the engine caps lower than GrainsizeConfig's 64
+MAX_SPLIT_PARTS = 16
+
+#: Ewald k-space sharding: target k-vectors per shard and shard-count cap.
+#: Both derive from the k-table size only — never from the worker count —
+#: so the task structure (and with it the reduction order) is identical at
+#: any pool size; that is what keeps trajectories bit-identical across
+#: worker counts with k-space distribution on.
+KSHARD_TARGET = 512
+KSHARD_MAX = 8
+
+
+def kspace_shards(nk: int) -> list[tuple[str, int, int]]:
+    """Worker-count-independent ``("kspace", lo, hi)`` shard descriptors."""
+    if nk <= 0:
+        return []
+    n_shards = min(KSHARD_MAX, max(1, -(-nk // KSHARD_TARGET)))
+    bounds = np.linspace(0, nk, n_shards + 1).round().astype(np.int64)
+    return [
+        ("kspace", int(bounds[s]), int(bounds[s + 1]))
+        for s in range(n_shards)
+        if bounds[s + 1] > bounds[s]
+    ]
+
+
+def xtask_rows(
+    xtasks: list[tuple],
+    term_data: dict[int, tuple],
+    flat: np.ndarray,
+    n_atoms: int,
+) -> tuple[list, list]:
+    """Term selections and scatter rows of every extra task, one binning.
+
+    Extra tasks ride after the cell tasks in the global task order:
+
+    * ``("bonded", kind, cell, intra)`` — the bonded terms of ``kind``
+      whose *home cell* (the cell of the term's first atom under the
+      reference binning) is ``cell``, split into the intra group (every
+      atom of the term in that cell, ``intra=1``) and the inter group
+      (``intra=0``).  For each kind the groups partition the term list
+      exactly, so energies and forces are independent of the binning; the
+      block rows are the flattened global atom indices of the selected
+      terms (duplicates are fine — the driver reduces with a segment sum).
+    * ``("kspace", lo, hi)`` — a reciprocal-vector shard; its forces touch
+      every atom, so the block is a full ``(n_atoms, 3)`` slab.
+
+    Returns ``(sels, rows)`` aligned with ``xtasks``; ``sels[x]`` is None
+    for k-space shards.  Driver and workers both call this on the same
+    reference binning, so layouts agree without communicating.
+    """
+    sels: list = []
+    rows: list = []
+    all_rows = np.arange(n_atoms, dtype=np.int64)
+    for xt in xtasks:
+        if xt[0] == "kspace":
+            sels.append(None)
+            rows.append(all_rows)
+            continue
+        _, kind, cell, intra = xt
+        idx = term_data[kind][0]
+        home = flat[idx[:, 0]]
+        same = np.all(flat[idx] == home[:, None], axis=1)
+        sel = np.flatnonzero((home == cell) & (same == bool(intra)))
+        sels.append(sel)
+        rows.append(idx[sel].reshape(-1))
+    return sels, rows
+
+
+# --------------------------------------------------------------------------- #
+# task layout: shared between driver (reduction) and workers (block writes)
+# --------------------------------------------------------------------------- #
+def task_layout(
+    buckets: list[np.ndarray],
+    tasks: list[tuple[int, int, int, int]],
+    xrows: list[np.ndarray] = (),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Task-ordered block layout of the shared force scratch.
+
+    Tasks are grainsize sub-blocks ``(a, b, part, n_parts)`` — the unsplit
+    case is ``(a, b, 0, 1)``.  Block ``t`` holds the force rows its kernel
+    can touch: for a *self* sub-task every row of cell ``a`` (a stripe's
+    pairs ``(i, j)``, ``i`` in the stripe, scatter onto arbitrary ``j``);
+    for a *pair* sub-task the stripe ``part::n_parts`` of cell ``a``'s rows
+    followed by all of cell ``b``'s.  Returns ``(offsets, gather)`` where
+    ``offsets`` has ``n_tasks + 1`` entries and
+    ``gather[offsets[t]:offsets[t+1]]`` are the *global* atom indices of
+    block ``t``'s rows.  Both driver and workers derive this from the same
+    deterministic binning of the same published positions, so they agree
+    without communicating; because the layout (and the driver's
+    segment-sum over it) is in task order, the reduced forces are bitwise
+    independent of the task→worker assignment.
+
+    ``xrows`` appends extra-task blocks (bonded term groups and k-space
+    shards, see :func:`xtask_rows`) after the cell blocks: extra task
+    ``x`` occupies global task slot ``len(tasks) + x`` and its block rows
+    are exactly ``xrows[x]``.
+    """
+    n_nb = len(tasks)
+    n_tasks = n_nb + len(xrows)
+    sizes = np.zeros(n_tasks, dtype=np.int64)
+    for t, (a, b, part, n_parts) in enumerate(tasks):
+        na = len(buckets[a])
+        if b == a:
+            sizes[t] = na
+        else:
+            sizes[t] = len(buckets[a][part::n_parts]) + len(buckets[b])
+    for x, rows in enumerate(xrows):
+        sizes[n_nb + x] = len(rows)
+    offsets = np.zeros(n_tasks + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    gather = np.empty(int(offsets[-1]), dtype=np.int64)
+    for t, (a, b, part, n_parts) in enumerate(tasks):
+        lo = int(offsets[t])
+        if b == a:
+            atoms_a = buckets[a]
+            gather[lo : lo + len(atoms_a)] = atoms_a
+        else:
+            rows_a = buckets[a][part::n_parts]
+            atoms_b = buckets[b]
+            gather[lo : lo + len(rows_a)] = rows_a
+            gather[lo + len(rows_a) : lo + len(rows_a) + len(atoms_b)] = atoms_b
+    for x, rows in enumerate(xrows):
+        lo = int(offsets[n_nb + x])
+        gather[lo : lo + len(rows)] = rows
+    return offsets, gather
+
+
+def scratch_rows_bound(
+    tasks: list[tuple[int, int, int, int]], n_cells: int, n_atoms: int
+) -> int:
+    """Upper bound on scratch rows any future layout of ``tasks`` can need.
+
+    Counts, per cell, how many block rows it can contribute: a self parent
+    split ``n`` ways keeps *all* of cell ``a``'s rows in each slice
+    (``n`` full blocks); a pair parent contributes cell ``a`` once (its
+    stripes partition the rows exactly) and cell ``b`` once per slice.
+    The bound is topology-only — independent of where atoms sit — so the
+    shared segment sized at construction stays valid across rebuilds.
+    """
+    if not n_cells:
+        return 1
+    mult = np.zeros(n_cells, dtype=np.int64)
+    for a, b, part, n_parts in tasks:
+        if part != 0:  # count each parent task once
+            continue
+        if b == a:
+            mult[a] += n_parts
+        else:
+            mult[a] += 1
+            mult[b] += n_parts
+    return max(n_atoms * int(mult.max()), 1)
+
+
+# --------------------------------------------------------------------------- #
+# worker-side kernels
+# --------------------------------------------------------------------------- #
+def build_task_lists(
+    system, tasks, my_tasks, buckets, r_list, backend=None, coulomb=True
+):
+    """Per-task prefiltered pair lists with local scatter indices.
+
+    For each owned sub-task ``(a, b, part, n_parts)``: global candidate
+    index arrays filtered to ``r < r_list`` minus exclusions/1-4, the
+    matching *local* block-row indices, and the pre-combined LJ/charge
+    parameters (position-independent, so combined once per rebuild instead
+    of every step).  A self sub-task keeps the triu pairs whose row ``i``
+    lands in the stripe (rows ``0..na-1`` of the block, so all slices of
+    one self cell share scatter indexing); a pair sub-task enumerates its
+    stripe's rows (block rows ``0..ns-1``) against all of cell ``b``
+    (rows ``ns..``).  The slices are an exact partition of the parent
+    task's candidate set.
+
+    ``coulomb=False`` zeroes the combined charge products so the pair
+    kernel runs LJ-only — the Ewald path owns the full electrostatics and
+    the shifted point-charge term must not double count it.
+    """
+    triu_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    lists: dict[int, tuple | None] = {}
+    for t in my_tasks:
+        a, b, part, n_parts = tasks[t]
+        atoms_a = buckets[a]
+        na = len(atoms_a)
+        if a == b:
+            if na < 2:
+                lists[t] = None
+                continue
+            if na not in triu_cache:
+                triu_cache[na] = np.triu_indices(na, k=1)
+            si, sj = triu_cache[na]
+            if n_parts > 1:
+                keep = si % n_parts == part
+                si = np.ascontiguousarray(si[keep])
+                sj = np.ascontiguousarray(sj[keep])
+                if len(si) == 0:
+                    lists[t] = None
+                    continue
+            i_g = atoms_a[si]
+            j_g = atoms_a[sj]
+        else:
+            atoms_b = buckets[b]
+            nb = len(atoms_b)
+            rows_a = np.arange(part, na, n_parts, dtype=np.int64)
+            ns = len(rows_a)
+            if ns == 0 or nb == 0:
+                lists[t] = None
+                continue
+            i_g = np.repeat(atoms_a[rows_a], nb)
+            j_g = np.tile(atoms_b, ns)
+            si = np.repeat(np.arange(ns, dtype=np.int64), nb)
+            sj = np.tile(np.arange(nb, dtype=np.int64) + ns, ns)
+        i_f, j_f, kept = filter_candidates(
+            system, i_g.astype(np.int32), j_g.astype(np.int32), r_list,
+            return_kept=True, backend=backend,
+        )
+        if len(i_f) == 0:
+            lists[t] = None
+            continue
+        eps, rmin, qq = _combined_params(system, i_f, j_f)
+        if not coulomb:
+            qq = np.zeros_like(qq)
+        lists[t] = (
+            i_f,
+            j_f,
+            np.ascontiguousarray(si[kept], dtype=np.int64),
+            np.ascontiguousarray(sj[kept], dtype=np.int64),
+            eps,
+            rmin,
+            qq,
+        )
+    return lists
+
+
+def task_kernel(system, entry, options, block, backend) -> tuple[float, float, int]:
+    """One task's switched LJ + shifted Coulomb into its compact block.
+
+    Identical per-pair arithmetic to :func:`repro.md.nonbonded.
+    nonbonded_kernel` (same fused ``backend.nb_pairs`` kernel, same
+    segment-sum scatter), but over a prefiltered list with pre-combined
+    parameters and local scatter indices — the parallel hot loop.
+    """
+    i_g, j_g, si, sj, eps, rmin, qq = entry
+    return backend.nb_pairs(
+        system.positions, system.box, i_g, j_g, eps, rmin, qq,
+        options.cutoff, options.switch, block, si, sj,
+    )
+
+
+def build_xtask_entries(xtasks, xsels, term_data, my_tasks, n_nb):
+    """Kernel-ready entries for this worker's extra tasks, one rebuild.
+
+    Bonded entries pre-slice the kind's term arrays to the group's
+    selection and carry local scatter indices (block row ``r`` of a group
+    with terms of arity ``m`` holds atom ``idx[r // m, r % m]`` — exactly
+    the row order of :func:`xtask_rows`).  K-space entries are just the
+    shard descriptor; the tables are memoized per process.
+    """
+    entries: dict[int, tuple] = {}
+    for t in my_tasks:
+        if t < n_nb:
+            continue
+        xt = xtasks[t - n_nb]
+        if xt[0] == "kspace":
+            entries[t] = xt
+            continue
+        _, kind, _cell, _intra = xt
+        idx, kpar, p1, p2 = term_data[kind]
+        sel = xsels[t - n_nb]
+        arity = idx.shape[1]
+        sidx = np.arange(len(sel) * arity, dtype=np.int64).reshape(-1, arity)
+        entries[t] = (
+            "bonded", kind, idx[sel], kpar[sel], p1[sel], p2[sel], sidx
+        )
+    return entries
+
+
+def eval_xtask(system, entry, ewald_cfg, block, backend):
+    """One extra task into its block; returns ``(energy, n_items)``.
+
+    Bonded groups report their term count, k-space shards their k-vector
+    count — measurement context for the WorkDB, never added to the pair
+    total.  The shard prefactor uses the *current* box (the driver forces a
+    rebuild on any box change, so tables and volume always agree).
+    """
+    if entry[0] == "kspace":
+        _, lo, hi = entry
+        alpha, kmax = ewald_cfg
+        box = np.asarray(system.box, dtype=np.float64)
+        k_tab, _k2, ak = _kspace_tables(box, kmax, alpha)
+        if hi <= lo or len(k_tab) == 0:
+            return 0.0, 0
+        pref = COULOMB_CONSTANT * 2.0 * np.pi / float(np.prod(box))
+        energy = backend.ewald_recip_shard(
+            system.positions, system.charges, k_tab[lo:hi], ak[lo:hi],
+            pref, block,
+        )
+        return float(energy), hi - lo
+    _, kind, idx, kpar, p1, p2, sidx = entry
+    if len(idx) == 0:
+        return 0.0, 0
+    energy = backend.bonded_terms(
+        system.positions, system.box, kind, idx, kpar, p1, p2, block, sidx
+    )
+    return float(energy), len(idx)
+
+
+# --------------------------------------------------------------------------- #
+# the TaskProvider / TaskEvaluator pair
+# --------------------------------------------------------------------------- #
+class ForceTaskEvaluator:
+    """Worker-process-side evaluator of the MD force tasks.
+
+    Built by :meth:`ForceTaskProvider.make_evaluator` inside each worker.
+    The worker's system aliases the shared ``"pos"`` segment (the driver
+    owns the contents and guarantees they are wrapped before each
+    command); :meth:`rebuild` temporarily aliases the ``"ref"`` segment so
+    binning and pair-list construction are independent of *when* this
+    worker (re)built.  Bonded group energies land in the first stats
+    column, shard energies in the second; the per-worker stats row gets
+    the process-local k-space table cache counters (as deltas from the
+    spawn-time baseline — under fork the child inherits the parent's
+    cumulative counters).
+    """
+
+    def __init__(self, provider: "ForceTaskProvider", worker_id, n_workers, views):
+        # resolve the kernel backend once per worker process; forked
+        # workers inherit the parent's compiled state, spawned ones
+        # recompile from the on-disk JIT cache — either way every task of
+        # this worker runs the same kernels for its whole life
+        self.backend = get_backend(provider.backend_name)
+        self.provider = provider
+        self.system = provider.system
+        self.positions = views["pos"]
+        self.ref_positions = views["ref"]
+        self.system.positions = self.positions
+        self.dims = np.asarray(provider.dims, dtype=np.int64)
+        self.n_nb = len(provider.tasks)
+        self.lists: dict[int, tuple | None] = {}
+        self.xentries: dict[int, tuple] = {}
+        # cache counters are cumulative per process; under fork the child
+        # inherits the parent's, so report deltas from this baseline
+        self.cache_base = (
+            kspace_cache_stats() if provider.ewald_cfg is not None else None
+        )
+
+    def begin_step(self, payload) -> None:
+        self.system.box = np.asarray(payload, dtype=np.float64)
+
+    def rebuild(self, my_tasks: list[int]) -> np.ndarray:
+        from repro.core.decomposition import bin_atoms
+
+        p = self.provider
+        # derive everything from the reference positions so the result is
+        # independent of when this worker (re)built
+        self.system.positions = self.ref_positions
+        try:
+            _, flat, buckets = bin_atoms(
+                self.ref_positions, self.system.box, self.dims
+            )
+            xsels, xrows = xtask_rows(
+                p.xtasks, p.term_data, flat, len(self.positions)
+            )
+            offsets, _ = task_layout(buckets, p.tasks, xrows)
+            self.lists = build_task_lists(
+                self.system, p.tasks,
+                [t for t in my_tasks if t < self.n_nb],
+                buckets, p.r_list,
+                backend=self.backend, coulomb=p.coulomb,
+            )
+            self.xentries = build_xtask_entries(
+                p.xtasks, xsels, p.term_data, my_tasks, self.n_nb
+            )
+        finally:
+            self.system.positions = self.positions
+        return offsets
+
+    def eval_task(self, t: int, block) -> tuple[float, float, float]:
+        p = self.provider
+        if t >= self.n_nb:
+            energy, n_items = eval_xtask(
+                self.system, self.xentries[t], p.ewald_cfg, block, self.backend
+            )
+            if self.xentries[t][0] == "kspace":
+                return 0.0, energy, n_items
+            return energy, 0.0, n_items
+        entry = self.lists[t]
+        if entry is None:
+            return 0.0, 0.0, 0
+        return task_kernel(
+            self.system, entry, p.options, block, self.backend
+        )
+
+    def end_step(self, out_row) -> None:
+        if self.cache_base is not None:
+            cs = kspace_cache_stats()
+            out_row[0] = cs["builds"] - self.cache_base["builds"]
+            out_row[1] = cs["hits"] - self.cache_base["hits"]
+
+    def close(self) -> None:
+        system = self.system
+        self.positions = None
+        self.ref_positions = None
+        self.lists = {}
+        self.xentries = {}
+        del system.positions
+        system.positions = np.zeros((0, 3))
+
+
+@dataclass
+class ForceTaskProvider:
+    """Driver-side description of one system's force tasks for the pool.
+
+    Shipped to every worker (fork inheritance or spawn pickle); holds only
+    plain data — the backend travels by *name* so a respawned worker
+    rebuilds the identical kernels.  ``dims`` is the cell-grid shape the
+    tasks were constructed for; the grid (and hence the task structure) is
+    fixed for the provider's life.
+    """
+
+    system: object
+    options: NonbondedOptions
+    dims: tuple[int, ...]
+    tasks: list[tuple[int, int, int, int]]
+    xtasks: list[tuple]
+    term_data: dict[int, tuple]
+    r_list: float
+    backend_name: str
+    ewald_cfg: tuple[float, int] | None
+    coulomb: bool
+    scratch_rows: int
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks) + len(self.xtasks)
+
+    def scratch_shape(self) -> tuple[int, int]:
+        return (self.scratch_rows, 3)
+
+    def segments(self) -> dict[str, tuple[tuple[int, ...], str]]:
+        n = self.system.n_atoms
+        return {
+            "pos": ((n, 3), "float64"),
+            # reference positions: the coordinates the pair lists were
+            # last built from.  Workers always bin/build from this
+            # segment, so a respawned replacement reconstructs the dead
+            # worker's lists exactly, mid-skin-window, without touching
+            # the rebuild schedule.
+            "ref": ((n, 3), "float64"),
+        }
+
+    def make_evaluator(self, worker_id, n_workers, views) -> ForceTaskEvaluator:
+        return ForceTaskEvaluator(self, worker_id, n_workers, views)
+
+    # ------------------------------------------------------------------ #
+    def layout(self, positions, box) -> tuple[np.ndarray, np.ndarray]:
+        """Driver-side reduction layout for the given reference positions.
+
+        Must match the workers' blocks: both bin the same published
+        reference positions with the same grid.
+        """
+        from repro.core.decomposition import bin_atoms
+
+        _, flat, buckets = bin_atoms(
+            positions,
+            np.asarray(box, dtype=np.float64),
+            np.asarray(self.dims, dtype=np.int64),
+        )
+        xrows: list = []
+        if self.xtasks:
+            _, xrows = xtask_rows(
+                self.xtasks, self.term_data, flat, len(positions)
+            )
+        return task_layout(buckets, self.tasks, xrows)
+
+
+# --------------------------------------------------------------------------- #
+# construction
+# --------------------------------------------------------------------------- #
+@dataclass
+class ForceTaskSpec:
+    """Everything :func:`build_force_tasks` decides, for the orchestrator.
+
+    ``provider`` is the pool-facing product; the remaining fields are the
+    construction by-products the engine needs for the static partition,
+    WorkDB registration, and diagnostics.
+    """
+
+    provider: ForceTaskProvider
+    box: np.ndarray
+    dims_array: np.ndarray
+    parents: list[tuple[int, int]]
+    n_cells: int
+    sub_cost_arr: np.ndarray
+    sub_parents: list[int]
+    x_costs: list[float]
+    all_costs: np.ndarray
+    bonded_ids: dict[int, list[int]] = field(default_factory=dict)
+    kspace_ids: list[int] = field(default_factory=list)
+
+    @property
+    def n_total(self) -> int:
+        return self.provider.n_tasks
+
+
+def build_force_tasks(
+    system,
+    options: NonbondedOptions,
+    *,
+    skin: float,
+    grainsize_ms: float = 0.0,
+    cost_model=None,
+    bonded: bool = False,
+    ewald: EwaldOptions | None = None,
+    kspace: bool = True,
+    backend=None,
+) -> ForceTaskSpec:
+    """Deterministic construction of the force-task family.
+
+    Builds the half-shell cell grid sized to ``cutoff + skin``, seeds
+    per-task costs from the cost model (the paper's "before the first
+    measurement" rule), applies grainsize splitting from the deterministic
+    prior, and appends the bonded groups and k-space shards.  Everything
+    is decided here, once — the structure never depends on the worker
+    count or on measurements.  Construction must not mutate the caller's
+    system (the sequential engine's does not): the grid build and cost
+    model see a wrapped *copy*; the engines wrap before every dispatch as
+    usual.
+    """
+    from repro.core.decomposition import bin_atoms
+    from repro.costmodel.model import estimate_block_costs
+
+    backend = get_backend(backend)
+    system.exclusions  # build once, before workers copy the system
+    r_list = options.cutoff + skin
+    box = np.asarray(system.box, dtype=np.float64)
+    wrapped = wrap_positions(system.positions, box)
+    grid = CellGrid.build(wrapped, box, r_list)
+    dims = grid.dims.copy()
+    ca, cb = grid.neighbor_cell_pair_arrays()
+    parents = list(zip(ca.tolist(), cb.tolist()))
+
+    _, flat0, buckets = bin_atoms(wrapped, box, dims)
+    model = cost_model
+    if model is None and grainsize_ms > 0:
+        # grainsize_ms is a physical target: need real (reference-
+        # machine) seconds, not the unitless pair-count default
+        from repro.core.simulation import DEFAULT_COST_MODEL
+
+        model = DEFAULT_COST_MODEL
+    costs = estimate_block_costs(
+        wrapped,
+        box,
+        options.cutoff,
+        buckets,
+        parents,
+        model=model,
+    )
+
+    # grainsize control (§4.2.1–2): split oversized parents into row
+    # stripes — structure decided here, once, from the deterministic
+    # prior (never from noisy measurements: the scratch layout follows
+    # the task list, so a measurement-driven split would break bitwise
+    # repeatability).  Priors are handed down pro-rata by stripe
+    # candidate count.
+    cfg = GrainsizeConfig(
+        target_load_s=grainsize_ms * 1e-3, max_parts=MAX_SPLIT_PARTS
+    )
+    tasks: list[tuple[int, int, int, int]] = []
+    sub_costs: list[float] = []
+    sub_parents: list[int] = []
+    for pt, (a, b) in enumerate(parents):
+        na = len(buckets[a])
+        if grainsize_ms > 0:
+            enabled = cfg.split_self if a == b else cfg.split_pairs
+            n_parts = min(cfg.parts_for(float(costs[pt]), enabled), max(na, 1))
+        else:
+            n_parts = 1
+        weights = stripe_candidate_counts(
+            na, None if a == b else len(buckets[b]), n_parts
+        )
+        wsum = float(weights.sum())
+        for part in range(n_parts):
+            frac = float(weights[part]) / wsum if wsum > 0 else 1.0 / n_parts
+            tasks.append((a, b, part, n_parts))
+            sub_costs.append(float(costs[pt]) * frac)
+            sub_parents.append(pt)
+    sub_cost_arr = np.asarray(sub_costs, dtype=np.float64)
+
+    # extra force tasks: bonded term groups and Ewald k-space shards.
+    # Their structure is fixed here, once, from topology/grid/kmax only
+    # (never from the worker count or measurements), so the scratch
+    # layout — and the reduction order — is identical at any pool size.
+    n_cells = int(np.prod(dims))
+    xtasks: list[tuple] = []
+    x_costs: list[float] = []
+    term_data: dict[int, tuple] = {}
+    mean_nb = float(sub_cost_arr.mean()) if len(sub_costs) else 1.0
+    if bonded:
+        for kind in range(len(BONDED_KINDS)):
+            idx, kpar, p1, p2 = bonded_term_arrays(system, kind)
+            if len(idx) == 0:
+                continue
+            term_data[kind] = (idx, kpar, p1, p2)
+            home = flat0[idx[:, 0]]
+            same = np.all(flat0[idx] == home[:, None], axis=1)
+            for cell in range(n_cells):
+                in_cell = home == cell
+                for intra in (1, 0):
+                    n_terms = int(
+                        np.count_nonzero(in_cell & (same == bool(intra)))
+                    )
+                    xtasks.append(("bonded", kind, cell, intra))
+                    # heuristic prior (a bonded term is far cheaper than a
+                    # cell block); measurements take over after the first
+                    # step
+                    x_costs.append(mean_nb * (n_terms / 64.0) + mean_nb * 1e-3)
+    kspace_tasks = bool(kspace) and ewald is not None
+    if kspace_tasks:
+        nk = (2 * ewald.kmax + 1) ** 3 - 1
+        for lo_hi in kspace_shards(nk):
+            xtasks.append(lo_hi)
+            x_costs.append(mean_nb)
+    all_costs = (
+        np.concatenate([sub_cost_arr, np.asarray(x_costs)])
+        if x_costs
+        else sub_cost_arr
+    )
+
+    n = system.n_atoms
+    # extra-task scratch bound is topology-only too: per kind, each term
+    # lands in exactly one group under any binning (idx.size rows in
+    # total), and each k-shard always writes one full (n, 3) slab
+    n_kshards = sum(1 for xt in xtasks if xt[0] == "kspace")
+    x_rows = sum(td[0].size for td in term_data.values())
+    x_rows += n_kshards * n
+    scratch_rows = scratch_rows_bound(tasks, n_cells, n) + x_rows
+
+    ewald_cfg = (
+        (ewald.alpha_value(), int(ewald.kmax)) if kspace_tasks else None
+    )
+    provider = ForceTaskProvider(
+        system=system,
+        options=options,
+        dims=tuple(int(d) for d in dims),
+        tasks=tasks,
+        xtasks=xtasks,
+        term_data=term_data,
+        r_list=r_list,
+        backend_name=backend.name,
+        ewald_cfg=ewald_cfg,
+        coulomb=ewald is None,
+        scratch_rows=scratch_rows,
+    )
+    bonded_ids: dict[int, list[int]] = {}
+    kspace_ids: list[int] = []
+    for x, xt in enumerate(xtasks):
+        t = len(tasks) + x
+        if xt[0] == "kspace":
+            kspace_ids.append(t)
+        else:
+            bonded_ids.setdefault(xt[1], []).append(t)
+    return ForceTaskSpec(
+        provider=provider,
+        box=box.copy(),
+        dims_array=dims,
+        parents=parents,
+        n_cells=n_cells,
+        sub_cost_arr=sub_cost_arr,
+        sub_parents=sub_parents,
+        x_costs=x_costs,
+        all_costs=all_costs,
+        bonded_ids=bonded_ids,
+        kspace_ids=kspace_ids,
+    )

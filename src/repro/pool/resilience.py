@@ -1,0 +1,398 @@
+"""Fault injection, recovery policy, and accounting for supervised pools.
+
+The *simulated* runtime has a deterministic
+:class:`~repro.runtime.faults.FaultPlan`; this module is its counterpart
+against live operating-system processes, and is the failure-handling
+half of the :mod:`repro.pool` runtime (it knows nothing about what the
+workers compute).  A :class:`WorkerFaultPlan` schedules, by evaluation
+step:
+
+* **SIGKILL** of a worker process (:class:`WorkerKill`) — fail-stop death,
+  the analogue of :class:`~repro.runtime.faults.ProcessorFailure`;
+* **SIGSTOP hangs** (:class:`WorkerHang`) — the worker freezes for
+  ``duration_s`` seconds (or forever), the failure mode a timeout-based
+  supervisor must distinguish from mere slowness;
+* **slowdown windows** — reusing the exact
+  :class:`~repro.runtime.faults.SlowdownWindow` semantics the pool already
+  implements as a measured busy-spin.
+
+The :class:`FaultInjector` fires the plan from the driver side (the driver
+owns the pids), once per scheduled event, and un-freezes finite hangs when
+their window expires.  Because events are step-indexed, injection is fully
+deterministic — the same property that makes the simulated FaultPlan's
+tests reproducible.
+
+:class:`RecoveryPolicy` configures the supervised pool's response ladder
+(respawn with bounded retry + exponential backoff → reassign to
+survivors → degraded serving by the pool's client) and
+:class:`ResilienceStats` is the driver-side accounting that the WorkDB,
+timeline renders, and ``BENCH_resilience.json`` surface.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only; keeps the pool
+    # layer import-free of the simulated runtime (and its balancer deps)
+    from repro.runtime.faults import SlowdownWindow
+
+__all__ = [
+    "HAS_POSIX_SIGNALS",
+    "WorkerKill",
+    "WorkerHang",
+    "WorkerFaultPlan",
+    "FaultInjector",
+    "RecoveryPolicy",
+    "RecoveryEventLog",
+    "ResilienceStats",
+]
+
+#: SIGSTOP/SIGCONT (hang injection) and SIGKILL exist only on POSIX.
+HAS_POSIX_SIGNALS = hasattr(signal, "SIGSTOP") and hasattr(signal, "SIGKILL")
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """SIGKILL worker ``worker`` right after step ``step`` is dispatched."""
+
+    worker: int
+    step: int
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker must be >= 0")
+        if self.step < 1:
+            raise ValueError("step must be >= 1 (1-based evaluation index)")
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """SIGSTOP worker ``worker`` at step ``step`` for ``duration_s`` seconds.
+
+    ``duration_s = inf`` (the default) freezes the worker until the
+    supervisor escalates — the canonical "hung, not dead" scenario.  A
+    finite duration models a transient stall (page-fault storm, cgroup
+    throttle): the injector sends SIGCONT when the window expires, and a
+    stall shorter than the hang threshold is simply *measured* as load.
+    """
+
+    worker: int
+    step: int
+    duration_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker must be >= 0")
+        if self.step < 1:
+            raise ValueError("step must be >= 1 (1-based evaluation index)")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """A deterministic, step-indexed schedule of real-process faults."""
+
+    kills: tuple[WorkerKill, ...] = ()
+    hangs: tuple[WorkerHang, ...] = ()
+    slowdowns: tuple[SlowdownWindow, ...] = ()
+
+    @property
+    def active(self) -> bool:
+        """True when any fault is scheduled."""
+        return bool(self.kills or self.hangs or self.slowdowns)
+
+    def max_worker(self) -> int:
+        """Highest worker index any fault targets (-1 when empty)."""
+        targets = [k.worker for k in self.kills]
+        targets += [h.worker for h in self.hangs]
+        targets += [int(w.proc) for w in self.slowdowns]
+        return max(targets, default=-1)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, spec: str) -> "WorkerFaultPlan":
+        """Build a plan from a compact CLI string.
+
+        Comma-separated clauses (steps are 1-based evaluation indices)::
+
+            kill=<worker>@<step>
+            hang=<worker>@<step>          (indefinite SIGSTOP)
+            hang=<worker>@<step>x<secs>   (SIGCONT after <secs>)
+            slow=<worker>@<start>-<end>x<factor>
+
+        Example: ``"kill=1@3,hang=2@5x1.5,slow=0@2-8x4"``.
+        """
+        from repro.runtime.faults import SlowdownWindow
+
+        kills: list[WorkerKill] = []
+        hangs: list[WorkerHang] = []
+        slowdowns: list["SlowdownWindow"] = []
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" not in clause:
+                raise ValueError(
+                    f"bad fault clause {clause!r} (expected key=value)"
+                )
+            key, _, value = clause.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "kill":
+                worker, _, step = value.partition("@")
+                kills.append(WorkerKill(int(worker), int(step)))
+            elif key == "hang":
+                worker, _, rest = value.partition("@")
+                step, _, secs = rest.partition("x")
+                hangs.append(
+                    WorkerHang(
+                        int(worker),
+                        int(step),
+                        float(secs) if secs else math.inf,
+                    )
+                )
+            elif key == "slow":
+                worker, _, rest = value.partition("@")
+                window, _, factor = rest.partition("x")
+                start, _, end = window.partition("-")
+                slowdowns.append(
+                    SlowdownWindow(
+                        int(worker), float(start), float(end), float(factor)
+                    )
+                )
+            else:
+                raise ValueError(f"unknown fault clause key {key!r}")
+        return cls(
+            kills=tuple(kills), hangs=tuple(hangs), slowdowns=tuple(slowdowns)
+        )
+
+
+class FaultInjector:
+    """Fires a :class:`WorkerFaultPlan` against live worker processes.
+
+    The driver calls :meth:`inject` right after dispatching each evaluation
+    (so kills land while tasks are in flight) and :meth:`poll` from its
+    wait loop (to SIGCONT finite hangs whose window expired).  Every event
+    fires at most once; a worker that no longer exists (already dead,
+    already recovered under a new pid) is skipped silently — injection
+    must never take down the driver.
+    """
+
+    def __init__(self, plan: WorkerFaultPlan) -> None:
+        if not HAS_POSIX_SIGNALS and (plan.kills or plan.hangs):
+            raise RuntimeError(
+                "worker fault injection needs POSIX signals "
+                "(SIGKILL/SIGSTOP); this platform has neither"
+            )
+        self.plan = plan
+        self._fired: set[tuple[str, int, int]] = set()
+        #: (worker, pid, resume_deadline) for in-flight finite hangs
+        self._stopped: list[tuple[int, int, float]] = []
+
+    @staticmethod
+    def _signal(pid: int, signum: int) -> bool:
+        try:
+            os.kill(pid, signum)
+            return True
+        except (ProcessLookupError, PermissionError, OSError):
+            return False
+
+    def inject(self, step: int, pids: dict[int, int]) -> list[str]:
+        """Fire every event scheduled at ``step``; returns what fired."""
+        fired: list[str] = []
+        for k in self.plan.kills:
+            key = ("kill", k.worker, k.step)
+            if k.step == step and key not in self._fired:
+                self._fired.add(key)
+                pid = pids.get(k.worker)
+                if pid is not None and self._signal(pid, signal.SIGKILL):
+                    fired.append(f"SIGKILL worker {k.worker} @step {step}")
+        for h in self.plan.hangs:
+            key = ("hang", h.worker, h.step)
+            if h.step == step and key not in self._fired:
+                self._fired.add(key)
+                pid = pids.get(h.worker)
+                if pid is not None and self._signal(pid, signal.SIGSTOP):
+                    fired.append(f"SIGSTOP worker {h.worker} @step {step}")
+                    if math.isfinite(h.duration_s):
+                        self._stopped.append(
+                            (h.worker, pid, time.monotonic() + h.duration_s)
+                        )
+        return fired
+
+    def poll(self) -> list[int]:
+        """SIGCONT finite hangs whose window expired; returns the workers."""
+        if not self._stopped:
+            return []
+        now = time.monotonic()
+        resumed: list[int] = []
+        still: list[tuple[int, int, float]] = []
+        for worker, pid, deadline in self._stopped:
+            if now >= deadline:
+                self._signal(pid, signal.SIGCONT)
+                resumed.append(worker)
+            else:
+                still.append((worker, pid, deadline))
+        self._stopped = still
+        return resumed
+
+    def release_all(self) -> None:
+        """SIGCONT everything still stopped (teardown must not leave
+        frozen children for the join loop to time out on)."""
+        for _worker, pid, _deadline in self._stopped:
+            self._signal(pid, signal.SIGCONT)
+        self._stopped = []
+
+
+# --------------------------------------------------------------------------- #
+# recovery policy + accounting
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the supervised pool responds to dead, hung, or erroring workers.
+
+    The ladder: a failed worker is respawned up to ``max_respawns`` times
+    (per worker slot, with exponential backoff ``respawn_backoff_s * 2^n``);
+    past that budget it is marked permanently dead and its tasks are
+    reassigned to survivors through the WorkDB → LBProblem path (the same
+    ``dead_procs`` marking the simulated balancer uses).  When no workers
+    survive — or one evaluation needs more than ``max_recovery_rounds``
+    recovery episodes — the pool degrades to the sequential path instead
+    of raising.
+
+    ``hang_timeout_s`` is the no-progress threshold after which a live but
+    silent worker is declared hung and killed; ``None`` derives it per step
+    as ``clamp(hang_grace_factor * EWMA(step wall time), min_hang_timeout_s,
+    pool timeout)`` — no threshold is applied before the first completed
+    step (cold starts legitimately take much longer than steady state).
+    ``poll_interval_s`` bounds the supervisor's wait granularity: worker
+    death interrupts the wait immediately via process sentinels, so this
+    only paces hang/injector checks.
+    """
+
+    max_respawns: int = 2
+    respawn_backoff_s: float = 0.05
+    max_recovery_rounds: int = 8
+    hang_timeout_s: float | None = None
+    min_hang_timeout_s: float = 1.0
+    hang_grace_factor: float = 20.0
+    poll_interval_s: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.respawn_backoff_s < 0:
+            raise ValueError("respawn_backoff_s must be >= 0")
+        if self.max_recovery_rounds < 1:
+            raise ValueError("max_recovery_rounds must be >= 1")
+        if self.hang_timeout_s is not None and self.hang_timeout_s <= 0:
+            raise ValueError("hang_timeout_s must be positive")
+        if self.poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before respawn attempt ``attempt`` (0-based)."""
+        return self.respawn_backoff_s * (2.0**attempt)
+
+    def hang_threshold(self, step_wall_ewma: float, timeout: float) -> float:
+        """Silence (seconds) after which a live worker counts as hung."""
+        if self.hang_timeout_s is not None:
+            return min(self.hang_timeout_s, timeout)
+        if step_wall_ewma <= 0.0:
+            return timeout  # no steady state yet: only the hard budget
+        return min(
+            max(self.hang_grace_factor * step_wall_ewma, self.min_hang_timeout_s),
+            timeout,
+        )
+
+
+@dataclass
+class RecoveryEventLog:
+    """One recovery episode, as the driver saw it."""
+
+    step: int  # evaluation index the episode interrupted (0 = between steps)
+    worker: int
+    kind: str  # "died" | "hung" | "error"
+    action: str  # "respawned" | "reassigned" | "degraded"
+    detection_s: float  # dispatch-to-detection latency (0 between steps)
+    recovery_s: float  # detection-to-resolution wall time
+    tasks_moved: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.step,
+            "worker": self.worker,
+            "kind": self.kind,
+            "action": self.action,
+            "detection_s": self.detection_s,
+            "recovery_s": self.recovery_s,
+            "tasks_moved": self.tasks_moved,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ResilienceStats:
+    """Aggregate fault-tolerance accounting for one supervised pool.
+
+    The real-engine sibling of the simulated runtime's
+    :class:`~repro.runtime.checkpoint.RecoveryStats`: kills and hangs
+    detected, respawns attempted and succeeded, tasks re-executed after
+    reassignment, time spent recovering, and how long the pool has been
+    running below full strength ("degraded").
+    """
+
+    events: list[RecoveryEventLog] = field(default_factory=list)
+    kills_detected: int = 0
+    hangs_detected: int = 0
+    errors_detected: int = 0
+    respawns: int = 0
+    respawn_failures: int = 0
+    tasks_reassigned: int = 0
+    reassigned_by_kind: dict[str, int] = field(default_factory=dict)
+    steps_redone: int = 0
+    recovery_time_s: float = 0.0
+    degraded_steps: int = 0
+    degraded_since_step: int | None = None
+    mode: str = "full"  # "full" | "degraded" | "sequential"
+
+    @property
+    def n_failures(self) -> int:
+        return self.kills_detected + self.hangs_detected + self.errors_detected
+
+    def note_event(self, event: RecoveryEventLog) -> None:
+        self.events.append(event)
+        if event.worker >= 0:
+            # worker < 0 marks a synthetic pool-level event (e.g. the
+            # degrade-to-sequential summary), not a per-worker detection
+            if event.kind == "died":
+                self.kills_detected += 1
+            elif event.kind == "hung":
+                self.hangs_detected += 1
+            else:
+                self.errors_detected += 1
+        self.recovery_time_s += event.recovery_s
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "kills_detected": self.kills_detected,
+            "hangs_detected": self.hangs_detected,
+            "errors_detected": self.errors_detected,
+            "respawns": self.respawns,
+            "respawn_failures": self.respawn_failures,
+            "tasks_reassigned": self.tasks_reassigned,
+            "reassigned_by_kind": dict(self.reassigned_by_kind),
+            "steps_redone": self.steps_redone,
+            "recovery_time_s": self.recovery_time_s,
+            "degraded_steps": self.degraded_steps,
+            "events": [e.to_dict() for e in self.events],
+        }

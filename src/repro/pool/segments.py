@@ -1,0 +1,130 @@
+"""Shared-memory segment registry with collision-free names.
+
+``multiprocessing.shared_memory`` picks random names for anonymous
+segments, but a *registry* of explicitly named segments is what lets a
+worker process attach by name after a respawn, lets diagnostics point at
+the owning pool, and — critically for the multi-pool future — guarantees
+that two pools in one process (or two processes on one host) can never
+collide: every :class:`SegmentRegistry` derives a unique prefix from the
+owning pid plus a random token, and every segment name is
+``<prefix>-<label>``.
+
+Ownership is explicit: the registry *creates* (and therefore unlinks)
+its segments; workers attach with :func:`attach_segment` and must only
+``close()`` their mapping, never unlink (see the function docstring for
+the resource-tracker subtlety).  ``unlink_all`` is idempotent and
+tolerates segments that already vanished, so teardown ladders can call
+it unconditionally.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shm
+
+    HAS_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover
+    _shm = None
+    HAS_SHARED_MEMORY = False
+
+__all__ = ["HAS_SHARED_MEMORY", "SegmentRegistry", "attach_segment"]
+
+#: retries when a generated name is (astronomically unlikely to be) taken
+_NAME_RETRIES = 8
+
+
+def _new_prefix() -> str:
+    """A short, host-unique prefix: pid + random token.
+
+    Kept well under the POSIX shm name limit (31 bytes on the strictest
+    platforms, macOS) even after a 8-char label suffix.
+    """
+    return f"rp{os.getpid():x}-{uuid.uuid4().hex[:8]}"
+
+
+def attach_segment(name: str):
+    """Attach to an existing shared block without adopting ownership.
+
+    Python < 3.13 registers every attach with the resource tracker; pool
+    workers are always children of the driver and therefore share *its*
+    tracker (both fork and spawn inherit the tracker fd), where the extra
+    register is an idempotent no-op.  Crucially the workers must NOT
+    unregister — that would strip the driver's own registration and turn
+    its later ``unlink()`` into tracker noise.
+    """
+    return _shm.SharedMemory(name=name)
+
+
+class SegmentRegistry:
+    """Creates, tracks, and tears down one pool's shared-memory segments.
+
+    Each segment is created under a collision-free name
+    ``<pid+token prefix>-<label>``; :meth:`names` hands the name map to
+    worker processes so they can re-attach (including after a respawn).
+    The registry owns the segments: :meth:`unlink_all` closes and unlinks
+    everything it created, and is safe to call repeatedly.
+    """
+
+    def __init__(self) -> None:
+        if not HAS_SHARED_MEMORY:  # pragma: no cover - platform dependent
+            raise RuntimeError("platform lacks POSIX shared memory")
+        self._prefix = _new_prefix()
+        self._segments: dict[str, _shm.SharedMemory] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def create(self, label: str, nbytes: int):
+        """Create segment ``label`` (``nbytes > 0``); returns the block."""
+        if label in self._segments:
+            raise ValueError(f"segment {label!r} already registered")
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        for _ in range(_NAME_RETRIES):
+            name = f"{self._prefix}-{label}"
+            try:
+                seg = _shm.SharedMemory(name=name, create=True, size=nbytes)
+            except FileExistsError:  # pragma: no cover - vanishing odds
+                # stale segment from a recycled pid: pick a fresh token
+                self._prefix = _new_prefix()
+                continue
+            self._segments[label] = seg
+            return seg
+        raise RuntimeError(  # pragma: no cover - _NAME_RETRIES collisions
+            f"could not find a free shared-memory name for {label!r}"
+        )
+
+    def get(self, label: str):
+        return self._segments[label]
+
+    def name(self, label: str) -> str:
+        return self._segments[label].name
+
+    def names(self) -> dict[str, str]:
+        """Label → shared-memory name, for worker attach."""
+        return {label: seg.name for label, seg in self._segments.items()}
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._segments
+
+    # ------------------------------------------------------------------ #
+    def unlink_all(self) -> None:
+        """Close and unlink every owned segment (idempotent).
+
+        Callers must drop any numpy views over the buffers first — a view
+        keeps the mapping exported and ``close()`` would raise.
+        """
+        for seg in self._segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+            except Exception:  # pragma: no cover - teardown must not raise
+                pass
+        self._segments = {}

@@ -1,0 +1,45 @@
+"""The import contract: ``repro.pool`` is a cycle-free, MD-free layer."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def test_pool_package_imports_no_domain_layer():
+    # static AST sweep over every repro.pool module (catches lazy imports)
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_layering", REPO / "tools" / "check_layering.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    assert mod.check() == []
+
+
+def test_pool_package_imports_standalone():
+    # dynamic confirmation: importing the package must not pull repro.md
+    # (or the balancer/instrument layers) into sys.modules
+    code = (
+        "import sys, repro.pool; "
+        "bad = [m for m in sys.modules if m.startswith("
+        "('repro.md', 'repro.balancer', 'repro.instrument'))]; "
+        "assert not bad, bad"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_checker_script_runs_clean():
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_layering.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr

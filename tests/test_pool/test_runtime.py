@@ -1,0 +1,301 @@
+"""The supervised pool runtime, exercised without any MD machinery.
+
+Covers the generic dispatch/collect protocol, the recovery ladder
+(respawn, reassign, degrade), lifecycle edges (atexit deregistration,
+close racing an in-flight recovery respawn), and determinism of the
+task-ordered results under recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.pool import (
+    HAS_SHARED_MEMORY,
+    RecoveryPolicy,
+    SupervisedPool,
+)
+from repro.pool import runtime as pool_runtime
+from repro.pool.protocol import STAT_TIME_NS, STAT_V0, STAT_V1, STAT_V2
+
+from tests.test_pool.synthetic import (
+    ErroringProvider,
+    SleepyProvider,
+    SyntheticProvider,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAS_SHARED_MEMORY, reason="platform lacks multiprocessing.shared_memory"
+)
+
+N_TASKS = 12
+
+
+def make_pool(n_workers=2, provider=None, **kw):
+    provider = provider or SyntheticProvider(N_TASKS)
+    assignment = np.arange(provider.n_tasks, dtype=np.int64) % n_workers
+    kw.setdefault("timeout", 60.0)
+    return SupervisedPool(provider, n_workers, assignment, **kw)
+
+
+def run_step(pool, scale, rebuild=False):
+    assert pool.begin_step()
+    pool.dispatch(rebuild, scale)
+    assert pool.collect()
+    pool.finish_step()
+
+
+class TestProtocol:
+    def test_dispatch_collect_reduction(self):
+        with make_pool() as pool:
+            data = np.arange(N_TASKS, dtype=np.float64) + 1.0
+            pool.view("data")[...] = data
+            run_step(pool, 3.0, rebuild=True)
+            np.testing.assert_array_equal(pool.scratch[:, 0], data * 3.0)
+            stats = pool.stats[:N_TASKS]
+            np.testing.assert_array_equal(stats[:, STAT_V0], data * 3.0)
+            np.testing.assert_array_equal(stats[:, STAT_V1], data * 6.0)
+            np.testing.assert_array_equal(stats[:, STAT_V2], 1.0)
+            assert (stats[:, STAT_TIME_NS] > 0).all()
+
+    def test_payload_reaches_every_step(self):
+        with make_pool() as pool:
+            pool.view("data")[...] = 1.0
+            for scale in (1.0, 2.0, 5.0):
+                run_step(pool, scale, rebuild=(scale == 1.0))
+                np.testing.assert_array_equal(pool.scratch[:, 0], scale)
+
+    def test_worker_rows_after_tasks(self):
+        # end_step publishes into stats[n_tasks + worker_id]
+        with make_pool() as pool:
+            pool.view("data")[...] = 1.0
+            run_step(pool, 1.0, rebuild=True)
+            worker_rows = pool.stats[N_TASKS : N_TASKS + pool.n_workers]
+            assert (worker_rows[:, 0] >= 1.0).all()
+
+    def test_double_dispatch_raises(self):
+        with make_pool() as pool:
+            pool.begin_step()
+            pool.dispatch(True, 1.0)
+            with pytest.raises(RuntimeError, match="outstanding"):
+                pool.dispatch(True, 1.0)
+            assert pool.collect()
+            pool.finish_step()
+
+    def test_seq_is_settable(self):
+        # clients realign the counter on checkpoint restore
+        with make_pool() as pool:
+            run_step(pool, 1.0, rebuild=True)
+            assert pool.seq == 1
+            pool.seq = 41
+            run_step(pool, 1.0)
+            assert pool.seq == 42
+
+    def test_needs_two_workers(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            make_pool(n_workers=1)
+
+    def test_reserved_segment_label(self):
+        class BadProvider(SyntheticProvider):
+            def segments(self):
+                return {"scratch": ((4,), "float64")}
+
+        with pytest.raises(ValueError, match="reserved"):
+            make_pool(provider=BadProvider(N_TASKS))
+
+
+def kill_worker(pool, w):
+    proc = pool.procs[w]
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=10.0)
+    assert not proc.is_alive()
+
+
+class TestRecovery:
+    def test_midstep_kill_respawned_same_result(self):
+        # ~20 ms/task leaves a wide window to land the kill in flight
+        with make_pool(provider=SleepyProvider(N_TASKS)) as pool:
+            data = np.linspace(0.5, 6.0, N_TASKS)
+            pool.view("data")[...] = data
+            run_step(pool, 1.0, rebuild=True)
+            expect = pool.scratch[:, 0].copy()
+            pool.begin_step()
+            pool.dispatch(False, 1.0)
+            os.kill(pool.procs[0].pid, signal.SIGKILL)
+            assert pool.collect()
+            pool.finish_step()
+            np.testing.assert_array_equal(pool.scratch[:, 0], expect)
+            assert pool.resilience.respawns >= 1
+            assert pool.n_live == pool.n_workers
+
+    def test_idle_death_respawned_at_begin_step(self):
+        with make_pool() as pool:
+            data = np.linspace(0.5, 6.0, N_TASKS)
+            pool.view("data")[...] = data
+            run_step(pool, 1.0, rebuild=True)
+            expect = pool.scratch[:, 0].copy()
+            kill_worker(pool, 0)
+            run_step(pool, 1.0)  # begin_step heals before dispatching
+            np.testing.assert_array_equal(pool.scratch[:, 0], expect)
+            assert pool.resilience.respawns == 1
+            assert pool.n_live == pool.n_workers
+
+    def test_respawn_budget_exhausted_reassigns(self):
+        policy = RecoveryPolicy(max_respawns=0)
+        with make_pool(n_workers=3, policy=policy) as pool:
+            pool.view("data")[...] = 1.0
+            run_step(pool, 2.0, rebuild=True)
+            kill_worker(pool, 1)
+            assert pool.begin_step()
+            assert pool.n_live == 2
+            assert 1 not in set(pool.assignment.tolist())
+            assert pool.resilience.respawns == 0
+            assert pool.resilience.tasks_reassigned > 0
+            assert pool.resilience.mode == "degraded"
+            # the new map must reach the survivors with the next rebuild
+            pool.dispatch(True, 3.0, pool.assignment)
+            assert pool.collect()
+            pool.finish_step()
+            np.testing.assert_array_equal(pool.scratch[:, 0], 3.0)
+
+    def test_reassign_callback_controls_placement(self):
+        seen = {}
+
+        def reassign(dead, assignment, survivors):
+            seen["args"] = (dead, sorted(survivors))
+            new = assignment.copy()
+            new[assignment == dead] = survivors[0]
+            return new
+
+        policy = RecoveryPolicy(max_respawns=0)
+        with make_pool(n_workers=3, policy=policy, reassign=reassign) as pool:
+            pool.view("data")[...] = 1.0
+            run_step(pool, 1.0, rebuild=True)
+            kill_worker(pool, 2)
+            assert pool.begin_step()
+            dead, survivors = seen["args"]
+            assert dead == 2 and survivors == [0, 1]
+            orphan_owners = {
+                int(pool.assignment[t]) for t in range(N_TASKS) if t % 3 == 2
+            }
+            assert orphan_owners == {0}
+            pool.dispatch(True, 4.0, pool.assignment)
+            assert pool.collect()
+            pool.finish_step()
+            np.testing.assert_array_equal(pool.scratch[:, 0], 4.0)
+
+    def test_erroring_task_degrades_and_reports(self):
+        policy = RecoveryPolicy(max_respawns=1, max_recovery_rounds=2)
+        pool = make_pool(provider=ErroringProvider(N_TASKS), policy=policy)
+        try:
+            pool.view("data")[...] = 1.0
+            pool.begin_step()
+            pool.dispatch(True, 1.0)
+            with pytest.warns(RuntimeWarning, match="degraded"):
+                assert not pool.collect()
+            assert not pool.active
+            assert pool.degraded_reason is not None
+            assert pool.resilience.mode == "sequential"
+        finally:
+            pool.close()
+
+    def test_recovery_notes_forwarded(self):
+        notes = []
+        with make_pool(on_recovery_note=lambda label, n=1: notes.append(label)) as pool:
+            pool.view("data")[...] = 1.0
+            run_step(pool, 1.0, rebuild=True)
+            kill_worker(pool, 0)
+            run_step(pool, 1.0)
+        assert "kills" in notes and "respawns" in notes
+
+
+class TestLifecycle:
+    def test_close_idempotent_and_releases_processes(self):
+        pool = make_pool()
+        procs = [p for p in pool.procs]
+        pool.close()
+        pool.close()
+        assert not pool.active
+        assert all(not p.is_alive() for p in procs)
+
+    def test_atexit_registry_deregisters_on_close(self):
+        # explicit close() must leave no dead-object callback behind: the
+        # pool leaves the live registry the moment it closes
+        pool = make_pool()
+        assert pool in pool_runtime._LIVE_POOLS
+        pool.close()
+        assert pool not in pool_runtime._LIVE_POOLS
+
+    def test_atexit_sweep_closes_stragglers(self):
+        pool = make_pool()
+        try:
+            pool_runtime._close_live_pools()
+            assert not pool.active
+            assert pool not in pool_runtime._LIVE_POOLS
+        finally:
+            pool.close()
+
+    def test_close_during_recovery_backoff_spawns_nothing(self):
+        # close() landing inside the recovery ladder's backoff sleep must
+        # not orphan a half-spawned replacement worker
+        class ClosingPolicy(RecoveryPolicy):
+            def backoff(self, attempt):
+                pool_box["pool"].close()
+                return 0.0
+
+        pool_box = {}
+        pool = make_pool(policy=ClosingPolicy())
+        pool_box["pool"] = pool
+        try:
+            pool.view("data")[...] = 1.0
+            run_step(pool, 1.0, rebuild=True)
+            kill_worker(pool, 0)
+            assert not pool.begin_step()  # close won the race: no heal
+            assert not pool.active
+            # nothing respawned into the torn-down pool
+            assert pool.resilience.respawns == 0
+            assert pool.procs == []
+        finally:
+            pool.close()
+
+    def test_spawn_refused_on_closed_pool(self):
+        pool = make_pool()
+        pool.close()
+        assert pool._spawn_worker(0) is False
+
+    def test_close_between_spawn_start_and_return_reaps_worker(self):
+        # the second guard: close() arriving after Process.start() but
+        # before _spawn_worker returns must reap the half-spawned worker
+        pool = make_pool()
+
+        class RacingCtx:
+            def __init__(self, ctx):
+                self._ctx = ctx
+
+            def Pipe(self, duplex=False):
+                return self._ctx.Pipe(duplex=duplex)
+
+            def Process(self, **kw):
+                proc = self._ctx.Process(**kw)
+                orig_start = proc.start
+
+                def start():
+                    orig_start()
+                    pool._closed = True  # the racing close() lands here
+
+                proc.start = start
+                return proc
+
+        try:
+            pool._reap_worker(0)
+            pool._ctx = RacingCtx(pool._ctx)
+            assert pool._spawn_worker(0) is False
+            assert pool._procs[0] is None
+            assert pool._cmd_conns[0] is None
+        finally:
+            pool._closed = False  # the simulated close never tore down
+            pool.close()

@@ -1,0 +1,63 @@
+"""Shared-memory segment registry: collision-free names, clean unlink."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pool import HAS_SHARED_MEMORY, SegmentRegistry, attach_segment
+
+pytestmark = pytest.mark.skipif(
+    not HAS_SHARED_MEMORY, reason="platform lacks multiprocessing.shared_memory"
+)
+
+
+def test_names_unique_across_registries():
+    regs = [SegmentRegistry() for _ in range(4)]
+    try:
+        for reg in regs:
+            reg.create("data", 64)
+        names = {reg.name("data") for reg in regs}
+        assert len(names) == len(regs)
+        prefixes = {reg.prefix for reg in regs}
+        assert len(prefixes) == len(regs)
+    finally:
+        for reg in regs:
+            reg.unlink_all()
+
+
+def test_attach_sees_driver_writes():
+    reg = SegmentRegistry()
+    try:
+        reg.create("data", 8 * 8)
+        view = np.ndarray((8,), dtype=np.float64, buffer=reg.get("data").buf)
+        view[...] = np.arange(8)
+        seg = attach_segment(reg.name("data"))
+        try:
+            remote = np.ndarray((8,), dtype=np.float64, buffer=seg.buf)
+            np.testing.assert_array_equal(remote, np.arange(8))
+        finally:
+            del remote
+            seg.close()
+    finally:
+        del view
+        reg.unlink_all()
+
+
+def test_unlink_all_releases_segments():
+    # the leak check: after unlink_all the names must be gone from the OS
+    reg = SegmentRegistry()
+    reg.create("a", 64)
+    reg.create("b", 64)
+    names = list(reg.names().values())
+    reg.unlink_all()
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            attach_segment(name)
+
+
+def test_unlink_all_idempotent():
+    reg = SegmentRegistry()
+    reg.create("a", 64)
+    reg.unlink_all()
+    reg.unlink_all()  # second call must not raise

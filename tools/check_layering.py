@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Import-contract check: the generic pool layer must not know about MD.
+
+Layering (DESIGN.md, "The real parallel engine"):
+
+* ``repro.pool``  — generic supervised pool runtime; imports nothing
+  from ``repro.md`` (or any other domain layer listed below).
+* ``repro.md.tasks`` / ``repro.md.parallel`` — the MD workload and its
+  orchestration; these may import ``repro.pool``, never the reverse.
+
+The check is static (AST walk over every module in the forbidden-import
+table), so it catches lazy/function-local imports too.  Run directly or
+via ``tests/test_pool/test_layering.py``; CI runs it in the lint step.
+
+Exit status: 0 clean, 1 violation(s) found.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: package -> import prefixes it must never reference
+FORBIDDEN: dict[str, tuple[str, ...]] = {
+    "repro/pool": ("repro.md", "repro.balancer", "repro.instrument"),
+}
+
+
+def imported_names(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            yield node.lineno, node.module
+
+
+def check() -> list[str]:
+    violations = []
+    for package, banned in FORBIDDEN.items():
+        for path in sorted((SRC / package).rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for lineno, name in imported_names(tree):
+                if any(
+                    name == b or name.startswith(b + ".") for b in banned
+                ):
+                    violations.append(
+                        f"{path.relative_to(SRC.parent)}:{lineno}: "
+                        f"{package} must not import {name}"
+                    )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        return 1
+    print("layering OK: repro.pool imports no domain layer")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
