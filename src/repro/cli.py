@@ -16,6 +16,10 @@ Commands
 ``backends``
     Print the kernel backend inventory (numpy reference / numba JIT) and
     which one the session resolves to.
+``serve``
+    Run the simulation service: a REST front end multiplexing many
+    concurrent jobs onto one shared worker budget (see README "Running
+    as a service").
 
 The heavyweight paper systems (``apoa1``, ``bc1``) build in seconds to
 minutes; ``br`` and ``mini`` are fast.
@@ -325,6 +329,60 @@ def cmd_md(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the simulation service behind its REST front end."""
+    import signal
+
+    from repro.service import ServiceServer, SimulationService, TenantQuota
+
+    if args.worker_slots < 0:
+        raise SystemExit("--worker-slots must be >= 0")
+    if args.lanes < 1:
+        raise SystemExit("--lanes must be >= 1")
+    if args.slice_steps < 1:
+        raise SystemExit("--slice-steps must be >= 1")
+    try:
+        quota = TenantQuota(
+            max_running=args.max_running,
+            max_queued=args.max_queued,
+            max_workers=args.max_workers,
+        )
+        service = SimulationService(
+            worker_slots=args.worker_slots,
+            lanes=args.lanes,
+            slice_steps=args.slice_steps,
+            target_slice_s=args.target_slice_s,
+            workdir=args.workdir,
+            default_quota=quota,
+            lb_strategy=args.lb_strategy,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    server = ServiceServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    server.start()
+    print(f"serving at {server.url}", flush=True)
+    print(
+        f"  budget: {args.worker_slots} worker slots, {args.lanes} lanes; "
+        f"quota per tenant: {quota.max_running} running / "
+        f"{quota.max_queued} queued / {quota.max_workers} worker slots",
+        flush=True,
+    )
+
+    def _stop(_signum, _frame):
+        # handler must not block; stop on a thread and let wait() return
+        import threading
+
+        threading.Thread(target=server.stop, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _stop)
+    signal.signal(signal.SIGTERM, _stop)
+    server.wait()
+    print("service stopped", flush=True)
+    return 0
+
+
 def cmd_scaling(args) -> int:
     """Run a processor-count sweep and print the scaling table."""
     from repro.analysis.speedup import format_scaling_table, scaling_sweep
@@ -566,6 +624,59 @@ def build_parser() -> argparse.ArgumentParser:
         "backends", help="kernel backend inventory (numpy / numba JIT)"
     )
 
+    p_sv = sub.add_parser(
+        "serve", help="run the simulation service (REST + shared pool)"
+    )
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument(
+        "--port", type=int, default=8642,
+        help="listen port (0 = ephemeral, printed at startup)",
+    )
+    p_sv.add_argument(
+        "--worker-slots", type=int, default=4, metavar="N",
+        help="total worker processes leasable across all running jobs "
+             "(sequential jobs lease 0)",
+    )
+    p_sv.add_argument(
+        "--lanes", type=int, default=2, metavar="N",
+        help="concurrency lanes: how many jobs step at the same time; "
+             "cross-job balancing packs jobs onto lanes by measured cost",
+    )
+    p_sv.add_argument(
+        "--slice-steps", type=int, default=5, metavar="N",
+        help="steps per scheduling slice (a job yields its lane between "
+             "slices; slicing never changes the trajectory)",
+    )
+    p_sv.add_argument(
+        "--target-slice-s", type=float, default=0.0, metavar="SECONDS",
+        help="scale each job's slice length so a slice costs about this "
+             "much wall time (0 = fixed --slice-steps)",
+    )
+    p_sv.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help="directory for per-job checkpoints (default: a temp dir "
+             "removed at shutdown)",
+    )
+    p_sv.add_argument(
+        "--max-running", type=int, default=4, metavar="N",
+        help="per-tenant cap on concurrently running jobs",
+    )
+    p_sv.add_argument(
+        "--max-queued", type=int, default=16, metavar="N",
+        help="per-tenant cap on queued jobs (submission returns 429 over)",
+    )
+    p_sv.add_argument(
+        "--max-workers", type=int, default=8, metavar="N",
+        help="per-tenant cap on summed leased worker slots",
+    )
+    p_sv.add_argument(
+        "--lb-strategy", default="greedy", metavar="NAME",
+        help="cross-job lane-packing strategy (repro.balancer.STRATEGIES)",
+    )
+    p_sv.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
     return parser
 
 
@@ -580,6 +691,7 @@ def main(argv: list[str] | None = None) -> int:
         "grainsize": cmd_grainsize,
         "report": cmd_report,
         "backends": cmd_backends,
+        "serve": cmd_serve,
     }[args.command]
     return handler(args)
 

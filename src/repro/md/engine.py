@@ -120,6 +120,16 @@ class SequentialEngine:
         self._forces: np.ndarray | None = None
         self._last_nonbonded = None
         self._last_bonded: BondedEnergies | None = None
+        if ewald is not None:
+            # per-engine accounting over the shared k-space LRU: another
+            # engine in the same process clearing the cache must not zero
+            # or negate this engine's builds/hits (the multi-job service
+            # runs many engines side by side)
+            from repro.md.ewald import KspaceCacheView
+
+            self._kspace_view = KspaceCacheView()
+        else:
+            self._kspace_view = None
 
     # ------------------------------------------------------------------ #
     def compute_forces(self) -> np.ndarray:
@@ -137,7 +147,12 @@ class SequentialEngine:
         if self.ewald is not None:
             from repro.md.ewald import compute_ewald
 
-            ew = compute_ewald(self.system, self.ewald, backend=self.backend)
+            ew = compute_ewald(
+                self.system,
+                self.ewald,
+                backend=self.backend,
+                kspace_stats=self._kspace_view.counters,
+            )
             forces += ew.forces
             nb.energy_elec += ew.energy
             self._last_ewald = ew
@@ -204,15 +219,23 @@ class SequentialEngine:
         self.n_checkpoints += 1
 
     def kspace_cache_stats(self) -> dict:
-        """Ewald k-space table cache counters (``builds``/``hits``) as seen
-        by this engine's process.  The parallel engine overrides this to
-        fold in per-worker counters from the shared stats segment."""
+        """Ewald k-space table cache counters (``builds``/``hits``) caused
+        by *this* engine — robust to other engines in the same process
+        clearing the shared cache.  Falls back to the process-wide view
+        when the engine runs without Ewald.  The parallel engine overrides
+        this to fold in per-worker counters from the shared stats segment."""
+        if self._kspace_view is not None:
+            return self._kspace_view.stats()
         from repro.md.ewald import kspace_cache_stats
 
         return kspace_cache_stats()
 
     def clear_kspace_cache(self) -> None:
-        """Drop the memoized k-space tables and reset the counters."""
+        """Drop the memoized k-space tables and reset this engine's
+        counters (other engines' accounting is unaffected)."""
+        if self._kspace_view is not None:
+            self._kspace_view.clear()
+            return
         from repro.md.ewald import clear_kspace_cache
 
         clear_kspace_cache()

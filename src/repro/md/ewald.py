@@ -38,6 +38,7 @@ from repro.util.pbc import minimum_image
 __all__ = [
     "EwaldOptions",
     "EwaldResult",
+    "KspaceCacheView",
     "compute_ewald",
     "clear_kspace_cache",
     "kspace_cache_stats",
@@ -115,27 +116,73 @@ def _real_space(
 # k-space tables depend only on (box, kmax, alpha) — between box changes
 # every step rebuilds identical meshgrids, so memoize them.  Bounded LRU;
 # entries are marked read-only because callers share the cached arrays.
+# The table cache is deliberately process-global (concurrent engines — the
+# multi-job service case — share identical tables), but the *counters* are
+# monotonic raw totals: every per-client view (the module-level functions
+# below, or a per-engine KspaceCacheView) subtracts its own baseline, so
+# one client's clear can never zero or negate another's accounting.
 _KSPACE_CACHE: OrderedDict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = (
     OrderedDict()
 )
 _KSPACE_CACHE_MAX = 8
-_KSPACE_STATS = {"builds": 0, "hits": 0}
+_KSPACE_RAW = {"builds": 0, "hits": 0}
+_KSPACE_BASE = {"builds": 0, "hits": 0}
 
 
 def clear_kspace_cache() -> None:
-    """Drop all memoized k-space tables and reset the hit/build counters."""
+    """Drop all memoized k-space tables and reset the hit/build counters.
+
+    Only the *module-level* counter view resets; per-engine
+    :class:`KspaceCacheView` handles keep their own baselines and stay
+    monotone (their next evaluation simply rebuilds the dropped tables).
+    """
     _KSPACE_CACHE.clear()
-    _KSPACE_STATS["builds"] = 0
-    _KSPACE_STATS["hits"] = 0
+    _KSPACE_BASE.update(_KSPACE_RAW)
 
 
 def kspace_cache_stats() -> dict[str, int]:
-    """Copy of the k-space cache counters (``builds``, ``hits``)."""
-    return dict(_KSPACE_STATS)
+    """Copy of the k-space cache counters (``builds``, ``hits``).
+
+    Counts activity since the last module-level :func:`clear_kspace_cache`,
+    clamped at zero, across every engine in the process.
+    """
+    return {
+        key: max(_KSPACE_RAW[key] - _KSPACE_BASE[key], 0)
+        for key in ("builds", "hits")
+    }
+
+
+class KspaceCacheView:
+    """Per-engine accounting handle over the shared k-space table LRU.
+
+    The tables themselves stay process-global on purpose — concurrent jobs
+    simulating same-shaped boxes share them — but each engine threads its
+    view's ``counters`` dict into :func:`_kspace_tables` as a sink, so
+    builds/hits are attributed exactly to the engine that caused them.
+    Another engine (or the module-level function) clearing the cache can
+    therefore never make this view's numbers go backwards or negative.
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self) -> None:
+        self.counters = {"builds": 0, "hits": 0}
+
+    def stats(self) -> dict[str, int]:
+        return dict(self.counters)
+
+    def clear(self) -> None:
+        """Drop the shared tables and reset only *this* view's counters."""
+        _KSPACE_CACHE.clear()
+        self.counters["builds"] = 0
+        self.counters["hits"] = 0
 
 
 def _kspace_tables(
-    box: np.ndarray, kmax: int, alpha: float
+    box: np.ndarray,
+    kmax: int,
+    alpha: float,
+    stats: dict[str, int] | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """The ``(k, k2, ak)`` reciprocal-space tables for one (box, kmax, alpha).
 
@@ -160,10 +207,14 @@ def _kspace_tables(
     )
     cached = _KSPACE_CACHE.get(key)
     if cached is not None:
-        _KSPACE_STATS["hits"] += 1
+        _KSPACE_RAW["hits"] += 1
+        if stats is not None:
+            stats["hits"] += 1
         _KSPACE_CACHE.move_to_end(key)
         return cached
-    _KSPACE_STATS["builds"] += 1
+    _KSPACE_RAW["builds"] += 1
+    if stats is not None:
+        stats["builds"] += 1
     mx, my, mz = np.meshgrid(
         np.arange(-kmax, kmax + 1),
         np.arange(-kmax, kmax + 1),
@@ -189,13 +240,14 @@ def _reciprocal_space(
     kmax: int,
     forces: np.ndarray,
     backend: KernelBackend,
+    kspace_stats: dict[str, int] | None = None,
 ) -> float:
     pos = system.positions
     box = system.box
     q = system.charges
     volume = float(np.prod(box))
 
-    k, _k2, ak = _kspace_tables(box, kmax, alpha)
+    k, _k2, ak = _kspace_tables(box, kmax, alpha, stats=kspace_stats)
     if len(k) == 0:  # kmax=0: only the excluded m=0 term — nothing to sum
         return 0.0
 
@@ -242,13 +294,16 @@ def compute_ewald(
     options: EwaldOptions | None = None,
     backend: KernelBackend | str | None = None,
     recip: bool = True,
+    kspace_stats: dict[str, int] | None = None,
 ) -> EwaldResult:
     """Full periodic electrostatic energy and forces via Ewald summation.
 
     ``recip=False`` skips the reciprocal-space sum (``energy_recip`` is 0
     and its forces are absent): the parallel engine computes that component
     on the worker pool as sharded k-space tasks and combines it with this
-    driver-side remainder.
+    driver-side remainder.  ``kspace_stats`` is an optional per-caller
+    builds/hits sink (see :class:`KspaceCacheView`): the shared LRU counts
+    are attributed to the engine that caused them.
     """
     options = options or EwaldOptions()
     be = get_backend(backend)
@@ -261,7 +316,9 @@ def compute_ewald(
     system.wrap()
     e_real = _real_space(system, alpha, options.cutoff, forces, be)
     e_recip = (
-        _reciprocal_space(system, alpha, options.kmax, forces, be)
+        _reciprocal_space(
+            system, alpha, options.kmax, forces, be, kspace_stats=kspace_stats
+        )
         if recip
         else 0.0
     )

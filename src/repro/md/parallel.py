@@ -37,7 +37,12 @@ from repro.backend import get_backend
 from repro.md import lb_driver as _lb_driver
 from repro.md.bonded import BondedEnergies, BONDED_KINDS, compute_bonded
 from repro.md.engine import SequentialEngine
-from repro.md.ewald import EwaldOptions, EwaldResult, compute_ewald
+from repro.md.ewald import (
+    EwaldOptions,
+    EwaldResult,
+    KspaceCacheView,
+    compute_ewald,
+)
 from repro.md.nonbonded import (
     NonbondedOptions,
     NonbondedResult,
@@ -188,6 +193,9 @@ class ParallelNonbonded:
         self._bonded_ids: dict[int, np.ndarray] = {}
         self._kspace_ids: np.ndarray = np.zeros(0, dtype=np.int64)
         self._kspace_stat_base: np.ndarray | None = None
+        # per-engine driver-side builds/hits: isolated from other engines
+        # (and their clear_kspace_cache) sharing the process-global LRU
+        self._kspace_view = KspaceCacheView()
         self.driver_compute_s = self.pool_wall_s = 0.0
         self.n_evals = 0
         self.n_workers = 1
@@ -473,7 +481,10 @@ class ParallelNonbonded:
                 self.system, forces, backend=self.backend
             )
         if self.ewald is not None:
-            ew = compute_ewald(self.system, self.ewald, backend=self.backend)
+            ew = compute_ewald(
+                self.system, self.ewald, backend=self.backend,
+                kspace_stats=self._kspace_view.counters,
+            )
             forces += ew.forces
             e_el += ew.energy
             self.last_ewald = ew
@@ -510,6 +521,7 @@ class ParallelNonbonded:
             ew_rem = compute_ewald(
                 self.system, self.ewald, backend=self.backend,
                 recip=not self.kspace_tasks,
+                kspace_stats=self._kspace_view.counters,
             )
         driver_s = time.monotonic() - t_d0
 
@@ -624,14 +636,13 @@ class ParallelNonbonded:
         }
 
     def kspace_cache_stats(self) -> dict:
-        """Driver (process-global) and per-worker k-space cache counters;
-        worker counters come from the shared stats rows each worker
-        publishes after its step, minus any :meth:`clear_kspace_cache`
-        baseline."""
-        from repro.md.ewald import kspace_cache_stats as _driver_stats
-
+        """Driver (per-engine) and per-worker k-space cache counters;
+        driver counts are this engine's own :class:`KspaceCacheView` (other
+        engines sharing the process cannot perturb them), worker counters
+        come from the shared stats rows each worker publishes after its
+        step, minus any :meth:`clear_kspace_cache` baseline."""
         out: dict = {
-            "driver": _driver_stats(),
+            "driver": self._kspace_view.stats(),
             "workers": {},
             "worker_builds": 0,
             "worker_hits": 0,
@@ -655,12 +666,11 @@ class ParallelNonbonded:
 
     def clear_kspace_cache(self) -> None:
         """Reset the cache counters as seen by this engine: clear the
-        driver's memoized tables and snapshot the worker counters as a
-        baseline (worker caches are per-process LRUs, rebuilt on demand
-        and dropped on respawn)."""
-        from repro.md.ewald import clear_kspace_cache as _clear
-
-        _clear()
+        driver's memoized tables (only this engine's counters reset — a
+        concurrent engine's accounting is untouched) and snapshot the
+        worker counters as a baseline (worker caches are per-process LRUs,
+        rebuilt on demand and dropped on respawn)."""
+        self._kspace_view.clear()
         if self.active:
             self._kspace_stat_base = self._worker_stat_rows().copy()
 

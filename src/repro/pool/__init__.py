@@ -14,6 +14,7 @@ provider in ``tests/test_pool``, future multi-job services) can do the
 same.
 """
 
+from repro.pool.lease import WorkerBudget, WorkerLease
 from repro.pool.partition import contiguous_partition
 from repro.pool.protocol import (
     STAT_COLS,
@@ -61,9 +62,11 @@ __all__ = [
     "SupervisedPool",
     "TaskEvaluator",
     "TaskProvider",
+    "WorkerBudget",
     "WorkerFaultPlan",
     "WorkerHang",
     "WorkerKill",
+    "WorkerLease",
     "attach_segment",
     "contiguous_partition",
     "normalize_slowdown",

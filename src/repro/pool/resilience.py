@@ -275,6 +275,16 @@ class RecoveryPolicy:
     ``poll_interval_s`` bounds the supervisor's wait granularity: worker
     death interrupts the wait immediately via process sentinels, so this
     only paces hang/injector checks.
+
+    ``recovery_budget_s`` caps the *total* wall clock one evaluation may
+    spend across every recovery rung combined.  Each successful recovery
+    re-arms the per-attempt deadline (a re-issued evaluation should not
+    inherit a nearly expired one), so without this cap a flapping worker —
+    hang, respawn, hang again — could stall a single evaluation for up to
+    ``max_respawns × n_workers × timeout`` before the rounds limit bites.
+    When the budget is exhausted the pool degrades immediately.  ``None``
+    derives the cap as ``recovery_budget_factor × pool timeout``; pass
+    ``math.inf`` to opt out.
     """
 
     max_respawns: int = 2
@@ -284,6 +294,8 @@ class RecoveryPolicy:
     min_hang_timeout_s: float = 1.0
     hang_grace_factor: float = 20.0
     poll_interval_s: float = 0.2
+    recovery_budget_s: float | None = None
+    recovery_budget_factor: float = 3.0
 
     def __post_init__(self) -> None:
         if self.max_respawns < 0:
@@ -296,10 +308,20 @@ class RecoveryPolicy:
             raise ValueError("hang_timeout_s must be positive")
         if self.poll_interval_s <= 0:
             raise ValueError("poll_interval_s must be positive")
+        if self.recovery_budget_s is not None and self.recovery_budget_s <= 0:
+            raise ValueError("recovery_budget_s must be positive")
+        if self.recovery_budget_factor < 1.0:
+            raise ValueError("recovery_budget_factor must be >= 1")
 
     def backoff(self, attempt: int) -> float:
         """Backoff before respawn attempt ``attempt`` (0-based)."""
         return self.respawn_backoff_s * (2.0**attempt)
+
+    def recovery_budget(self, timeout: float) -> float:
+        """Total recovery wall clock one evaluation may consume."""
+        if self.recovery_budget_s is not None:
+            return self.recovery_budget_s
+        return self.recovery_budget_factor * timeout
 
     def hang_threshold(self, step_wall_ewma: float, timeout: float) -> float:
         """Silence (seconds) after which a live worker counts as hung."""

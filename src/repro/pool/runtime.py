@@ -47,6 +47,7 @@ scratch in task order.  Nothing in this module imports :mod:`repro.md`
 from __future__ import annotations
 
 import atexit
+import math
 import multiprocessing as mp
 import multiprocessing.connection as mp_connection
 import time
@@ -338,6 +339,7 @@ class SupervisedPool:
         self._payload = None
         self._t_dispatch: float | None = None
         self._deadline: float | None = None
+        self._t_eval_start: float | None = None
         self._step_wall_ewma = 0.0
         self._recovery_rounds = 0
         self._last_reassign_moved = 0
@@ -575,6 +577,9 @@ class SupervisedPool:
         # run arbitrary overlapped work before it first waits
         self._t_dispatch = time.monotonic()
         self._deadline = self._t_dispatch + self.timeout
+        # ... whereas the recovery budget spans the whole evaluation: it
+        # is never re-armed by a recovery, only by the next dispatch
+        self._t_eval_start = self._t_dispatch
         for w in self.live_workers():
             # a failed send means the worker just died; don't recover here —
             # all original commands must be out before any re-issue, or a
@@ -616,6 +621,7 @@ class SupervisedPool:
         self._payload = None
         self._deadline = None
         self._t_dispatch = None
+        self._t_eval_start = None
         if self._recovery_rounds == 0:
             # hang detection calibrates on clean steps only — a recovered
             # step's wall time includes backoff sleeps and re-execution
@@ -750,6 +756,15 @@ class SupervisedPool:
                 f"recovery limit reached ({self.policy.max_recovery_rounds} "
                 f"rounds in one evaluation); last failure: worker {w} {kind}"
             )
+        if self._pending is not None and self._t_eval_start is not None:
+            spent = t0 - self._t_eval_start
+            budget = self.policy.recovery_budget(self.timeout)
+            if spent >= budget:
+                return self._degrade(
+                    f"recovery budget exhausted ({spent:.1f}s >= "
+                    f"{budget:.1f}s in one evaluation); last failure: "
+                    f"worker {w} {kind}"
+                )
         # counters live in ResilienceStats.note_event (called below); the
         # note callback mirrors them into client accounting (e.g. WorkDB)
         if kind == "died":
@@ -824,10 +839,18 @@ class SupervisedPool:
         )
         self.resilience.note_event(event)
         # a successful recovery earns a fresh wait budget: the re-issued
-        # evaluation should not inherit a nearly expired deadline
+        # evaluation should not inherit a nearly expired deadline — but
+        # never past the evaluation's total recovery budget, or a flapping
+        # worker could ratchet the deadline forward indefinitely
         if self._pending is not None:
             self._t_dispatch = time.monotonic()
             self._deadline = self._t_dispatch + self.timeout
+            if self._t_eval_start is not None:
+                budget = self.policy.recovery_budget(self.timeout)
+                if math.isfinite(budget):
+                    self._deadline = min(
+                        self._deadline, self._t_eval_start + budget
+                    )
         return True
 
     def _default_reassign(self, w: int, survivors: list[int]) -> np.ndarray:
@@ -995,6 +1018,7 @@ class SupervisedPool:
         self._payload = None
         self._deadline = None
         self._t_dispatch = None
+        self._t_eval_start = None
         _LIVE_POOLS.discard(self)
         self._teardown()
 

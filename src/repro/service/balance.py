@@ -1,0 +1,61 @@
+"""Cross-job balancing: pack concurrent jobs onto concurrency lanes.
+
+The scheduler runs at most one slice per *lane* at a time (lanes map
+one-to-one onto executor threads), so lane assignment decides which jobs
+contend with each other.  This module reuses the measurement-based
+WorkDB → LBProblem → strategy path at job granularity: each live job is
+one migratable task whose load is its measured seconds/step, and the
+greedy strategy packs them so every lane carries a similar predicted
+load — a burst of small jobs lands together on one lane while a long
+heavy run keeps a lane to itself, instead of strict round-robin making
+the small jobs wait behind the big one's slices.
+"""
+
+from __future__ import annotations
+
+from repro.instrument.adapter import build_job_lb_problem
+from repro.instrument.workdb import WorkDB
+
+__all__ = ["plan_lanes", "slice_steps_for"]
+
+
+def plan_lanes(
+    db: WorkDB,
+    task_ids,
+    n_lanes: int,
+    strategy: str = "greedy",
+) -> dict[int, int]:
+    """Assign each live job's task id to a lane; deterministic per inputs."""
+    from repro.balancer.strategies import solve
+
+    task_ids = sorted(int(t) for t in task_ids)
+    if not task_ids or n_lanes < 1:
+        return {}
+    if n_lanes == 1:
+        return {tid: 0 for tid in task_ids}
+    problem = build_job_lb_problem(db, n_lanes, task_ids)
+    placement = solve(problem, strategy)
+    out = {}
+    for tid in task_ids:
+        lane = int(placement.get(tid, -1))
+        out[tid] = lane if 0 <= lane < n_lanes else tid % n_lanes
+    return out
+
+
+def slice_steps_for(
+    step_seconds: float,
+    default_steps: int,
+    target_slice_s: float,
+    max_steps: int = 200,
+) -> int:
+    """Measurement-scaled slice length: cheap jobs take more steps per
+    visit, expensive jobs fewer, so every slice costs a comparable wall
+    time and a long job cannot starve its lane-mates for whole seconds.
+
+    Unmeasured jobs (``step_seconds <= 0``) get the configured default.
+    Slice length only moves *where slice boundaries fall*, never the
+    trajectory — stepping an engine 3+2 steps equals stepping it 5.
+    """
+    if step_seconds <= 0.0 or target_slice_s <= 0.0:
+        return max(1, int(default_steps))
+    return max(1, min(int(max_steps), round(target_slice_s / step_seconds)))

@@ -68,6 +68,69 @@ def test_closing_one_engine_leaves_the_other_live(water600, water400):
         eng_b.close()
 
 
+def test_sequential_engines_kspace_accounting_isolated():
+    # regression: the k-space LRU counters were process-global, so one
+    # engine's clear_kspace_cache() yanked another engine's stats backwards
+    # (the exact multi-job service hazard).  Per-engine views must stay
+    # monotone, non-negative, and exactly attributed.
+    from repro.md.ewald import EwaldOptions
+
+    ew = EwaldOptions(cutoff=6.0, kmax=4)
+    opts = NonbondedOptions(cutoff=6.0)
+    eng_a = SequentialEngine(
+        small_water_box(40, seed=3, relax=False), opts, pairlist=None, ewald=ew
+    )
+    eng_b = SequentialEngine(
+        small_water_box(30, seed=5, relax=False), opts, pairlist=None, ewald=ew
+    )
+    eng_a.compute_forces()
+    eng_a.compute_forces()  # same box: second evaluation hits the cache
+    before = eng_a.kspace_cache_stats()
+    assert before["builds"] == 1 and before["hits"] == 1
+    eng_b.compute_forces()
+    eng_b.clear_kspace_cache()  # job B resets *its* accounting
+    after = eng_a.kspace_cache_stats()
+    assert after == before  # B's clear is invisible to A
+    assert all(v >= 0 for v in after.values())
+    # the shared tables really were dropped: A's next evaluation rebuilds,
+    # and the build lands in A's accounting only
+    eng_a.compute_forces()
+    assert eng_a.kspace_cache_stats()["builds"] == before["builds"] + 1
+    assert eng_b.kspace_cache_stats() == {"builds": 0, "hits": 0}
+
+
+def test_parallel_engines_kspace_accounting_isolated(water600, water400):
+    # same hazard, through the parallel engine's driver-side accounting
+    # (distribute=False keeps the reciprocal sum on the driver)
+    from repro.md.ewald import EwaldOptions
+
+    ew = EwaldOptions(cutoff=8.0, kmax=4)
+    with ParallelEngine(
+        water600.copy(), options=OPTS, workers=2, ewald=ew
+    ) as eng_a:
+        with ParallelEngine(
+            water400.copy(), options=OPTS, workers=2, ewald=ew
+        ) as eng_b:
+            eng_a.compute_forces()
+            eng_a.compute_forces()
+            before = eng_a.kspace_cache_stats()
+            assert before["driver"]["builds"] >= 1
+            assert before["driver"]["hits"] >= 1
+            eng_b.compute_forces()
+            eng_b.clear_kspace_cache()
+            after = eng_a.kspace_cache_stats()
+            assert after["driver"] == before["driver"]
+            assert after["worker_builds"] >= 0
+            assert after["worker_hits"] >= 0
+            eng_a.compute_forces()
+            final = eng_a.kspace_cache_stats()
+            assert final["driver"]["builds"] == before["driver"]["builds"] + 1
+            assert eng_b.kspace_cache_stats()["driver"] == {
+                "builds": 0,
+                "hits": 0,
+            }
+
+
 def test_segments_unlinked_after_close(water400):
     # the leak check: every shared-memory name a pool created must be gone
     # from the OS once the engine closes

@@ -87,3 +87,26 @@ class ErroringEvaluator(SyntheticEvaluator):
 class ErroringProvider(SyntheticProvider):
     def make_evaluator(self, worker_id, n_workers, views):
         return ErroringEvaluator(self.n, worker_id, views)
+
+
+class FlappingEvaluator(SyntheticEvaluator):
+    """Hangs forever on task 0 — *every* incarnation hangs again.
+
+    The canonical flapping worker: hang → respawn → hang.  Each respawn
+    looks like progress to the supervisor, so without a total recovery
+    budget the ladder re-arms a fresh timeout per rung.
+    """
+
+    def eval_task(self, t, block):
+        if t == 0:
+            import time
+
+            while True:
+                time.sleep(0.05)
+        return super().eval_task(t, block)
+
+
+@dataclass
+class FlappingProvider(SyntheticProvider):
+    def make_evaluator(self, worker_id, n_workers, views):
+        return FlappingEvaluator(self.n, worker_id, views)

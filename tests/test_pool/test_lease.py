@@ -1,0 +1,68 @@
+"""Worker-budget leasing: the service's admission-control primitive."""
+
+import pytest
+
+from repro.pool import WorkerBudget, WorkerLease
+
+
+class TestWorkerBudget:
+    def test_acquire_and_release_roundtrip(self):
+        budget = WorkerBudget(4)
+        lease = budget.try_acquire(3, label="job-a")
+        assert isinstance(lease, WorkerLease)
+        assert lease.active and lease.slots == 3
+        assert budget.leased == 3 and budget.available == 1
+        lease.release()
+        assert not lease.active
+        assert budget.leased == 0 and budget.available == 4
+
+    def test_acquire_fails_without_capacity(self):
+        budget = WorkerBudget(4)
+        first = budget.try_acquire(3)
+        assert first is not None
+        assert budget.try_acquire(2) is None  # only 1 slot left
+        assert budget.leased == 3  # failed acquire leaks nothing
+        # a smaller request still fits around the big lease: packing
+        small = budget.try_acquire(1)
+        assert small is not None
+        assert budget.available == 0
+
+    def test_release_is_idempotent(self):
+        budget = WorkerBudget(2)
+        lease = budget.try_acquire(2)
+        lease.release()
+        lease.release()
+        assert budget.leased == 0
+
+    def test_context_manager_releases(self):
+        budget = WorkerBudget(2)
+        with budget.try_acquire(2) as lease:
+            assert lease.active
+            assert budget.available == 0
+        assert budget.available == 2
+
+    def test_zero_slot_lease_always_succeeds(self):
+        # sequential jobs lease 0 worker processes
+        budget = WorkerBudget(1)
+        big = budget.try_acquire(1)
+        assert big is not None
+        zero = budget.try_acquire(0)
+        assert zero is not None and zero.slots == 0
+        assert budget.leased == 1
+
+    def test_invalid_requests(self):
+        budget = WorkerBudget(2)
+        with pytest.raises(ValueError, match="slots must be >= 0"):
+            budget.try_acquire(-1)
+        with pytest.raises(ValueError, match="never fit"):
+            budget.try_acquire(3)
+        with pytest.raises(ValueError, match="total_slots"):
+            WorkerBudget(-1)
+
+    def test_release_all_sweeps_leaks(self):
+        budget = WorkerBudget(4)
+        a = budget.try_acquire(2)
+        b = budget.try_acquire(1)
+        budget.release_all()
+        assert budget.leased == 0 and budget.n_leases == 0
+        assert not a.active and not b.active

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 
 import numpy as np
 import pytest
@@ -24,6 +25,7 @@ from repro.pool.protocol import STAT_TIME_NS, STAT_V0, STAT_V1, STAT_V2
 
 from tests.test_pool.synthetic import (
     ErroringProvider,
+    FlappingProvider,
     SleepyProvider,
     SyntheticProvider,
 )
@@ -202,6 +204,61 @@ class TestRecovery:
             assert pool.resilience.mode == "sequential"
         finally:
             pool.close()
+
+    def test_flapping_worker_bounded_by_recovery_budget(self):
+        # hang -> respawn -> hang: every incarnation hangs again on task 0.
+        # Each recovery rung re-arms a fresh per-attempt deadline, so
+        # without the total budget this ladder would churn through
+        # ~max_respawns rungs per worker slot (minutes of wall clock)
+        # before the rounds limit bites.  The budget must force the
+        # degrade rung within a couple of seconds instead.
+        policy = RecoveryPolicy(
+            max_respawns=50,
+            respawn_backoff_s=0.01,
+            max_recovery_rounds=200,
+            hang_timeout_s=0.25,
+            recovery_budget_s=1.5,
+        )
+        pool = make_pool(provider=FlappingProvider(N_TASKS), policy=policy)
+        try:
+            pool.view("data")[...] = 1.0
+            pool.begin_step()
+            pool.dispatch(True, 1.0)
+            t0 = time.monotonic()
+            with pytest.warns(RuntimeWarning, match="recovery budget exhausted"):
+                assert not pool.collect()
+            elapsed = time.monotonic() - t0
+            # generous for slow CI, but far below the pre-fix ladder's
+            # ~100 rungs x (detection + respawn) wall time
+            assert elapsed < 15.0
+            assert pool.resilience.mode == "sequential"
+            assert "budget" in (pool.degraded_reason or "")
+        finally:
+            pool.close()
+
+    def test_recovery_budget_spares_healthy_recoveries(self):
+        # a single clean kill + respawn must stay well inside the default
+        # budget (recovery_budget_factor x timeout) and finish the step
+        with make_pool(provider=SleepyProvider(N_TASKS)) as pool:
+            data = np.linspace(0.5, 6.0, N_TASKS)
+            pool.view("data")[...] = data
+            run_step(pool, 1.0, rebuild=True)
+            expect = pool.scratch[:, 0].copy()
+            pool.begin_step()
+            pool.dispatch(False, 1.0)
+            os.kill(pool.procs[0].pid, signal.SIGKILL)
+            assert pool.collect()
+            pool.finish_step()
+            np.testing.assert_array_equal(pool.scratch[:, 0], expect)
+            assert pool.resilience.mode == "full"
+
+    def test_recovery_budget_policy_validation(self):
+        assert RecoveryPolicy(recovery_budget_s=2.0).recovery_budget(60.0) == 2.0
+        assert RecoveryPolicy().recovery_budget(10.0) == 30.0
+        with pytest.raises(ValueError, match="recovery_budget_s"):
+            RecoveryPolicy(recovery_budget_s=0.0)
+        with pytest.raises(ValueError, match="recovery_budget_factor"):
+            RecoveryPolicy(recovery_budget_factor=0.5)
 
     def test_recovery_notes_forwarded(self):
         notes = []
